@@ -1,0 +1,13 @@
+# Included from the top-level CMakeLists so that ${CMAKE_BINARY_DIR}/bench
+# holds nothing but the benchmark executables.
+file(GLOB PSCP_BENCH_SOURCES CONFIGURE_DEPENDS
+  ${CMAKE_CURRENT_LIST_DIR}/*.cpp)
+
+foreach(src ${PSCP_BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(bench_${name} ${src})
+  target_link_libraries(bench_${name} PRIVATE pscp benchmark::benchmark)
+  set_target_properties(bench_${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench
+    OUTPUT_NAME ${name})
+endforeach()

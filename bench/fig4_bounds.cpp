@@ -1,0 +1,56 @@
+// Fig. 4 reproduction: the partial statechart graph with parallel-sibling
+// upper bounds. The paper annotates the DATA_VALID exploration with the
+// 1500-cycle period and "Maximum: 300 / 275" bounds for the parallel
+// siblings; here we compute the same recursive OR-max / AND-sum bounds on
+// the SMD chart and show how they enter each exploration step.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "actionlang/parser.hpp"
+#include "compiler/codegen.hpp"
+#include "sla/sla.hpp"
+#include "statechart/parser.hpp"
+#include "timing/event_cycles.hpp"
+#include "workloads/smd.hpp"
+
+using namespace pscp;
+
+int main() {
+  auto chart = statechart::parseChart(workloads::smdChartText());
+  auto actions = actionlang::parseActionSource(workloads::smdActionText());
+
+  hwlib::ArchConfig arch;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.registerFileSize = 12;
+  sla::CrLayout layout(chart);
+  const auto binding = sla::makeBinding(chart, layout);
+  compiler::Compiler comp(actions, binding, arch, {});
+  const auto app = comp.compile(chart);
+  const auto lengths = timing::transitionLengths(chart, app.program,
+                                                 app.transitionRoutine, arch,
+                                                 layout.conditionCount());
+
+  std::printf("=== Fig. 4: parallel-sibling upper bounds (recursive OR-max / "
+              "AND-sum) ===\n\n");
+  for (int teps : {1, 2}) {
+    timing::EventCycleAnalyzer an(chart, lengths, teps);
+    std::printf("--- %d TEP(s) ---\n", teps);
+    std::printf("| subtree          | bound (cycles) |\n");
+    std::printf("|------------------|----------------|\n");
+    for (const char* name : {"DataPreparation", "ReachPosition", "Moving", "MoveX",
+                             "MoveY", "MovePhi", "Operation"})
+      std::printf("| %-16s | %14lld |\n", name,
+                  static_cast<long long>(an.subtreeBound(chart.stateByName(name))));
+    std::printf("per-step burdens while exploring (sibling bounds / TEPs):\n");
+    for (const char* name : {"OpcodeReady", "NoData", "RunX", "RunPhi", "Idle2"})
+      std::printf("  exploring in %-12s adds %5lld cycles per step\n", name,
+                  static_cast<long long>(an.parallelBurden(chart.stateByName(name))));
+    std::printf("\n");
+  }
+  std::printf("paper's annotations for comparison: DATA_VALID period 1500; the\n"
+              "DataPreparation exploration adds its parallel sibling's bound of\n"
+              "~300 cycles per step (our ReachPosition bound plays that role).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 7 reproduction: the pickup-head kinematics. The paper's numbers:
+// X/Y motors step at up to 50 kHz (0.025 mm/step, 1.25 m/s, 10 m/s^2),
+// phi at 9 kHz (0.1 deg/step). We run one long X move through the
+// compiled controller and verify the velocity profile against those
+// physical limits.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "workloads/smd_testbench.hpp"
+
+using namespace pscp;
+
+int main() {
+  hwlib::ArchConfig arch;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.numTeps = 2;
+  arch.registerFileSize = 12;
+  workloads::SmdTestbench tb(arch);
+  auto& m = tb.machine();
+  auto& env = tb.environment();
+  env.queueMove(3200, 0, 0);  // 3200 steps = 80 mm of X travel
+
+  std::vector<std::pair<int64_t, uint32_t>> profile;  // (time, interval)
+  std::set<std::string> events = {"POWER"};
+  bool wasMoving = false;
+  uint32_t last = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto c = m.configurationCycle(events);
+    const bool moving = m.isActive("Moving");
+    if (moving && !wasMoving)
+      env.commandMotors(static_cast<int>(m.globalValue("pendingX")),
+                        static_cast<int>(m.globalValue("pendingY")),
+                        static_cast<int>(m.globalValue("pendingPhi")));
+    wasMoving = moving;
+    const bool ready = m.isActive("Idle1") || m.isActive("OpcodeReady") ||
+                       m.isActive("EmptyBuf") || m.isActive("Bounds");
+    events = env.advance(c.quiescent ? 50 : c.cycles, m.outputPort("CounterX"),
+                         m.outputPort("CounterY"), m.outputPort("CounterPhi"), ready);
+    if (events.count("DATA_VALID") != 0 && env.hasPendingByte())
+      m.setInputPort("Buffer", env.nextByte());
+    const uint32_t now = m.outputPort("CounterX");
+    if (now != 0 && now != last) {
+      profile.emplace_back(env.now(), now);
+      last = now;
+    }
+    if (m.globalValue("commandsDone") >= 1) break;
+  }
+
+  std::printf("=== Fig. 7: stepper kinematics of one 80 mm X move ===\n");
+  std::printf("| phase sample | time (ms) | interval (cycles) | step rate (kHz) | "
+              "velocity (m/s) |\n");
+  std::printf("|--------------|-----------|-------------------|-----------------|"
+              "----------------|\n");
+  const size_t stride = profile.size() / 12 + 1;
+  for (size_t i = 0; i < profile.size(); i += stride) {
+    const double tMs = 1000.0 * static_cast<double>(profile[i].first) / 15e6;
+    const double kHz = 15000.0 / static_cast<double>(profile[i].second);
+    std::printf("| %12zu | %9.2f | %17u | %15.1f | %14.3f |\n", i, tMs,
+                profile[i].second, kHz, kHz * 1000.0 * 0.025 / 1000.0);
+  }
+
+  uint32_t fastest = 0xFFFFFFFF;
+  for (const auto& [t, iv] : profile) fastest = std::min(fastest, iv);
+  const double peakHz = 15e6 / fastest;
+  const double peakMs = peakHz * 0.025 / 1000.0;
+  std::printf("\npeak step rate: %.1f kHz (paper max: 50 kHz)\n", peakHz / 1000.0);
+  std::printf("peak velocity : %.3f m/s (paper max: 1.25 m/s)\n", peakMs);
+  std::printf("pulses serviced: %lld, deadlines missed: %lld\n",
+              static_cast<long long>(env.motorX().pulses),
+              static_cast<long long>(env.motorX().missedPulses));
+  const bool ok = fastest >= 300 && peakMs <= 1.251 && env.motorX().missedPulses == 0;
+  std::printf("within the paper's physical envelope: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

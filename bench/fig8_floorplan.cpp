@@ -1,0 +1,25 @@
+// Fig. 8 reproduction: the floorplan of the final PSCP on the XC4025.
+// The paper shows the placed result occupying the 32x32 CLB array; we
+// place the selected architecture's blocks with the greedy floorplanner
+// and report utilization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/codesign.hpp"
+#include "workloads/smd.hpp"
+
+using namespace pscp;
+
+int main() {
+  const auto result =
+      core::Codesign::run(workloads::smdChartText(), workloads::smdActionText());
+  std::printf("=== Fig. 8: floorplan of the selected PSCP ===\n");
+  std::printf("architecture: %s, %.0f CLBs (paper: 2x 16-bit M/D TEP, 773 CLBs)\n\n",
+              result.exploration.arch.describe().c_str(),
+              result.exploration.final.areaClb);
+  std::printf("%s", result.floorplanAscii.c_str());
+  const bool fits = result.exploration.fitsDevice;
+  std::printf("\nfits the XC4025 like the paper's result: %s\n", fits ? "yes" : "NO");
+  return fits ? 0 : 1;
+}

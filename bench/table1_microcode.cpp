@@ -1,0 +1,102 @@
+// Table 1 reproduction: the microcode format — 3-bit group, 5-bit control
+// code, 8-bit next-address — plus the application-specific microprogram
+// decoder statistics for the SMD controller, and a google-benchmark of
+// microcode generation speed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "actionlang/parser.hpp"
+#include "compiler/codegen.hpp"
+#include "sla/sla.hpp"
+#include "statechart/parser.hpp"
+#include "tep/microcode.hpp"
+#include "workloads/smd.hpp"
+
+using namespace pscp;
+
+namespace {
+
+void printTable1() {
+  std::printf("=== Table 1: microcode format ===\n");
+  std::printf("paper: 16-bit microinstructions = 3-bit group + 5-bit control + "
+              "8-bit next address\n\n");
+  std::printf("| group          | code | example control patterns |\n");
+  std::printf("|----------------|------|--------------------------|\n");
+  std::printf("| arithmetic     | 001  | 01x00 (ALU/MUL/DIV)      |\n");
+  std::printf("| logical        | 001  | 000xx (CMP/custom)       |\n");
+  std::printf("| shift          | 010  | 0xxxx                    |\n");
+  std::printf("| single signals | 011  | xxxxx                    |\n");
+  std::printf("| address bus    | 100  | 0xxxx                    |\n");
+  std::printf("| jump, branch   | 101  | 0xxxx                    |\n\n");
+
+  // Demonstrate the encoder on one microinstruction of each group.
+  const std::vector<std::pair<const char*, tep::MicroInstr>> samples = {
+      {"ALU add (arithmetic)", {tep::MicroOp::AluChunk, tep::packAlu(tep::AluSub::Add, 0, true)}},
+      {"compare (logical)", {tep::MicroOp::CmpExec, 0}},
+      {"shift (shift)", {tep::MicroOp::ShiftExec, 2}},
+      {"cond-set (single signal)", {tep::MicroOp::CondSet, 3}},
+      {"memory read (address bus)", {tep::MicroOp::MemRead, 0}},
+      {"branch on zero (jump)", {tep::MicroOp::JumpZ, 7}},
+  };
+  std::printf("encoded microwords (next-address 0x1A):\n");
+  for (const auto& [name, mi] : samples) {
+    const uint16_t word = tep::encodeMicroWord(mi, 0x1A);
+    uint8_t group = 0;
+    uint8_t control = 0;
+    uint8_t next = 0;
+    tep::decodeMicroWord(word, group, control, next);
+    std::printf("  %-28s word=0x%04X  group=%d%d%d control=%02d next=0x%02X\n",
+                name, word, (group >> 2) & 1, (group >> 1) & 1, group & 1, control,
+                next);
+  }
+}
+
+void printDecoderStats() {
+  auto chart = statechart::parseChart(workloads::smdChartText());
+  auto actions = actionlang::parseActionSource(workloads::smdActionText());
+  sla::CrLayout layout(chart);
+  const auto binding = sla::makeBinding(chart, layout);
+
+  std::printf("\napplication-specific microprogram decoder (SMD controller):\n");
+  std::printf("| architecture        | instructions used | microwords |\n");
+  std::printf("|---------------------|-------------------|------------|\n");
+  for (const auto& [name, width, md] :
+       std::vector<std::tuple<const char*, int, bool>>{
+           {"minimal 8-bit TEP", 8, false}, {"16-bit M/D TEP", 16, true}}) {
+    hwlib::ArchConfig arch;
+    arch.dataWidth = width;
+    arch.hasMulDiv = md;
+    compiler::Compiler comp(actions, binding, arch,
+                            compiler::CompileOptions::unoptimized());
+    const auto app = comp.compile(chart);
+    const auto rom = tep::buildMicrocodeRom(app.program, arch);
+    std::printf("| %-19s | %17zu | %10d |\n", name, rom.programs.size(),
+                rom.totalWords());
+  }
+}
+
+void BM_MicrocodeGeneration(benchmark::State& state) {
+  hwlib::ArchConfig arch;
+  arch.dataWidth = static_cast<int>(state.range(0));
+  arch.hasMulDiv = true;
+  for (auto _ : state) {
+    for (int op = 0; op <= static_cast<int>(tep::Opcode::Custom); ++op) {
+      const auto micro =
+          tep::microcodeFor({static_cast<tep::Opcode>(op), 16, 0}, arch);
+      benchmark::DoNotOptimize(micro.size());
+    }
+  }
+}
+BENCHMARK(BM_MicrocodeGeneration)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable1();
+  printDecoderStats();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

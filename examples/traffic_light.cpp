@@ -1,0 +1,130 @@
+// Pedestrian-crossing controller: a classic reactive system with parallel
+// vehicle/pedestrian components, demonstrating guards, internally raised
+// events, and the static timing validation on a second workload.
+#include <cstdio>
+
+#include "core/codesign.hpp"
+
+namespace {
+
+const char* kChart = R"chart(
+chart Crossing;
+event CLK period 800;          // main sequencing tick
+event REQUEST period 5000;     // pedestrian button
+event EMERGENCY;
+event GRANT;
+condition WALK_PENDING;
+port LightsV data out width 8 address 0x20;
+port LightsP data out width 8 address 0x21;
+
+andstate Controller {
+  transition { target AllRed; label "EMERGENCY/AllStop()"; }
+
+  orstate Vehicle {
+    contains VGreen, VYellow, VRed;
+    default VGreen;
+  }
+  orstate Pedestrian {
+    contains PRed, PWalk;
+    default PRed;
+  }
+}
+basicstate AllRed {
+  transition { target Controller; label "CLK/Recover()"; }
+}
+
+basicstate VGreen {
+  transition { target VYellow; label "CLK [WALK_PENDING]/ShowYellow()"; }
+}
+basicstate VYellow {
+  transition { target VRed; label "CLK/ShowRed(); Grant()"; }
+}
+basicstate VRed {
+  transition { target VGreen; label "CLK [not WALK_PENDING]/ShowGreen()"; }
+}
+
+basicstate PRed {
+  transition { target PRed; label "REQUEST/NotePress()"; }
+  transition { target PWalk; label "GRANT/ShowWalk()"; }
+}
+basicstate PWalk {
+  transition { target PRed; label "CLK/ShowDontWalk()"; }
+}
+)chart";
+
+const char* kActions = R"code(
+uint:8 presses;
+uint:8 walks;
+
+void NotePress() {
+  presses = presses + 1;
+  set_cond(WALK_PENDING, 1);
+}
+
+void ShowYellow()  { write_port(LightsV, 2); }
+void ShowRed()     { write_port(LightsV, 4); }
+void ShowGreen()   { write_port(LightsV, 1); }
+
+void Grant() { raise(GRANT); }
+
+void ShowWalk() {
+  walks = walks + 1;
+  write_port(LightsP, 1);
+}
+
+void ShowDontWalk() {
+  write_port(LightsP, 0);
+  set_cond(WALK_PENDING, 0);
+}
+
+void AllStop() {
+  write_port(LightsV, 4);
+  write_port(LightsP, 0);
+}
+
+void Recover() {
+  set_cond(WALK_PENDING, 0);
+}
+)code";
+
+}  // namespace
+
+int main() {
+  using namespace pscp;
+  core::CodesignResult result = core::Codesign::run(kChart, kActions, "XC4010");
+  std::printf("%s\n%s\n", result.summary().c_str(), result.timingTable.c_str());
+
+  auto machine = result.buildMachine();
+  std::printf("--- scripted day at the crossing ---\n");
+  auto show = [&](const char* what) {
+    std::printf("%-28s V=%u P=%u active:", what, machine->outputPort("LightsV"),
+                machine->outputPort("LightsP"));
+    for (const auto& n : machine->activeNames())
+      if (n != "Crossing" && n != "Controller") std::printf(" %s", n.c_str());
+    std::printf("\n");
+  };
+
+  machine->configurationCycle({"CLK"});
+  show("tick (no request)");
+  machine->configurationCycle({"REQUEST"});
+  show("pedestrian presses button");
+  machine->configurationCycle({"CLK"});
+  show("tick -> yellow");
+  machine->configurationCycle({"CLK"});
+  show("tick -> red, grant raised");
+  machine->configurationCycle({});
+  show("grant consumed -> walk");
+  machine->configurationCycle({"CLK"});
+  show("tick -> don't walk");
+  machine->configurationCycle({"CLK"});
+  show("tick -> green again");
+  machine->configurationCycle({"EMERGENCY"});
+  show("EMERGENCY -> all red");
+  machine->configurationCycle({"CLK"});
+  show("recover");
+
+  std::printf("presses=%lld walks=%lld\n",
+              static_cast<long long>(machine->globalValue("presses")),
+              static_cast<long long>(machine->globalValue("walks")));
+  return 0;
+}

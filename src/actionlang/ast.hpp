@@ -1,0 +1,158 @@
+// AST for the extended-C action language.
+//
+// Nodes are plain structs with an explicit kind tag; the tree is owned via
+// unique_ptr. The type checker annotates every expression with its Type
+// and folds compile-time constants (enum values, literals).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "actionlang/types.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::actionlang {
+
+// ------------------------------------------------------------- expressions
+
+enum class ExprKind {
+  IntLit,    ///< literal (value, type)
+  VarRef,    ///< named variable / parameter / enum constant
+  Member,    ///< base.field
+  Index,     ///< base[index]
+  Unary,     ///< op operand
+  Binary,    ///< lhs op rhs
+  Call,      ///< function or intrinsic call as an expression
+};
+
+enum class UnOp { Neg, BitNot, LogNot };
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  And, Or, Xor, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LogAnd, LogOr,
+};
+
+[[nodiscard]] const char* binOpName(BinOp op);
+[[nodiscard]] const char* unOpName(UnOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::IntLit;
+  SourceLoc loc;
+  TypePtr type;  ///< filled in by the type checker
+
+  // IntLit
+  int64_t value = 0;
+  // VarRef / Member field name / Call callee
+  std::string name;
+  // Unary / Binary
+  UnOp unOp = UnOp::Neg;
+  BinOp binOp = BinOp::Add;
+  // Children: Member/Index/Unary -> [base(, index)], Binary -> [lhs, rhs],
+  // Call -> arguments.
+  std::vector<ExprPtr> children;
+
+  /// Constant value if the checker folded this node.
+  std::optional<int64_t> constant;
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] ExprPtr makeIntLit(int64_t value, SourceLoc loc = {});
+[[nodiscard]] ExprPtr makeVarRef(std::string name, SourceLoc loc = {});
+
+// -------------------------------------------------------------- statements
+
+enum class StmtKind {
+  Block,
+  VarDecl,   ///< local declaration with optional init
+  Assign,    ///< lvalue = expr
+  If,
+  While,     ///< with mandatory loop bound for WCET analysis
+  Return,
+  ExprStmt,  ///< call for side effects
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind = StmtKind::Block;
+  SourceLoc loc;
+
+  // VarDecl
+  std::string varName;
+  TypePtr varType;
+  // Assign: lvalue / rvalue; If: cond; While: cond; Return: value (optional);
+  // ExprStmt: call.
+  ExprPtr lhs;   // Assign lvalue
+  ExprPtr expr;  // condition / rvalue / return value / call
+  // Block body; If: thenBody/elseBody via body/elseBody; While: body.
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> elseBody;
+  // While only: maximum iteration count (designer-asserted, used for WCET).
+  int64_t loopBound = 0;
+};
+
+// ------------------------------------------------------------ declarations
+
+struct Param {
+  std::string name;
+  TypePtr type;
+};
+
+struct Function {
+  std::string name;
+  TypePtr returnType;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+  bool isIntrinsic = false;
+};
+
+struct GlobalVar {
+  std::string name;
+  TypePtr type;
+  /// Flattened initial bytes (after constant evaluation); empty = zeros.
+  std::vector<int64_t> init;  ///< one entry per scalar element, pre-layout
+  SourceLoc loc;
+  /// Storage class chosen by the design-space explorer: see compiler docs.
+  /// 0 = external RAM (default), 1 = internal RAM, 2 = register file.
+  int storageClass = 0;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::pair<std::string, int64_t>> values;
+};
+
+/// A checked action-language translation unit.
+struct Program {
+  std::map<std::string, TypePtr> structs;
+  std::vector<EnumDef> enums;
+  std::map<std::string, int64_t> enumConstants;  // name -> value
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* findFunction(const std::string& name) const;
+  [[nodiscard]] const Function& function(const std::string& name) const;
+  [[nodiscard]] const GlobalVar* findGlobal(const std::string& name) const;
+  [[nodiscard]] GlobalVar* findGlobal(const std::string& name);
+};
+
+/// Names of the built-in intrinsics (see interp.cpp for semantics):
+///   raise(event)                 write an event into the CR
+///   set_cond(cond, expr)         write a condition (via condition cache)
+///   test_cond(cond) -> int:1     read a condition
+///   read_port(portName) -> int   read a data port
+///   write_port(portName, expr)   write a data port
+///   in_state(stateName) -> int:1 configuration test (SLA state part)
+[[nodiscard]] bool isIntrinsicName(const std::string& name);
+
+}  // namespace pscp::actionlang

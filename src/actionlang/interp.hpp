@@ -1,0 +1,127 @@
+// Reference interpreter for the action language.
+//
+// This executes action routines at the *specification* level — it is the
+// golden model against which the compiled TEP machine code is checked.
+// Hardware interaction (events, conditions, ports, configuration tests)
+// goes through the HardwareEnv interface so the same interpreter serves
+// the chart-level reference simulator and standalone unit tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "actionlang/ast.hpp"
+
+namespace pscp::actionlang {
+
+/// Connection between action routines and the surrounding machine.
+class HardwareEnv {
+ public:
+  virtual ~HardwareEnv() = default;
+  virtual void raiseEvent(const std::string& name) = 0;
+  virtual void setCondition(const std::string& name, bool value) = 0;
+  [[nodiscard]] virtual bool testCondition(const std::string& name) = 0;
+  [[nodiscard]] virtual uint32_t readPort(const std::string& name) = 0;
+  virtual void writePort(const std::string& name, uint32_t value) = 0;
+  [[nodiscard]] virtual bool inState(const std::string& name) = 0;
+};
+
+/// A HardwareEnv that records effects and serves ports/conditions from
+/// plain maps — sufficient for unit tests and simple examples.
+class RecordingEnv : public HardwareEnv {
+ public:
+  void raiseEvent(const std::string& name) override { raised.push_back(name); }
+  void setCondition(const std::string& name, bool value) override {
+    conditions[name] = value;
+  }
+  bool testCondition(const std::string& name) override { return conditions[name]; }
+  uint32_t readPort(const std::string& name) override { return ports[name]; }
+  void writePort(const std::string& name, uint32_t value) override {
+    ports[name] = value;
+    portWrites.emplace_back(name, value);
+  }
+  bool inState(const std::string& name) override { return states[name]; }
+
+  std::vector<std::string> raised;
+  std::map<std::string, bool> conditions;
+  std::map<std::string, uint32_t> ports;
+  std::vector<std::pair<std::string, uint32_t>> portWrites;
+  std::map<std::string, bool> states;
+};
+
+/// Argument passed to a top-level routine invocation (from a transition
+/// label): either a scalar value or a symbolic name (global / event /
+/// condition / enum constant — resolved against the program).
+struct CallArg {
+  std::string text;  ///< raw label-argument text
+};
+
+/// Number of scalar slots a type occupies in the interpreter's flattened
+/// object representation.
+[[nodiscard]] int scalarSlotCount(const TypePtr& t);
+
+/// Scalar-slot offset of a struct field / array element.
+[[nodiscard]] int scalarFieldOffset(const TypePtr& structType, const std::string& field);
+
+class Interp {
+ public:
+  Interp(const Program& program, HardwareEnv& env);
+
+  /// (Re)initialize all globals from their initializers.
+  void reset();
+
+  /// Invoke a routine as a transition action: arguments are the raw label
+  /// strings (numbers, enum constants, global names, event/cond names).
+  int64_t callFromLabel(const std::string& function,
+                        const std::vector<std::string>& args);
+
+  /// Invoke with scalar arguments only (unit-test convenience).
+  int64_t call(const std::string& function, const std::vector<int64_t>& args = {});
+
+  /// Read back a global scalar (or aggregate slot) for assertions.
+  [[nodiscard]] int64_t globalValue(const std::string& name, int slot = 0) const;
+  void setGlobalValue(const std::string& name, int64_t value, int slot = 0);
+
+  /// Total number of statements executed since construction/reset —
+  /// a crude effort metric used by tests.
+  [[nodiscard]] int64_t executedStatements() const { return executed_; }
+
+ private:
+  struct ObjectRef {
+    std::vector<int64_t>* data = nullptr;
+    int offset = 0;
+    TypePtr type;
+  };
+  struct Binding {
+    // Exactly one meaningful member depending on the parameter type:
+    int64_t scalar = 0;      // Int params (by value)
+    ObjectRef ref;           // Struct/Array params (by reference)
+    std::string hardware;    // Event/Cond params (symbolic)
+  };
+  struct Frame {
+    std::map<std::string, Binding> locals;
+    std::map<std::string, std::vector<int64_t>> localStorage;  // aggregates
+  };
+
+  int64_t invoke(const Function& fn, std::vector<Binding> args);
+  /// Returns true if a `return` was executed (value in `retval_`).
+  bool execStmt(const Stmt& s, Frame& frame);
+  int64_t evalExpr(const Expr& e, Frame& frame);
+  int64_t evalIntrinsic(const Expr& e, Frame& frame);
+  ObjectRef resolveObject(const Expr& e, Frame& frame);
+  void storeScalar(const Expr& lvalue, Frame& frame, int64_t value);
+  [[nodiscard]] static int64_t wrapToType(int64_t v, const TypePtr& t);
+  Binding bindLabelArg(const std::string& text, const TypePtr& paramType);
+  [[nodiscard]] std::string hardwareNameOf(const Expr& arg, Frame& frame);
+
+  const Program& program_;
+  HardwareEnv& env_;
+  std::map<std::string, std::vector<int64_t>> globals_;
+  int64_t retval_ = 0;
+  int64_t executed_ = 0;
+  int callDepth_ = 0;
+};
+
+}  // namespace pscp::actionlang

@@ -1,0 +1,213 @@
+#include "actionlang/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace pscp::actionlang {
+
+const char* tokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Number: return "number";
+    case TokKind::KwInt: return "'int'";
+    case TokKind::KwUint: return "'uint'";
+    case TokKind::KwVoid: return "'void'";
+    case TokKind::KwStruct: return "'struct'";
+    case TokKind::KwTypedef: return "'typedef'";
+    case TokKind::KwEnum: return "'enum'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwWhile: return "'while'";
+    case TokKind::KwReturn: return "'return'";
+    case TokKind::KwBound: return "'bound'";
+    case TokKind::KwEvent: return "'event'";
+    case TokKind::KwCond: return "'cond'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Dot: return "'.'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Assign: return "'='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Amp: return "'&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+    case TokKind::Eq: return "'=='";
+    case TokKind::Ne: return "'!='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Ge: return "'>='";
+    case TokKind::AndAnd: return "'&&'";
+    case TokKind::OrOr: return "'||'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokKind>& keywords() {
+  static const std::map<std::string, TokKind> kw = {
+      {"int", TokKind::KwInt},       {"uint", TokKind::KwUint},
+      {"void", TokKind::KwVoid},     {"struct", TokKind::KwStruct},
+      {"typedef", TokKind::KwTypedef}, {"enum", TokKind::KwEnum},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},   {"return", TokKind::KwReturn},
+      {"bound", TokKind::KwBound},   {"event", TokKind::KwEvent},
+      {"cond", TokKind::KwCond},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lexActionSource(std::string_view src, const std::string& file) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  int line = 1;
+  int col = 1;
+
+  auto here = [&]() { return SourceLoc{file, line, col}; };
+  auto bump = [&]() {
+    if (pos < src.size() && src[pos] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++pos;
+  };
+  auto at = [&](size_t i) { return i < src.size() ? src[i] : '\0'; };
+  auto push = [&](TokKind k, std::string text, SourceLoc loc, int64_t value = 0) {
+    out.push_back({k, std::move(text), value, std::move(loc)});
+  };
+
+  while (pos < src.size()) {
+    const char c = src[pos];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      bump();
+      continue;
+    }
+    // Comments: // and /* */
+    if (c == '/' && at(pos + 1) == '/') {
+      while (pos < src.size() && src[pos] != '\n') bump();
+      continue;
+    }
+    if (c == '/' && at(pos + 1) == '*') {
+      const SourceLoc start = here();
+      bump();
+      bump();
+      while (pos < src.size() && !(src[pos] == '*' && at(pos + 1) == '/')) bump();
+      if (pos >= src.size()) failAt(start, "unterminated block comment");
+      bump();
+      bump();
+      continue;
+    }
+    const SourceLoc loc = here();
+    // Binary literal: B:010101
+    if (c == 'B' && at(pos + 1) == ':' && (at(pos + 2) == '0' || at(pos + 2) == '1')) {
+      bump();
+      bump();
+      int64_t value = 0;
+      std::string digits;
+      while (at(pos) == '0' || at(pos) == '1') {
+        value = value * 2 + (src[pos] - '0');
+        digits += src[pos];
+        bump();
+      }
+      if (digits.size() > 32) failAt(loc, "binary literal wider than 32 bits");
+      push(TokKind::Number, "B:" + digits, loc, value);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(at(pos))) != 0) {
+        text += src[pos];
+        bump();
+      }
+      int64_t value = 0;
+      try {
+        size_t used = 0;
+        value = std::stoll(text, &used, 0);  // handles 0x.., 0.. octal, decimal
+        if (used != text.size()) throw std::invalid_argument(text);
+      } catch (const std::exception&) {
+        failAt(loc, "malformed number '%s'", text.c_str());
+      }
+      push(TokKind::Number, std::move(text), loc, value);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(at(pos))) != 0 || at(pos) == '_') {
+        text += src[pos];
+        bump();
+      }
+      auto it = keywords().find(text);
+      push(it != keywords().end() ? it->second : TokKind::Ident, std::move(text), loc);
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char c2, TokKind k2, TokKind k1) {
+      if (at(pos + 1) == c2) {
+        std::string text{c, c2};
+        bump();
+        bump();
+        push(k2, std::move(text), loc);
+      } else {
+        bump();
+        push(k1, std::string(1, c), loc);
+      }
+    };
+    switch (c) {
+      case '(': bump(); push(TokKind::LParen, "(", loc); break;
+      case ')': bump(); push(TokKind::RParen, ")", loc); break;
+      case '{': bump(); push(TokKind::LBrace, "{", loc); break;
+      case '}': bump(); push(TokKind::RBrace, "}", loc); break;
+      case '[': bump(); push(TokKind::LBracket, "[", loc); break;
+      case ']': bump(); push(TokKind::RBracket, "]", loc); break;
+      case ';': bump(); push(TokKind::Semi, ";", loc); break;
+      case ',': bump(); push(TokKind::Comma, ",", loc); break;
+      case '.': bump(); push(TokKind::Dot, ".", loc); break;
+      case ':': bump(); push(TokKind::Colon, ":", loc); break;
+      case '+': bump(); push(TokKind::Plus, "+", loc); break;
+      case '-': bump(); push(TokKind::Minus, "-", loc); break;
+      case '*': bump(); push(TokKind::Star, "*", loc); break;
+      case '/': bump(); push(TokKind::Slash, "/", loc); break;
+      case '%': bump(); push(TokKind::Percent, "%", loc); break;
+      case '^': bump(); push(TokKind::Caret, "^", loc); break;
+      case '~': bump(); push(TokKind::Tilde, "~", loc); break;
+      case '&': two('&', TokKind::AndAnd, TokKind::Amp); break;
+      case '|': two('|', TokKind::OrOr, TokKind::Pipe); break;
+      case '=': two('=', TokKind::Eq, TokKind::Assign); break;
+      case '!': two('=', TokKind::Ne, TokKind::Bang); break;
+      case '<':
+        if (at(pos + 1) == '<') two('<', TokKind::Shl, TokKind::Lt);
+        else two('=', TokKind::Le, TokKind::Lt);
+        break;
+      case '>':
+        if (at(pos + 1) == '>') two('>', TokKind::Shr, TokKind::Gt);
+        else two('=', TokKind::Ge, TokKind::Gt);
+        break;
+      default:
+        failAt(loc, "unexpected character '%c'", c);
+    }
+  }
+  out.push_back({TokKind::End, "", 0, here()});
+  return out;
+}
+
+}  // namespace pscp::actionlang

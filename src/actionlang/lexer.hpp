@@ -1,0 +1,41 @@
+// Lexer for the extended-C action language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace pscp::actionlang {
+
+enum class TokKind {
+  Ident,
+  Number,     ///< decimal / 0x hex / 0 octal / B:binary — value in `value`
+  KwInt, KwUint, KwVoid, KwStruct, KwTypedef, KwEnum, KwIf, KwElse, KwWhile,
+  KwReturn, KwBound, KwEvent, KwCond,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Colon,
+  Assign,   // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr,
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int64_t value = 0;  ///< for Number
+  SourceLoc loc;
+};
+
+[[nodiscard]] const char* tokKindName(TokKind k);
+
+/// Tokenizes the whole input eagerly; throws pscp::Error on bad input.
+[[nodiscard]] std::vector<Token> lexActionSource(std::string_view src,
+                                                 const std::string& file);
+
+}  // namespace pscp::actionlang

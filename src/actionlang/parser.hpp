@@ -1,0 +1,47 @@
+// Parser for the extended-C action language (paper Fig. 2b).
+//
+// Grammar sketch (C subset with bit-width extensions):
+//
+//   program   := topDecl*
+//   topDecl   := structDef | enumDef | globalVar | function
+//   structDef := 'typedef' 'struct' ['{' field* '}'] Ident ';'
+//              | 'struct' Ident '{' field* '}' ';'
+//   field     := type Ident ['[' constExpr ']'] ';'
+//   enumDef   := 'enum' Ident '{' enumerator (',' enumerator)* '}' ';'
+//   type      := ('int'|'uint') [':' Number] | 'void' | 'event' | 'cond'
+//              | StructName
+//   globalVar := type Ident ['[' constExpr ']'] ['=' init] ';'
+//   init      := constExpr | '{' init (',' init)* '}'
+//   function  := type Ident '(' [param (',' param)*] ')' block
+//   stmt      := block | varDecl | 'if' '(' e ')' stmt ['else' stmt]
+//              | 'while' '(' e ')' 'bound' Number stmt
+//              | 'return' [e] ';' | lvalue '=' e ';' | call ';'
+//
+// `int` with no width is int:16, matching the basic TEP data width times
+// two (the paper's example uses 16-bit arithmetic for motor parameters);
+// `while` requires a designer-asserted iteration bound so that the static
+// timing analysis (Sec. 4) can derive WCETs from the assembler code.
+#pragma once
+
+#include <string_view>
+
+#include "actionlang/ast.hpp"
+
+namespace pscp::actionlang {
+
+/// Default width of a plain `int` / `uint`.
+inline constexpr int kDefaultIntWidth = 16;
+
+/// Parse only (no semantic checking); use checkProgram afterwards.
+[[nodiscard]] Program parseProgramText(std::string_view src,
+                                       const std::string& file = "<actions>");
+
+/// Bind names, compute expression types, fold constants, verify that the
+/// call graph is recursion-free and that all loops carry bounds.
+void checkProgram(Program& program);
+
+/// Convenience: parse + check.
+[[nodiscard]] Program parseActionSource(std::string_view src,
+                                        const std::string& file = "<actions>");
+
+}  // namespace pscp::actionlang

@@ -1,0 +1,124 @@
+#include "actionlang/types.hpp"
+
+namespace pscp::actionlang {
+
+TypePtr Type::voidType() {
+  static const TypePtr t = std::shared_ptr<Type>(new Type());
+  return t;
+}
+
+TypePtr Type::intType(int width, bool isSigned) {
+  if (width < 1 || width > kMaxWidth)
+    fail("integer width %d out of range [1, %d]", width, kMaxWidth);
+  auto t = std::shared_ptr<Type>(new Type());
+  t->kind_ = TypeKind::Int;
+  t->width_ = width;
+  t->signed_ = isSigned;
+  return t;
+}
+
+TypePtr Type::eventType() {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->kind_ = TypeKind::Event;
+  return t;
+}
+
+TypePtr Type::condType() {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->kind_ = TypeKind::Cond;
+  return t;
+}
+
+TypePtr Type::structType(std::string name,
+                         std::vector<std::pair<std::string, TypePtr>> fields) {
+  auto t = std::shared_ptr<Type>(new Type());
+  t->kind_ = TypeKind::Struct;
+  t->name_ = std::move(name);
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+TypePtr Type::arrayType(TypePtr element, int count) {
+  if (count < 1) fail("array size must be positive (got %d)", count);
+  auto t = std::shared_ptr<Type>(new Type());
+  t->kind_ = TypeKind::Array;
+  t->element_ = std::move(element);
+  t->count_ = count;
+  return t;
+}
+
+int Type::byteSize() const {
+  switch (kind_) {
+    case TypeKind::Void:
+    case TypeKind::Event:
+    case TypeKind::Cond:
+      return 0;
+    case TypeKind::Int:
+      // Scalars occupy their *container* (8/16/32 bits): the TEP data bus
+      // moves whole containers, and odd widths are kept sign/zero-extended
+      // inside them.
+      return width_ <= 8 ? 1 : width_ <= 16 ? 2 : 4;
+    case TypeKind::Struct: {
+      int total = 0;
+      for (const auto& [fname, ftype] : fields_) total += ftype->byteSize();
+      return total;
+    }
+    case TypeKind::Array:
+      return element_->byteSize() * count_;
+  }
+  return 0;
+}
+
+int Type::fieldOffset(const std::string& field) const {
+  PSCP_ASSERT(kind_ == TypeKind::Struct);
+  int offset = 0;
+  for (const auto& [fname, ftype] : fields_) {
+    if (fname == field) return offset;
+    offset += ftype->byteSize();
+  }
+  fail("struct '%s' has no field '%s'", name_.c_str(), field.c_str());
+}
+
+TypePtr Type::fieldType(const std::string& field) const {
+  PSCP_ASSERT(kind_ == TypeKind::Struct);
+  for (const auto& [fname, ftype] : fields_)
+    if (fname == field) return ftype;
+  fail("struct '%s' has no field '%s'", name_.c_str(), field.c_str());
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Int:
+      return strfmt("%s:%d", signed_ ? "int" : "uint", width_);
+    case TypeKind::Struct:
+      return name_;
+    case TypeKind::Array:
+      return element_->str() + strfmt("[%d]", count_);
+    case TypeKind::Event:
+      return "event";
+    case TypeKind::Cond:
+      return "cond";
+  }
+  return "?";
+}
+
+bool Type::same(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::Void:
+    case TypeKind::Event:
+    case TypeKind::Cond:
+      return true;
+    case TypeKind::Int:
+      return width_ == other.width_ && signed_ == other.signed_;
+    case TypeKind::Struct:
+      return name_ == other.name_;
+    case TypeKind::Array:
+      return count_ == other.count_ && element_->same(*other.element_);
+  }
+  return false;
+}
+
+}  // namespace pscp::actionlang

@@ -1,0 +1,82 @@
+// Type system of the extended-C action language (paper Fig. 2b).
+//
+// The notation deviates from C in allowing explicit bit widths on integer
+// types ("int:16", "uint:4") and binary constants ("B:001011"); careful
+// range specification lets the ASIP generator pick minimal datapaths.
+// Beyond integers the language has enums (compile-time integer constants),
+// structs, fixed-size arrays, and two binding-time-only types used for
+// hardware objects: `event` and `cond` parameters, which must be bound to
+// statically known event/condition names at each call site.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::actionlang {
+
+enum class TypeKind {
+  Void,
+  Int,     ///< signed or unsigned, explicit width 1..32
+  Struct,
+  Array,
+  Event,   ///< label-binding-time only: names an event
+  Cond,    ///< label-binding-time only: names a condition
+};
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Immutable type descriptor. Shared by AST nodes and symbol tables.
+class Type {
+ public:
+  static TypePtr voidType();
+  static TypePtr intType(int width, bool isSigned = true);
+  static TypePtr eventType();
+  static TypePtr condType();
+  static TypePtr structType(std::string name,
+                            std::vector<std::pair<std::string, TypePtr>> fields);
+  static TypePtr arrayType(TypePtr element, int count);
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool isInt() const { return kind_ == TypeKind::Int; }
+  [[nodiscard]] bool isScalar() const { return kind_ == TypeKind::Int; }
+  [[nodiscard]] bool isSigned() const { return signed_; }
+  [[nodiscard]] int width() const { return width_; }  ///< Int only
+  [[nodiscard]] const std::string& structName() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, TypePtr>>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] const TypePtr& element() const { return element_; }
+  [[nodiscard]] int arrayCount() const { return count_; }
+
+  /// Size in bytes when laid out in TEP data memory (byte-addressed; an
+  /// int:N occupies ceil(N/8) bytes; structs/arrays are packed fields).
+  [[nodiscard]] int byteSize() const;
+
+  /// Byte offset of a struct field; throws if absent.
+  [[nodiscard]] int fieldOffset(const std::string& field) const;
+  [[nodiscard]] TypePtr fieldType(const std::string& field) const;
+
+  [[nodiscard]] std::string str() const;
+
+  /// Structural equality (structs compare by name).
+  [[nodiscard]] bool same(const Type& other) const;
+
+ private:
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::Void;
+  bool signed_ = true;
+  int width_ = 0;
+  std::string name_;
+  std::vector<std::pair<std::string, TypePtr>> fields_;
+  TypePtr element_;
+  int count_ = 0;
+};
+
+}  // namespace pscp::actionlang

@@ -1,0 +1,42 @@
+// HardwareBinding: resolution of symbolic hardware names used by action
+// routines (events, conditions, states, ports) to the indices/addresses of
+// the generated PSCP instance. Produced by the SLA/CR layout (src/sla) and
+// consumed by the code generator.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/diag.hpp"
+
+namespace pscp::compiler {
+
+struct HardwareBinding {
+  std::map<std::string, int> eventIndex;      ///< CR event-part bit index
+  std::map<std::string, int> conditionIndex;  ///< CR condition-part bit index
+  std::map<std::string, int> stateIndex;      ///< CR state-part index
+  std::map<std::string, int> portAddress;     ///< data-bus port address
+
+  [[nodiscard]] int event(const std::string& name) const {
+    return lookup(eventIndex, name, "event");
+  }
+  [[nodiscard]] int condition(const std::string& name) const {
+    return lookup(conditionIndex, name, "condition");
+  }
+  [[nodiscard]] int state(const std::string& name) const {
+    return lookup(stateIndex, name, "state");
+  }
+  [[nodiscard]] int port(const std::string& name) const {
+    return lookup(portAddress, name, "port");
+  }
+
+ private:
+  static int lookup(const std::map<std::string, int>& m, const std::string& name,
+                    const char* what) {
+    auto it = m.find(name);
+    if (it == m.end()) fail("unbound %s name '%s'", what, name.c_str());
+    return it->second;
+  }
+};
+
+}  // namespace pscp::compiler

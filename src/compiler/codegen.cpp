@@ -1,0 +1,1396 @@
+#include "compiler/codegen.hpp"
+
+#include <cctype>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "compiler/optimize.hpp"
+#include "compiler/patterns.hpp"
+#include "support/bits.hpp"
+#include "tep/machine.hpp"
+
+namespace pscp::compiler {
+
+using actionlang::BinOp;
+using actionlang::Expr;
+using actionlang::ExprKind;
+using actionlang::Function;
+using actionlang::GlobalVar;
+using actionlang::Stmt;
+using actionlang::StmtKind;
+using actionlang::Type;
+using actionlang::TypeKind;
+using actionlang::TypePtr;
+using actionlang::UnOp;
+using statechart::ActionCall;
+using tep::Instr;
+using tep::Opcode;
+
+namespace {
+int containerWidth(int w) { return w <= 8 ? 8 : w <= 16 ? 16 : 32; }
+int containerOf(const TypePtr& t) { return containerWidth(t->width()); }
+}  // namespace
+
+void CompiledApp::loadImage(tep::TepHost& host) const {
+  for (const auto& [addr, byte] : image.bytes) host.writeByte(addr, byte);
+  for (const auto& [reg, value] : image.registers) host.writeReg(reg, value);
+}
+
+// ============================================================== Compiler::Impl
+
+class Compiler::Impl {
+ public:
+  Impl(const actionlang::Program& program, const HardwareBinding& binding,
+       const hwlib::ArchConfig& arch, CompileOptions options)
+      : program_(program),
+        binding_(binding),
+        arch_(arch),
+        options_(options),
+        layout_(program) {
+    planRegisterFrames();
+  }
+
+  CompiledApp compile(const statechart::Chart& chart) {
+    std::vector<std::pair<std::string, std::vector<ActionCall>>> routines;
+    std::map<int, std::string> names;
+    for (const statechart::Transition& t : chart.transitions()) {
+      const std::string name = strfmt("tr_%d", t.id);
+      routines.emplace_back(name, t.label.actions);
+      names[t.id] = name;
+    }
+    CompiledApp app = compileCalls(routines);
+    app.transitionRoutine = std::move(names);
+    return app;
+  }
+
+  CompiledApp compileCalls(
+      const std::vector<std::pair<std::string, std::vector<ActionCall>>>& routines) {
+    for (const auto& [name, calls] : routines) {
+      if (program.routines.count(name) != 0)
+        fail("duplicate routine name '%s'", name.c_str());
+      program.routines[name] = static_cast<int>(program.code.size());
+      for (const ActionCall& call : calls) emitLabelCall(call);
+      emit(Opcode::Tret);
+    }
+    // Generate requested function instances (which may request more).
+    while (!pendingInstances_.empty()) {
+      const std::string key = pendingInstances_.front();
+      pendingInstances_.pop_front();
+      generateInstance(instances_.at(key));
+    }
+    resolveFixups();
+
+    CompiledApp app;
+    app.program = std::move(program);
+    app.image = layout_.initialImage(program_);
+    app.globalPlacement = layout_.globals();
+    app.internalBytesUsed = layout_.internalBytesUsed();
+    app.externalBytesUsed = layout_.externalBytesUsed();
+    app.registersUsed = layout_.registersUsed();
+    if (options_.peephole) peepholeOptimize(app.program);
+    return app;
+  }
+
+ private:
+  // ------------------------------------------------------------- emission
+  struct Fixup {
+    size_t index;
+    std::string label;
+  };
+
+  size_t emit(Opcode op, int width = 8, int32_t operand = 0) {
+    program.code.push_back({op, width, operand});
+    return program.code.size() - 1;
+  }
+
+  void emitJump(Opcode op, const std::string& label) {
+    fixups_.push_back({emit(op), label});
+  }
+
+  std::string freshLabel(const char* stem) {
+    return strfmt("%s_%d", stem, labelCounter_++);
+  }
+
+  void placeLabel(const std::string& label) {
+    PSCP_ASSERT(program.labels.count(label) == 0);
+    program.labels[label] = static_cast<int>(program.code.size());
+  }
+
+  void resolveFixups() {
+    for (const Fixup& f : fixups_) {
+      auto it = program.labels.find(f.label);
+      if (it == program.labels.end()) fail("internal: unresolved label '%s'", f.label.c_str());
+      program.code[f.index].operand = it->second;
+    }
+    fixups_.clear();
+  }
+
+  // ----------------------------------------------------- register frames
+  //
+  // Recursion is forbidden, so at any instant the active call chain is one
+  // path through the call DAG: each function gets a register window at a
+  // base past every caller's window ("stack in registers"). Values wider
+  // than the datapath stay in RAM; the window competes with globals the
+  // explorer promoted (those occupy the lowest registers).
+
+  /// Scalars of `fn` eligible for registers on this datapath.
+  int registerNeedOf(const actionlang::Function& fn) const {
+    int need = 0;
+    for (const actionlang::Param& p : fn.params)
+      if (p.type->isScalar() && p.type->width() <= arch_.dataWidth) ++need;
+    std::function<void(const std::vector<actionlang::StmtPtr>&)> scan =
+        [&](const std::vector<actionlang::StmtPtr>& body) {
+          for (const auto& s : body) {
+            if (s->kind == StmtKind::VarDecl && s->varType->isScalar() &&
+                s->varType->width() <= arch_.dataWidth)
+              ++need;
+            scan(s->body);
+            scan(s->elseBody);
+          }
+        };
+    scan(fn.body);
+    return need;
+  }
+
+  void planRegisterFrames() {
+    // Call edges at function granularity.
+    std::map<std::string, std::set<std::string>> callees;
+    for (const actionlang::Function& f : program_.functions) {
+      std::function<void(const Expr&)> visitExpr = [&](const Expr& e) {
+        if (e.kind == ExprKind::Call && !actionlang::isIntrinsicName(e.name))
+          callees[f.name].insert(e.name);
+        for (const auto& ch : e.children) visitExpr(*ch);
+      };
+      std::function<void(const std::vector<actionlang::StmtPtr>&)> visitBody =
+          [&](const std::vector<actionlang::StmtPtr>& body) {
+            for (const auto& s : body) {
+              if (s->lhs) visitExpr(*s->lhs);
+              if (s->expr) visitExpr(*s->expr);
+              visitBody(s->body);
+              visitBody(s->elseBody);
+            }
+          };
+      visitBody(f.body);
+    }
+    // Longest-path bases over the DAG (relaxation; depth bounded by the
+    // no-recursion rule).
+    const int globalRegs = layout_.registersUsed();
+    for (const actionlang::Function& f : program_.functions)
+      fnRegBase_[f.name] = globalRegs;
+    for (size_t pass = 0; pass < program_.functions.size() + 1; ++pass) {
+      bool changed = false;
+      for (const auto& [caller, set] : callees) {
+        const int next = fnRegBase_[caller] + registerNeedOf(program_.function(caller));
+        for (const std::string& callee : set)
+          if (fnRegBase_[callee] < next) {
+            fnRegBase_[callee] = next;
+            changed = true;
+          }
+      }
+      if (!changed) break;
+    }
+  }
+
+  // ------------------------------------------------------------- instances
+  struct ParamBinding {
+    enum class Kind { Scalar, Hardware, Object } kind = Kind::Scalar;
+    std::string hardwareName;   // Event/Cond params
+    int32_t objectAddress = 0;  // Struct/Array params (static base)
+    TypePtr type;
+    int32_t slotAddress = 0;    // Scalar params: frame slot (RAM)
+    bool inRegister = false;    // Scalar params: lives in the register file
+    int regIndex = 0;
+  };
+
+  struct Instance {
+    std::string key;
+    std::string label;
+    const Function* fn = nullptr;
+    std::map<std::string, ParamBinding> params;
+    std::map<std::string, int32_t> localAddr;
+    std::map<std::string, int> localReg;    // locals placed in registers
+    std::map<std::string, TypePtr> localType;
+    int regCursor = 0;                      // next free register for locals
+    int regLimit = 0;                       // one past the last usable register
+    /// "array|param" -> internal slot holding the element's byte address
+    /// (filled by the prologue when memoizeIndexedBases is on).
+    std::map<std::string, int32_t> memoSlots;
+    int32_t tempBase = 0;
+    int tempDepth = 0;
+    static constexpr int kMaxTemps = 10;
+  };
+
+  /// Get or create the instance of `fn` under the given static bindings.
+  Instance& instanceFor(const Function& fn,
+                        const std::vector<ParamBinding>& bindings) {
+    std::string key = fn.name;
+    for (const ParamBinding& b : bindings) {
+      switch (b.kind) {
+        case ParamBinding::Kind::Scalar: key += "|$"; break;
+        case ParamBinding::Kind::Hardware: key += "|" + b.hardwareName; break;
+        case ParamBinding::Kind::Object: key += strfmt("|@%d", b.objectAddress); break;
+      }
+    }
+    auto it = instances_.find(key);
+    if (it != instances_.end()) return it->second;
+
+    Instance inst;
+    inst.key = key;
+    inst.label = strfmt("fn_%s_%zu", fn.name.c_str(), instances_.size());
+    inst.fn = &fn;
+    inst.regCursor = fnRegBase_.count(fn.name) != 0 ? fnRegBase_.at(fn.name) : 0;
+    inst.regLimit = arch_.registerFileSize;
+    // Frame: scalar params and locals go to the register window when one
+    // is free and the value fits the datapath; otherwise to internal RAM
+    // (the TEP's on-chip memory).
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      ParamBinding b = bindings[i];
+      b.type = fn.params[i].type;
+      if (b.kind == ParamBinding::Kind::Scalar) {
+        if (b.type->width() <= arch_.dataWidth && inst.regCursor < inst.regLimit) {
+          b.inRegister = true;
+          b.regIndex = inst.regCursor++;
+        } else {
+          b.slotAddress = layout_.allocateInternal(b.type->byteSize());
+        }
+      }
+      inst.params[fn.params[i].name] = std::move(b);
+    }
+    inst.tempBase = layout_.allocateInternal(Instance::kMaxTemps * 4);
+    it = instances_.emplace(key, std::move(inst)).first;
+    pendingInstances_.push_back(key);
+    return it->second;
+  }
+
+  void generateInstance(Instance& inst) {
+    placeLabel(inst.label);
+    current_ = &inst;
+    if (options_.memoizeIndexedBases) emitMemoPrologue(inst);
+    bool endsWithReturn = false;
+    for (const auto& s : inst.fn->body) {
+      genStmt(*s);
+      endsWithReturn = s->kind == StmtKind::Return;
+    }
+    if (!endsWithReturn) emit(Opcode::Ret);
+    current_ = nullptr;
+  }
+
+  // -------------------------------------------- indexed-base memoization
+  /// Parameters the body never reassigns (safe as loop-invariant indices).
+  static void collectAssignedNames(const std::vector<actionlang::StmtPtr>& body,
+                                   std::set<std::string>& out) {
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::VarRef)
+        out.insert(s->lhs->name);
+      if (s->kind == StmtKind::VarDecl) out.insert(s->varName);
+      collectAssignedNames(s->body, out);
+      collectAssignedNames(s->elseBody, out);
+    }
+  }
+
+  struct MemoPair {
+    std::string array;
+    std::string param;
+    int32_t baseAddress = 0;
+    TypePtr arrayType;
+  };
+
+  void collectMemoPairs(const Expr& e, const Instance& inst,
+                        const std::set<std::string>& assigned,
+                        std::map<std::string, MemoPair>& out) {
+    if (e.kind == ExprKind::Index && e.children[0]->kind == ExprKind::VarRef &&
+        e.children[1]->kind == ExprKind::VarRef &&
+        !e.children[1]->constant.has_value()) {
+      const std::string& arrayName = e.children[0]->name;
+      const std::string& paramName = e.children[1]->name;
+      auto pit = inst.params.find(paramName);
+      const bool paramOk = pit != inst.params.end() &&
+                           pit->second.kind == ParamBinding::Kind::Scalar &&
+                           assigned.count(paramName) == 0;
+      if (paramOk) {
+        // Array must be statically addressable: a global or an Object param.
+        const GlobalVar* g = program_.findGlobal(arrayName);
+        auto ait = inst.params.find(arrayName);
+        if (g != nullptr && g->type->kind() == TypeKind::Array) {
+          out.emplace(arrayName + "|" + paramName,
+                      MemoPair{arrayName, paramName, layout_.global(arrayName).address,
+                               g->type});
+        } else if (ait != inst.params.end() &&
+                   ait->second.kind == ParamBinding::Kind::Object &&
+                   ait->second.type->kind() == TypeKind::Array) {
+          out.emplace(arrayName + "|" + paramName,
+                      MemoPair{arrayName, paramName, ait->second.objectAddress,
+                               ait->second.type});
+        }
+      }
+    }
+    for (const auto& child : e.children) collectMemoPairs(*child, inst, assigned, out);
+  }
+
+  void collectMemoPairs(const std::vector<actionlang::StmtPtr>& body,
+                        const Instance& inst, const std::set<std::string>& assigned,
+                        std::map<std::string, MemoPair>& out) {
+    for (const auto& s : body) {
+      if (s->lhs) collectMemoPairs(*s->lhs, inst, assigned, out);
+      if (s->expr) collectMemoPairs(*s->expr, inst, assigned, out);
+      collectMemoPairs(s->body, inst, assigned, out);
+      collectMemoPairs(s->elseBody, inst, assigned, out);
+    }
+  }
+
+  /// Compute array[param] byte addresses once at function entry.
+  void emitMemoPrologue(Instance& inst) {
+    std::set<std::string> assigned;
+    collectAssignedNames(inst.fn->body, assigned);
+    std::map<std::string, MemoPair> pairs;
+    collectMemoPairs(inst.fn->body, inst, assigned, pairs);
+    for (const auto& [key, pair] : pairs) {
+      const int elemBytes = pair.arrayType->element()->byteSize();
+      const int32_t slot = layout_.allocateInternal(2);
+      inst.memoSlots[key] = slot;
+      const ParamBinding& pb = inst.params.at(pair.param);
+      if (pb.inRegister)
+        emit(Opcode::LdaReg, 16, pb.regIndex);
+      else
+        emit(Opcode::LdaMem, 16, pb.slotAddress);
+      if (elemBytes != 1) {
+        if ((elemBytes & (elemBytes - 1)) == 0) {
+          int shift = 0;
+          while ((1 << shift) < elemBytes) ++shift;
+          emit(Opcode::Shl, 16, shift);
+        } else {
+          emit(Opcode::LdoImm, 16, elemBytes);
+          emit(Opcode::Mul, 16);
+        }
+      }
+      emit(Opcode::LdoImm, 16, pair.baseAddress);
+      emit(Opcode::Add, 16);
+      emit(Opcode::StaMem, 16, slot);
+    }
+  }
+
+  // -------------------------------------------------------- value locations
+  struct Location {
+    enum class Kind { Memory, Register, Dynamic, Indirect } kind = Kind::Memory;
+    int32_t address = 0;  // Memory: byte address; Register: index;
+                          // Indirect: slot holding the base byte address
+    int32_t disp = 0;     // Indirect: static displacement from the base
+    TypePtr type;
+  };
+
+  /// Resolve the statically known part of an lvalue/object expression.
+  /// Dynamic (variable-index) accesses emit code leaving the byte address
+  /// in ACC and return Kind::Dynamic.
+  Location resolveLocation(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::VarRef: {
+        // Parameters.
+        if (current_ != nullptr) {
+          auto pit = current_->params.find(e.name);
+          if (pit != current_->params.end()) {
+            const ParamBinding& b = pit->second;
+            switch (b.kind) {
+              case ParamBinding::Kind::Scalar:
+                if (b.inRegister)
+                  return {Location::Kind::Register, b.regIndex, 0, b.type};
+                return {Location::Kind::Memory, b.slotAddress, 0, b.type};
+              case ParamBinding::Kind::Object:
+                return {Location::Kind::Memory, b.objectAddress, 0, b.type};
+              case ParamBinding::Kind::Hardware:
+                failAt(e.loc, "hardware parameter '%s' used as a value", e.name.c_str());
+            }
+          }
+          auto rit = current_->localReg.find(e.name);
+          if (rit != current_->localReg.end())
+            return {Location::Kind::Register, rit->second, 0,
+                    current_->localType.at(e.name)};
+          auto lit = current_->localAddr.find(e.name);
+          if (lit != current_->localAddr.end())
+            return {Location::Kind::Memory, lit->second, 0, current_->localType.at(e.name)};
+        }
+        if (const GlobalVar* g = program_.findGlobal(e.name)) {
+          const VarPlacement& p = layout_.global(g->name);
+          if (p.storageClass == kStorageRegister)
+            return {Location::Kind::Register, p.address, 0, g->type};
+          return {Location::Kind::Memory, p.address, 0, g->type};
+        }
+        failAt(e.loc, "codegen: unresolved name '%s'", e.name.c_str());
+      }
+      case ExprKind::Member: {
+        Location base = resolveLocation(*e.children[0]);
+        const int off = base.type->fieldOffset(e.name);
+        if (base.kind == Location::Kind::Indirect) {
+          const int32_t disp = base.disp + off;
+          if (disp <= 255)
+            return {Location::Kind::Indirect, base.address, disp,
+                    base.type->fieldType(e.name)};
+          // Displacement too large for the inline field: materialize.
+          emit(Opcode::LdaMem, 16, base.address);
+          emit(Opcode::LdoImm, 16, disp);
+          emit(Opcode::Add, 16);
+          return {Location::Kind::Dynamic, 0, 0, base.type->fieldType(e.name)};
+        }
+        if (base.kind == Location::Kind::Dynamic) {
+          // address in ACC; add the static field offset
+          if (off != 0) {
+            emit(Opcode::LdoImm, 16, off);
+            emit(Opcode::Add, 16);
+          }
+          return {Location::Kind::Dynamic, 0, 0, base.type->fieldType(e.name)};
+        }
+        PSCP_ASSERT(base.kind == Location::Kind::Memory);
+        return {Location::Kind::Memory, base.address + off, 0,
+                base.type->fieldType(e.name)};
+      }
+      case ExprKind::Index: {
+        // Memoized array[param] element: the prologue left the byte address
+        // in an internal slot.
+        if (current_ != nullptr && e.children[0]->kind == ExprKind::VarRef &&
+            e.children[1]->kind == ExprKind::VarRef) {
+          auto mit = current_->memoSlots.find(e.children[0]->name + "|" +
+                                              e.children[1]->name);
+          if (mit != current_->memoSlots.end()) {
+            TypePtr elem;
+            const GlobalVar* g = program_.findGlobal(e.children[0]->name);
+            if (g != nullptr) {
+              elem = g->type->element();
+            } else {
+              elem = current_->params.at(e.children[0]->name).type->element();
+            }
+            return {Location::Kind::Indirect, mit->second, 0, elem};
+          }
+        }
+        Location base = resolveLocation(*e.children[0]);
+        PSCP_ASSERT(base.kind != Location::Kind::Register);
+        if (base.kind == Location::Kind::Indirect) {
+          emit(Opcode::LdaMem, 16, base.address);
+          if (base.disp != 0) {
+            emit(Opcode::LdoImm, 16, base.disp);
+            emit(Opcode::Add, 16);
+          }
+          base.kind = Location::Kind::Dynamic;
+        }
+        const Expr& index = *e.children[1];
+        const int elemBytes = base.type->element()->byteSize();
+        if (index.constant.has_value()) {
+          const int32_t off = static_cast<int32_t>(*index.constant) * elemBytes;
+          if (base.kind == Location::Kind::Dynamic) {
+            if (off != 0) {
+              emit(Opcode::LdoImm, 16, off);
+              emit(Opcode::Add, 16);
+            }
+            return {Location::Kind::Dynamic, 0, 0, base.type->element()};
+          }
+          return {Location::Kind::Memory, base.address + off, 0, base.type->element()};
+        }
+        // Dynamic index: ACC <- base address + index * elemBytes.
+        if (base.kind == Location::Kind::Dynamic) {
+          // Save the partially computed address while the index evaluates.
+          const int32_t save = pushTemp();
+          emit(Opcode::StaMem, 16, save);
+          genIndexScaled(index, elemBytes);
+          emit(Opcode::LdoMem, 16, save);
+          emit(Opcode::Add, 16);
+          popTemp();
+        } else {
+          genIndexScaled(index, elemBytes);
+          emit(Opcode::LdoImm, 16, base.address);
+          emit(Opcode::Add, 16);
+        }
+        return {Location::Kind::Dynamic, 0, 0, base.type->element()};
+      }
+      default:
+        failAt(e.loc, "expression is not addressable");
+    }
+  }
+
+  /// ACC <- index * elemBytes (16-bit address arithmetic).
+  void genIndexScaled(const Expr& index, int elemBytes) {
+    genExprAs(index, Type::intType(16, false));
+    if (elemBytes == 1) return;
+    if ((elemBytes & (elemBytes - 1)) == 0) {
+      int shift = 0;
+      while ((1 << shift) < elemBytes) ++shift;
+      emit(Opcode::Shl, 16, shift);
+    } else {
+      emit(Opcode::LdoImm, 16, elemBytes);
+      emit(Opcode::Mul, 16);
+    }
+  }
+
+  // ------------------------------------------------------------ temps
+  int32_t pushTemp() {
+    PSCP_ASSERT(current_ != nullptr);
+    if (current_->tempDepth >= Instance::kMaxTemps)
+      fail("expression too deep in '%s' (max %d temporaries)",
+           current_->fn->name.c_str(), Instance::kMaxTemps);
+    return current_->tempBase + 4 * current_->tempDepth++;
+  }
+  void popTemp() {
+    PSCP_ASSERT(current_ != nullptr && current_->tempDepth > 0);
+    --current_->tempDepth;
+  }
+
+  // A scratch area for routine-level (outside any instance) needs.
+  int32_t routineScratch() {
+    if (routineScratch_ < 0) routineScratch_ = layout_.allocateInternal(8);
+    return routineScratch_;
+  }
+
+  // ------------------------------------------------------------ conversions
+  /// Re-establish the canonical container representation for width/sign.
+  void emitNormalize(const TypePtr& t) {
+    const int w = t->width();
+    const int cw = containerOf(t);
+    if (w == cw) return;
+    const int k = cw - w;
+    emit(Opcode::Shl, cw, k);
+    emit(t->isSigned() ? Opcode::Sar : Opcode::Shr, cw, k);
+  }
+
+  /// Convert the ACC value from representation `from` to `to`.
+  void emitConvert(const TypePtr& from, const TypePtr& to) {
+    if (from->same(*to)) return;
+    const int cwF = containerOf(from);
+    const int cwT = containerOf(to);
+    if (to->width() >= from->width()) {
+      if (cwT > cwF && from->isSigned()) {
+        const int k = cwT - cwF;
+        emit(Opcode::Shl, cwT, k);
+        emit(Opcode::Sar, cwT, k);
+      }
+      // Same-container widening or unsigned: representation already valid,
+      // except sign/width subtleties below container boundaries:
+      if (to->width() < cwT &&
+          (from->isSigned() != to->isSigned() || from->width() > to->width()))
+        emitNormalize(to);
+      return;
+    }
+    // Truncation.
+    if (to->width() < cwT) {
+      emitNormalize(to);
+    }
+    // to->width() == cwT: ALU/stores mask at cwT; nothing to emit.
+  }
+
+  // ------------------------------------------------------------ loads/stores
+  void emitLoadAcc(const Location& loc) {
+    const int cw = containerOf(loc.type);
+    switch (loc.kind) {
+      case Location::Kind::Memory:
+        emit(Opcode::LdaMem, cw, loc.address);
+        break;
+      case Location::Kind::Register:
+        emit(Opcode::LdaReg, cw, loc.address);
+        break;
+      case Location::Kind::Dynamic:
+        emit(Opcode::Tao, 16);  // byte address from ACC into OP
+        emit(Opcode::LdaInd, cw);
+        break;
+      case Location::Kind::Indirect:
+        emit(Opcode::LdoMem, 16, loc.address);  // OP <- element base address
+        emit(Opcode::LdaIdx, cw, loc.disp);
+        break;
+    }
+  }
+
+  void emitStoreAcc(const Location& loc) {
+    const int cw = containerOf(loc.type);
+    switch (loc.kind) {
+      case Location::Kind::Memory:
+        emit(Opcode::StaMem, cw, loc.address);
+        break;
+      case Location::Kind::Register:
+        emit(Opcode::StaReg, cw, loc.address);
+        break;
+      case Location::Kind::Dynamic:
+        PSCP_ASSERT(false);  // handled by genAssign (address ordering)
+        break;
+      case Location::Kind::Indirect:
+        emit(Opcode::LdoMem, 16, loc.address);
+        emit(Opcode::StaIdx, cw, loc.disp);
+        break;
+    }
+  }
+
+  // ------------------------------------------------------------ expressions
+  /// Generate `e` into ACC in its own canonical representation.
+  void genExpr(const Expr& e) {
+    if (e.constant.has_value() && e.kind != ExprKind::Call) {
+      emit(Opcode::LdaImm, containerOf(e.type), constantAs(e, e.type));
+      return;
+    }
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        emit(Opcode::LdaImm, containerOf(e.type), static_cast<int32_t>(e.value));
+        return;
+      }
+      case ExprKind::VarRef:
+      case ExprKind::Member:
+      case ExprKind::Index: {
+        const Location loc = resolveLocation(e);
+        if (!loc.type->isScalar())
+          failAt(e.loc, "aggregate used as a scalar value");
+        emitLoadAcc(loc);
+        return;
+      }
+      case ExprKind::Unary:
+        genUnary(e);
+        return;
+      case ExprKind::Binary:
+        genBinary(e);
+        return;
+      case ExprKind::Call:
+        genCall(e);
+        return;
+    }
+  }
+
+  /// A folded constant's value seen through type `target`: first wrapped
+  /// at the expression's own width/signedness (the language semantics),
+  /// then re-represented at the target width.
+  static int32_t constantAs(const Expr& e, const TypePtr& target) {
+    PSCP_ASSERT(e.constant.has_value());
+    const uint32_t ownRaw =
+        truncBits(static_cast<uint32_t>(*e.constant), e.type->width());
+    const int64_t ownValue = e.type->isSigned()
+                                 ? signExtend(ownRaw, e.type->width())
+                                 : static_cast<int64_t>(ownRaw);
+    const uint32_t targetRaw =
+        truncBits(static_cast<uint32_t>(ownValue), target->width());
+    return target->isSigned()
+               ? signExtend(targetRaw, target->width())
+               : static_cast<int32_t>(targetRaw);
+  }
+
+  /// Generate `e` converted to type `target`.
+  void genExprAs(const Expr& e, const TypePtr& target) {
+    if (e.constant.has_value() && e.kind != ExprKind::Call) {
+      // Constants materialize directly in the target representation.
+      emit(Opcode::LdaImm, containerOf(target), constantAs(e, target));
+      return;
+    }
+    genExpr(e);
+    emitConvert(e.type, target);
+  }
+
+  /// True when `e` can be loaded straight into OP at type `target` without
+  /// disturbing ACC: a scalar leaf in static storage whose representation
+  /// already matches the target.
+  bool isDirectOperand(const Expr& e, const TypePtr& target) {
+    if (e.constant.has_value()) return false;  // handled by LDOI elsewhere
+    if (e.kind != ExprKind::VarRef && e.kind != ExprKind::Member) return false;
+    if (!e.type || !e.type->isScalar() || !e.type->same(*target)) return false;
+    // Resolution must be static (no address code): VarRef chains of Member
+    // over static bases only.
+    const Expr* base = &e;
+    while (base->kind == ExprKind::Member) base = base->children[0].get();
+    if (base->kind != ExprKind::VarRef) return false;
+    // A memoized Indirect location also works (LDO slot would clobber OP —
+    // so exclude Indirect; only Memory/Register qualify).
+    if (current_ != nullptr) {
+      auto pit = current_->params.find(base->name);
+      if (pit != current_->params.end())
+        return pit->second.kind == ParamBinding::Kind::Scalar ||
+               pit->second.kind == ParamBinding::Kind::Object;
+      if (current_->localReg.count(base->name) != 0 ||
+          current_->localAddr.count(base->name) != 0)
+        return true;
+    }
+    return program_.findGlobal(base->name) != nullptr;
+  }
+
+  /// OP <- `e` (static leaf), leaving ACC untouched.
+  void emitLoadOp(const Expr& e) {
+    const Location loc = resolveLocation(e);
+    const int cw = containerOf(loc.type);
+    switch (loc.kind) {
+      case Location::Kind::Memory:
+        emit(Opcode::LdoMem, cw, loc.address);
+        break;
+      case Location::Kind::Register:
+        emit(Opcode::LdoReg, cw, loc.address);
+        break;
+      default:
+        PSCP_ASSERT(false);
+    }
+  }
+
+  /// ACC <- 0/1 from the current flags after a CMP, according to `op`.
+  void materializeCompare(BinOp op, bool isSigned) {
+    const std::string trueL = freshLabel("cmpT");
+    const std::string endL = freshLabel("cmpE");
+    emitCompareJump(op, isSigned, trueL);
+    emit(Opcode::LdaImm, 8, 0);
+    emitJump(Opcode::Jmp, endL);
+    placeLabel(trueL);
+    emit(Opcode::LdaImm, 8, 1);
+    placeLabel(endL);
+  }
+
+  /// Branch to `target` when the comparison `op` holds (flags already set
+  /// by CMP with ACC = lhs, OP = rhs).
+  void emitCompareJump(BinOp op, bool isSigned, const std::string& target) {
+    const Opcode lt = isSigned ? Opcode::Jn : Opcode::Jc;
+    switch (op) {
+      case BinOp::Eq:
+        emitJump(Opcode::Jz, target);
+        break;
+      case BinOp::Ne:
+        emitJump(Opcode::Jnz, target);
+        break;
+      case BinOp::Lt:
+        emitJump(lt, target);
+        break;
+      case BinOp::Ge: {
+        // !(a < b): jump when neither N/C nor ... -> invert via fallthrough.
+        const std::string skip = freshLabel("ge");
+        emitJump(lt, skip);
+        emitJump(Opcode::Jmp, target);
+        placeLabel(skip);
+        break;
+      }
+      case BinOp::Le: {
+        // a <= b  ==  a < b or a == b
+        emitJump(lt, target);
+        emitJump(Opcode::Jz, target);
+        break;
+      }
+      case BinOp::Gt: {
+        // a > b  ==  !(a < b) and !(a == b)
+        const std::string skip = freshLabel("gt");
+        emitJump(lt, skip);
+        emitJump(Opcode::Jz, skip);
+        emitJump(Opcode::Jmp, target);
+        placeLabel(skip);
+        break;
+      }
+      default:
+        PSCP_ASSERT(false);
+    }
+  }
+
+  static bool isComparison(BinOp op) {
+    switch (op) {
+      case BinOp::Eq:
+      case BinOp::Ne:
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// The type both comparison operands are converted to. Mixed signedness
+  /// widens to the next signed container so values compare mathematically
+  /// (matching the reference interpreter).
+  TypePtr comparisonType(const TypePtr& a, const TypePtr& b) {
+    const int maxW = std::max(a->width(), b->width());
+    if (a->isSigned() == b->isSigned()) return Type::intType(maxW, a->isSigned());
+    return Type::intType(std::min(maxW + 1, 32), true);
+  }
+
+  /// Emit a CMP with lhs/rhs converted to the comparison type; returns that
+  /// type's signedness (selects the N vs C flag).
+  bool genComparisonOperands(const Expr& e) {
+    const TypePtr ct = comparisonType(e.children[0]->type, e.children[1]->type);
+    const int cw = containerOf(ct);
+    const Expr& rhs = *e.children[1];
+    if (rhs.constant.has_value()) {
+      genExprAs(*e.children[0], ct);
+      emit(Opcode::LdoImm, cw, constantAs(rhs, ct));
+    } else if (isDirectOperand(rhs, ct)) {
+      genExprAs(*e.children[0], ct);
+      emitLoadOp(rhs);
+    } else {
+      genExprAs(rhs, ct);
+      const int32_t save = pushTemp();
+      emit(Opcode::StaMem, cw, save);
+      genExprAs(*e.children[0], ct);
+      emit(Opcode::LdoMem, cw, save);
+      popTemp();
+    }
+    emit(Opcode::Cmp, cw);
+    return ct->isSigned();
+  }
+
+  void genBinary(const Expr& e) {
+    // Custom-instruction fusion (optimized builds only).
+    if (options_.useCustomInstructions && tryGenCustom(e)) return;
+
+    if (isComparison(e.binOp)) {
+      const bool isSigned = genComparisonOperands(e);
+      materializeCompare(e.binOp, isSigned);
+      return;
+    }
+    if (e.binOp == BinOp::LogAnd || e.binOp == BinOp::LogOr) {
+      // Materialized short-circuit value.
+      const std::string shortL = freshLabel("sc");
+      const std::string endL = freshLabel("scE");
+      genCondJump(*e.children[0], shortL, /*jumpWhen=*/e.binOp == BinOp::LogOr);
+      genExprBool(*e.children[1]);
+      emitJump(Opcode::Jmp, endL);
+      placeLabel(shortL);
+      emit(Opcode::LdaImm, 8, e.binOp == BinOp::LogOr ? 1 : 0);
+      placeLabel(endL);
+      return;
+    }
+
+    // Arithmetic / bitwise / shifts.
+    const TypePtr& rt = e.type;
+    const int cw = containerOf(rt);
+    const Expr& lhs = *e.children[0];
+    const Expr& rhs = *e.children[1];
+
+    if (e.binOp == BinOp::Shl || e.binOp == BinOp::Shr) {
+      if (!rhs.constant.has_value())
+        failAt(e.loc, "shift amounts must be compile-time constants on the TEP");
+      const int count = static_cast<int>(*rhs.constant) & 31;
+      genExprAs(lhs, rt);
+      Opcode op = Opcode::Shl;
+      if (e.binOp == BinOp::Shr) op = rt->isSigned() ? Opcode::Sar : Opcode::Shr;
+      emit(op, cw, count);
+      if (e.binOp == BinOp::Shl) emitNormalize(rt);
+      return;
+    }
+
+    // Division/modulo widen mixed-sign operands to a signed container so
+    // the result matches mathematical semantics (see reference interp).
+    TypePtr opType = rt;
+    if ((e.binOp == BinOp::Div || e.binOp == BinOp::Mod) &&
+        lhs.type->isSigned() != rhs.type->isSigned())
+      opType = Type::intType(std::min(std::max(lhs.type->width(), rhs.type->width()) + 1, 32),
+                             true);
+    const int ocw = containerOf(opType);
+
+    // Strength reduction: multiply by a power-of-two constant is a shift.
+    if (e.binOp == BinOp::Mul && rhs.constant.has_value()) {
+      const int64_t k = *rhs.constant;
+      if (k > 0 && (k & (k - 1)) == 0) {
+        int shift = 0;
+        while ((1ll << shift) < k) ++shift;
+        genExprAs(lhs, rt);
+        emit(Opcode::Shl, cw, shift);
+        emitNormalize(rt);
+        return;
+      }
+    }
+
+    // rhs into OP: constants via LDOI, static leaves directly, everything
+    // else through a frame temporary.
+    if (rhs.constant.has_value()) {
+      genExprAs(lhs, opType);
+      emit(Opcode::LdoImm, ocw, constantAs(rhs, opType));
+    } else if (isDirectOperand(rhs, opType)) {
+      genExprAs(lhs, opType);
+      emitLoadOp(rhs);
+    } else {
+      genExprAs(rhs, opType);
+      const int32_t save = pushTemp();
+      emit(Opcode::StaMem, ocw, save);
+      genExprAs(lhs, opType);
+      emit(Opcode::LdoMem, ocw, save);
+      popTemp();
+    }
+
+    switch (e.binOp) {
+      case BinOp::Add: emit(Opcode::Add, ocw); break;
+      case BinOp::Sub: emit(Opcode::Sub, ocw); break;
+      case BinOp::Mul: emit(Opcode::Mul, ocw); break;
+      case BinOp::Div:
+        emit(opType->isSigned() ? Opcode::Div : Opcode::Divu, ocw);
+        break;
+      case BinOp::Mod:
+        emit(opType->isSigned() ? Opcode::Mod : Opcode::Modu, ocw);
+        break;
+      case BinOp::And: emit(Opcode::And, ocw); break;
+      case BinOp::Or: emit(Opcode::Or, ocw); break;
+      case BinOp::Xor: emit(Opcode::Xor, ocw); break;
+      default: PSCP_ASSERT(false);
+    }
+    // Re-normalize when the semantic width is narrower than the container,
+    // then narrow from the widened division type back to the result type.
+    // (Division needs it too: the lone overflow case MIN/-1 produces 2^(w-1),
+    // which is not in canonical form at sub-container widths.)
+    if (opType->same(*rt)) {
+      if (e.binOp == BinOp::Add || e.binOp == BinOp::Sub || e.binOp == BinOp::Mul ||
+          e.binOp == BinOp::Div || e.binOp == BinOp::Mod)
+        emitNormalize(rt);
+    } else {
+      emitConvert(opType, rt);
+    }
+  }
+
+  void genUnary(const Expr& e) {
+    const TypePtr& rt = e.type;
+    switch (e.unOp) {
+      case UnOp::Neg:
+        genExprAs(*e.children[0], rt);
+        emit(Opcode::Neg, containerOf(rt));
+        emitNormalize(rt);
+        return;
+      case UnOp::BitNot:
+        genExprAs(*e.children[0], rt);
+        emit(Opcode::Not, containerOf(rt));
+        emitNormalize(rt);
+        return;
+      case UnOp::LogNot: {
+        genExprBool(*e.children[0]);
+        // ACC is 0/1: XOR with 1.
+        emit(Opcode::LdoImm, 8, 1);
+        emit(Opcode::Xor, 8);
+        return;
+      }
+    }
+  }
+
+  /// Generate `e` as a boolean 0/1 in ACC.
+  void genExprBool(const Expr& e) {
+    genExpr(e);
+    if (e.type->width() == 1) return;  // already 0/1
+    // Test ACC against zero: OR with 0 sets Z.
+    emitTestAcc(containerOf(e.type));
+    materializeZ();
+  }
+
+  void emitTestAcc(int cw) {
+    emit(Opcode::LdoImm, cw, 0);
+    emit(Opcode::Or, cw);
+  }
+
+  void materializeZ() {
+    const std::string zero = freshLabel("bz");
+    const std::string end = freshLabel("be");
+    emitJump(Opcode::Jz, zero);
+    emit(Opcode::LdaImm, 8, 1);
+    emitJump(Opcode::Jmp, end);
+    placeLabel(zero);
+    emit(Opcode::LdaImm, 8, 0);
+    placeLabel(end);
+  }
+
+  /// Branch to `target` when `e` is true (jumpWhen=true) / false.
+  void genCondJump(const Expr& e, const std::string& target, bool jumpWhen) {
+    if (options_.fuseCompareBranch) {
+      if (e.kind == ExprKind::Binary && isComparison(e.binOp)) {
+        const bool isSigned = genComparisonOperands(e);
+        if (jumpWhen) {
+          emitCompareJump(e.binOp, isSigned, target);
+        } else {
+          emitCompareJump(invertComparison(e.binOp), isSigned, target);
+        }
+        return;
+      }
+      if (e.kind == ExprKind::Unary && e.unOp == UnOp::LogNot) {
+        genCondJump(*e.children[0], target, !jumpWhen);
+        return;
+      }
+      if (e.kind == ExprKind::Binary && e.binOp == BinOp::LogAnd) {
+        if (!jumpWhen) {
+          genCondJump(*e.children[0], target, false);
+          genCondJump(*e.children[1], target, false);
+        } else {
+          const std::string fall = freshLabel("and");
+          genCondJump(*e.children[0], fall, false);
+          genCondJump(*e.children[1], target, true);
+          placeLabel(fall);
+        }
+        return;
+      }
+      if (e.kind == ExprKind::Binary && e.binOp == BinOp::LogOr) {
+        if (jumpWhen) {
+          genCondJump(*e.children[0], target, true);
+          genCondJump(*e.children[1], target, true);
+        } else {
+          const std::string fall = freshLabel("or");
+          genCondJump(*e.children[0], fall, true);
+          genCondJump(*e.children[1], target, false);
+          placeLabel(fall);
+        }
+        return;
+      }
+    }
+    // Fallback: materialize and test (this is the "unoptimized code" shape
+    // of Table 4 — extra jumps the peephole pass later removes).
+    genExprBool(e);
+    emitTestAcc(8);
+    emitJump(jumpWhen ? Opcode::Jnz : Opcode::Jz, target);
+  }
+
+  static BinOp invertComparison(BinOp op) {
+    switch (op) {
+      case BinOp::Eq: return BinOp::Ne;
+      case BinOp::Ne: return BinOp::Eq;
+      case BinOp::Lt: return BinOp::Ge;
+      case BinOp::Ge: return BinOp::Lt;
+      case BinOp::Le: return BinOp::Gt;
+      case BinOp::Gt: return BinOp::Le;
+      default: PSCP_ASSERT(false);
+    }
+  }
+
+  // ------------------------------------------------------- custom fusion
+  bool tryGenCustom(const Expr& e) {
+    if (arch_.customInstructions.empty()) return false;
+    std::optional<FusionChain> chain = extractChain(e);
+    if (!chain) return false;
+    for (size_t i = 0; i < arch_.customInstructions.size(); ++i) {
+      const hwlib::CustomInstr& ci = arch_.customInstructions[i];
+      if (ci.signature != chain->signature || ci.width != chain->width) continue;
+      // OP input first (if any), then ACC input.
+      const TypePtr chainType = Type::intType(chain->width, e.type->isSigned());
+      if (chain->opLeaf != nullptr) {
+        genExprAs(*chain->opLeaf, chainType);
+        emit(Opcode::Tao, chain->width);
+      }
+      genExprAs(*chain->accLeaf, chainType);
+      emit(Opcode::Custom, 8, static_cast<int32_t>(i));
+      emitConvert(chainType, e.type);
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------- intrinsics
+  /// Resolve the hardware name an intrinsic argument denotes, following
+  /// event/cond parameter pass-through in the current instance.
+  std::string hardwareNameOf(const Expr& arg) {
+    PSCP_ASSERT(arg.kind == ExprKind::VarRef);
+    if (current_ != nullptr) {
+      auto it = current_->params.find(arg.name);
+      if (it != current_->params.end() &&
+          it->second.kind == ParamBinding::Kind::Hardware)
+        return it->second.hardwareName;
+    }
+    return arg.name;
+  }
+
+  void genIntrinsic(const Expr& e) {
+    if (e.name == "raise") {
+      emit(Opcode::EvSet, 8, binding_.event(hardwareNameOf(*e.children[0])));
+      return;
+    }
+    if (e.name == "set_cond") {
+      const int index = binding_.condition(hardwareNameOf(*e.children[0]));
+      const Expr& value = *e.children[1];
+      if (value.constant.has_value()) {
+        emit(*value.constant != 0 ? Opcode::CSet : Opcode::CClr, 8, index);
+        return;
+      }
+      const std::string clearL = freshLabel("cc");
+      const std::string endL = freshLabel("ce");
+      genCondJump(value, clearL, /*jumpWhen=*/false);
+      emit(Opcode::CSet, 8, index);
+      emitJump(Opcode::Jmp, endL);
+      placeLabel(clearL);
+      emit(Opcode::CClr, 8, index);
+      placeLabel(endL);
+      return;
+    }
+    if (e.name == "test_cond") {
+      emit(Opcode::CTst, 8, binding_.condition(hardwareNameOf(*e.children[0])));
+      return;
+    }
+    if (e.name == "read_port") {
+      emit(Opcode::Inp, 8, binding_.port(hardwareNameOf(*e.children[0])));
+      return;
+    }
+    if (e.name == "write_port") {
+      genExprAs(*e.children[1], Type::intType(16, false));
+      emit(Opcode::Outp, 16, binding_.port(hardwareNameOf(*e.children[0])));
+      return;
+    }
+    if (e.name == "in_state") {
+      emit(Opcode::STst, 8, binding_.state(hardwareNameOf(*e.children[0])));
+      return;
+    }
+    PSCP_ASSERT(false);
+  }
+
+  // ------------------------------------------------------------------ calls
+  void genCall(const Expr& e) {
+    if (actionlang::isIntrinsicName(e.name)) {
+      genIntrinsic(e);
+      return;
+    }
+    const Function& fn = program_.function(e.name);
+    std::vector<ParamBinding> bindings(fn.params.size());
+    // First pass: derive static bindings.
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      const TypePtr& pt = fn.params[i].type;
+      const Expr& arg = *e.children[i];
+      switch (pt->kind()) {
+        case TypeKind::Event:
+        case TypeKind::Cond:
+          bindings[i].kind = ParamBinding::Kind::Hardware;
+          bindings[i].hardwareName = hardwareNameOf(arg);
+          break;
+        case TypeKind::Struct:
+        case TypeKind::Array: {
+          const Location loc = resolveLocation(arg);
+          if (loc.kind != Location::Kind::Memory)
+            failAt(arg.loc, "aggregate argument must be statically addressable");
+          bindings[i].kind = ParamBinding::Kind::Object;
+          bindings[i].objectAddress = loc.address;
+          break;
+        }
+        default:
+          bindings[i].kind = ParamBinding::Kind::Scalar;
+      }
+    }
+    Instance& inst = instanceFor(fn, bindings);
+    // Second pass: evaluate scalar arguments into the instance's frame
+    // (register window or RAM slots).
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (bindings[i].kind != ParamBinding::Kind::Scalar) continue;
+      const TypePtr& pt = fn.params[i].type;
+      genExprAs(*e.children[i], pt);
+      const ParamBinding& pb = inst.params.at(fn.params[i].name);
+      if (pb.inRegister)
+        emit(Opcode::StaReg, containerOf(pt), pb.regIndex);
+      else
+        emit(Opcode::StaMem, containerOf(pt), pb.slotAddress);
+    }
+    emitJump(Opcode::Call, inst.label);
+    // Result (if any) is in ACC, typed fn.returnType.
+  }
+
+  /// A transition-label call: arguments are raw label strings.
+  void emitLabelCall(const ActionCall& call) {
+    const Function& fn = program_.function(call.function);
+    if (fn.params.size() != call.args.size())
+      fail("label call %s: expected %zu arguments, got %zu", call.function.c_str(),
+           fn.params.size(), call.args.size());
+    std::vector<ParamBinding> bindings(fn.params.size());
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      const TypePtr& pt = fn.params[i].type;
+      const std::string& text = call.args[i];
+      switch (pt->kind()) {
+        case TypeKind::Event:
+        case TypeKind::Cond:
+          bindings[i].kind = ParamBinding::Kind::Hardware;
+          bindings[i].hardwareName = text;
+          break;
+        case TypeKind::Struct:
+        case TypeKind::Array: {
+          const GlobalVar* g = program_.findGlobal(text);
+          if (g == nullptr)
+            fail("label argument '%s' does not name a global object", text.c_str());
+          bindings[i].kind = ParamBinding::Kind::Object;
+          bindings[i].objectAddress = layout_.global(text).address;
+          break;
+        }
+        default:
+          bindings[i].kind = ParamBinding::Kind::Scalar;
+      }
+    }
+    Instance& inst = instanceFor(fn, bindings);
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (bindings[i].kind != ParamBinding::Kind::Scalar) continue;
+      const TypePtr& pt = fn.params[i].type;
+      const int cw = containerOf(pt);
+      const std::string& text = call.args[i];
+      // Number / enum constant / scalar global.
+      int64_t constant = 0;
+      bool isConst = false;
+      if (!text.empty() && (std::isdigit(static_cast<unsigned char>(text[0])) != 0 ||
+                            text[0] == '-')) {
+        constant = std::stoll(text, nullptr, 0);
+        isConst = true;
+      } else if (auto it = program_.enumConstants.find(text);
+                 it != program_.enumConstants.end()) {
+        constant = it->second;
+        isConst = true;
+      }
+      if (isConst) {
+        emit(Opcode::LdaImm, cw,
+             static_cast<int32_t>(signExtend(
+                 truncBits(static_cast<uint32_t>(constant), pt->width()), pt->width())));
+      } else {
+        const GlobalVar* g = program_.findGlobal(text);
+        if (g == nullptr || !g->type->isScalar())
+          fail("label argument '%s' is not a number, enum constant, or scalar global",
+               text.c_str());
+        const VarPlacement& p = layout_.global(text);
+        if (p.storageClass == kStorageRegister)
+          emit(Opcode::LdaReg, containerOf(g->type), p.address);
+        else
+          emit(Opcode::LdaMem, containerOf(g->type), p.address);
+        emitConvert(g->type, pt);
+      }
+      const ParamBinding& pb = inst.params.at(fn.params[i].name);
+      if (pb.inRegister)
+        emit(Opcode::StaReg, cw, pb.regIndex);
+      else
+        emit(Opcode::StaMem, cw, pb.slotAddress);
+    }
+    emitJump(Opcode::Call, inst.label);
+  }
+
+  // ------------------------------------------------------------- statements
+  void genStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (const auto& inner : s.body) genStmt(*inner);
+        return;
+      case StmtKind::VarDecl: {
+        Instance& inst = *current_;
+        const bool known = inst.localType.count(s.varName) != 0;
+        if (!known) {
+          inst.localType[s.varName] = s.varType;
+          if (s.varType->isScalar() && s.varType->width() <= arch_.dataWidth &&
+              inst.regCursor < inst.regLimit) {
+            inst.localReg[s.varName] = inst.regCursor++;
+          } else {
+            inst.localAddr[s.varName] = layout_.allocateInternal(s.varType->byteSize());
+          }
+        }
+        if (s.varType->isScalar()) {
+          if (s.expr) {
+            genExprAs(*s.expr, s.varType);
+          } else {
+            emit(Opcode::LdaImm, containerOf(s.varType), 0);
+          }
+          auto rit = inst.localReg.find(s.varName);
+          if (rit != inst.localReg.end()) {
+            emit(Opcode::StaReg, containerOf(s.varType), rit->second);
+          } else {
+            emit(Opcode::StaMem, containerOf(s.varType), inst.localAddr.at(s.varName));
+          }
+          return;
+        }
+        const int32_t addr = inst.localAddr.at(s.varName);
+        if (s.expr == nullptr) {
+          // Aggregates are zeroed at declaration: the checker guarantees no
+          // initializer. Zero the container bytes word by word.
+          const int bytes = s.varType->byteSize();
+          emit(Opcode::LdaImm, 8, 0);
+          for (int off = 0; off < bytes; ++off)
+            emit(Opcode::StaMem, 8, addr + off);
+        }
+        return;
+      }
+      case StmtKind::Assign:
+        genAssign(*s.lhs, *s.expr);
+        return;
+      case StmtKind::If: {
+        const std::string elseL = freshLabel("else");
+        const std::string endL = freshLabel("fi");
+        genCondJump(*s.expr, elseL, /*jumpWhen=*/false);
+        for (const auto& inner : s.body) genStmt(*inner);
+        emitJump(Opcode::Jmp, endL);
+        placeLabel(elseL);
+        for (const auto& inner : s.elseBody) genStmt(*inner);
+        placeLabel(endL);
+        return;
+      }
+      case StmtKind::While: {
+        const std::string topL = freshLabel("wh");
+        const std::string endL = freshLabel("done");
+        const int begin = static_cast<int>(program.code.size());
+        placeLabel(topL);
+        genCondJump(*s.expr, endL, /*jumpWhen=*/false);
+        for (const auto& inner : s.body) genStmt(*inner);
+        emitJump(Opcode::Jmp, topL);
+        placeLabel(endL);
+        program.loops.push_back(
+            {begin, static_cast<int>(program.code.size()), s.loopBound});
+        return;
+      }
+      case StmtKind::Return:
+        if (s.expr) genExprAs(*s.expr, current_->fn->returnType);
+        emit(Opcode::Ret);
+        return;
+      case StmtKind::ExprStmt:
+        genExpr(*s.expr);
+        return;
+    }
+  }
+
+  void genAssign(const Expr& lhs, const Expr& rhs) {
+    // Dynamic lvalues need the address computed *before* the value lands in
+    // ACC: compute address -> temp, value -> ACC, OP <- temp, STAX.
+    // (Memoized indexed accesses resolve without emitting code, so they
+    // take the static path.)
+    const bool dynamic = hasDynamicIndex(lhs) && !isMemoizedLvalue(lhs);
+    if (!dynamic) {
+      const Location loc = resolveLocation(lhs);
+      genExprAs(rhs, loc.type);
+      emitStoreAcc(loc);
+      return;
+    }
+    const int32_t addrSave = pushTemp();
+    Location loc = resolveLocation(lhs);  // emits address computation
+    PSCP_ASSERT(loc.kind == Location::Kind::Dynamic);
+    emit(Opcode::StaMem, 16, addrSave);
+    genExprAs(rhs, loc.type);
+    emit(Opcode::LdoMem, 16, addrSave);
+    popTemp();
+    emit(Opcode::StaInd, containerOf(loc.type));
+  }
+
+  /// True when every dynamic index inside `e` resolves through a memo slot
+  /// (address resolution emits no code).
+  bool isMemoizedLvalue(const Expr& e) const {
+    if (current_ == nullptr) return false;
+    if (e.kind == ExprKind::Index) {
+      if (e.children[1]->constant.has_value()) return isMemoizedLvalue(*e.children[0]);
+      if (e.children[0]->kind == ExprKind::VarRef &&
+          e.children[1]->kind == ExprKind::VarRef)
+        return current_->memoSlots.count(e.children[0]->name + "|" +
+                                         e.children[1]->name) != 0;
+      return false;
+    }
+    for (const auto& c : e.children)
+      if (!isMemoizedLvalue(*c)) return false;
+    return true;
+  }
+
+  static bool hasDynamicIndex(const Expr& e) {
+    if (e.kind == ExprKind::Index && !e.children[1]->constant.has_value()) return true;
+    for (const auto& c : e.children)
+      if (hasDynamicIndex(*c)) return true;
+    return false;
+  }
+
+  // -------------------------------------------------------------- members
+  const actionlang::Program& program_;
+  const HardwareBinding& binding_;
+  const hwlib::ArchConfig& arch_;
+  CompileOptions options_;
+  MemoryLayout layout_;
+
+  tep::AsmProgram program;
+  std::vector<Fixup> fixups_;
+  int labelCounter_ = 0;
+  int32_t routineScratch_ = -1;
+
+  std::map<std::string, Instance> instances_;
+  std::deque<std::string> pendingInstances_;
+  std::map<std::string, int> fnRegBase_;
+  Instance* current_ = nullptr;
+};
+
+// ================================================================= Compiler
+
+Compiler::Compiler(const actionlang::Program& program, const HardwareBinding& binding,
+                   const hwlib::ArchConfig& arch, CompileOptions options)
+    : program_(program), binding_(binding), arch_(arch), options_(options) {}
+
+CompiledApp Compiler::compile(const statechart::Chart& chart) {
+  Impl impl(program_, binding_, arch_, options_);
+  return impl.compile(chart);
+}
+
+CompiledApp Compiler::compileCalls(
+    const std::vector<std::pair<std::string, std::vector<statechart::ActionCall>>>&
+        routines) {
+  Impl impl(program_, binding_, arch_, options_);
+  return impl.compileCalls(routines);
+}
+
+}  // namespace pscp::compiler

@@ -1,0 +1,90 @@
+// Code generator: action-language AST -> TEP assembly.
+//
+// The generator produces one *transition routine* per chart transition
+// (entered via the Transition Address Table, ended by TRET) plus one code
+// instance per (function, static-binding) pair. Event/cond/struct/array
+// parameters are bound statically at each call site — the 1998 flow
+// specializes code per reactive application, there is no dynamic linking —
+// while scalar parameters are passed through statically allocated frame
+// slots (recursion is forbidden, so frames never alias).
+//
+// Two codegen quality levels mirror the paper's "unoptimized code" vs
+// "optimized code" rows of Table 4:
+//   * unoptimized: boolean results are always materialized into ACC and
+//     re-tested, no custom-instruction fusion, naive jump chains;
+//   * optimized: compare-and-branch fusion, custom-instruction matching,
+//     and a peephole pass (compiler/optimize) that threads and removes
+//     redundant jumps.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "actionlang/ast.hpp"
+#include "compiler/binding.hpp"
+#include "compiler/layout.hpp"
+#include "hwlib/arch_config.hpp"
+#include "statechart/chart.hpp"
+#include "tep/isa.hpp"
+
+namespace pscp::tep {
+class TepHost;
+}  // namespace pscp::tep
+
+namespace pscp::compiler {
+
+struct CompileOptions {
+  /// Fuse comparisons directly into conditional branches.
+  bool fuseCompareBranch = true;
+  /// Match arch.customInstructions against expression trees.
+  bool useCustomInstructions = true;
+  /// Run the peephole jump optimizer over the final program.
+  bool peephole = true;
+  /// Compute array[param] element addresses once in a function prologue
+  /// and use indexed-with-displacement accesses afterwards.
+  bool memoizeIndexedBases = true;
+
+  [[nodiscard]] static CompileOptions unoptimized() {
+    return {false, false, false, false};
+  }
+};
+
+struct CompiledApp {
+  tep::AsmProgram program;
+  MemoryLayout::DataImage image;
+  /// Where each global landed (tests, debuggers, the PSCP loader).
+  std::map<std::string, VarPlacement> globalPlacement;
+  /// Transition id -> routine name in program.routines.
+  std::map<int, std::string> transitionRoutine;
+  int internalBytesUsed = 0;
+  int externalBytesUsed = 0;
+  int registersUsed = 0;
+
+  /// Load the initial data image into a host (memory + register bank).
+  void loadImage(tep::TepHost& host) const;
+};
+
+class Compiler {
+ public:
+  Compiler(const actionlang::Program& program, const HardwareBinding& binding,
+           const hwlib::ArchConfig& arch, CompileOptions options = {});
+
+  /// Compile every transition routine of `chart`.
+  [[nodiscard]] CompiledApp compile(const statechart::Chart& chart);
+
+  /// Compile a set of label-style calls as standalone routines
+  /// (routineName -> the calls it performs). Used by tests and benches.
+  [[nodiscard]] CompiledApp compileCalls(
+      const std::vector<std::pair<std::string, std::vector<statechart::ActionCall>>>&
+          routines);
+
+ private:
+  class Impl;
+  const actionlang::Program& program_;
+  const HardwareBinding& binding_;
+  const hwlib::ArchConfig& arch_;
+  CompileOptions options_;
+};
+
+}  // namespace pscp::compiler

@@ -1,0 +1,119 @@
+#include "compiler/layout.hpp"
+
+#include "actionlang/interp.hpp"
+#include "tep/isa.hpp"
+
+namespace pscp::compiler {
+
+MemoryLayout::MemoryLayout(const actionlang::Program& program) {
+  externalTop_ = tep::kExternalBase;
+  for (const actionlang::GlobalVar& g : program.globals) {
+    VarPlacement p;
+    p.storageClass = g.storageClass;
+    switch (g.storageClass) {
+      case kStorageExternal:
+        p.address = allocateExternal(g.type->byteSize());
+        break;
+      case kStorageInternal:
+        p.address = allocateInternal(g.type->byteSize());
+        break;
+      case kStorageRegister:
+        if (!g.type->isScalar())
+          fail("global '%s' promoted to a register is not scalar", g.name.c_str());
+        if (registerTop_ >= 16)
+          fail("register file exhausted promoting '%s'", g.name.c_str());
+        p.address = registerTop_++;
+        break;
+      default:
+        fail("global '%s' has unknown storage class %d", g.name.c_str(),
+             g.storageClass);
+    }
+    globals_[g.name] = p;
+  }
+}
+
+const VarPlacement& MemoryLayout::global(const std::string& name) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) fail("layout has no global '%s'", name.c_str());
+  return it->second;
+}
+
+int32_t MemoryLayout::allocateInternal(int bytes) {
+  const int32_t at = internalTop_;
+  internalTop_ += bytes;
+  if (internalTop_ > tep::kExternalBase)
+    fail("internal RAM exhausted (%d bytes needed)", internalTop_);
+  return at;
+}
+
+int32_t MemoryLayout::allocateExternal(int bytes) {
+  const int32_t at = externalTop_;
+  externalTop_ += bytes;
+  if (externalTop_ > tep::kExternalBase + tep::kExternalSize)
+    fail("external RAM exhausted (%d bytes needed)", externalTop_ - tep::kExternalBase);
+  return at;
+}
+
+int MemoryLayout::externalBytesUsed() const {
+  return externalTop_ - tep::kExternalBase;
+}
+
+namespace {
+
+/// Writes one scalar slot's initializer into the byte image, walking the
+/// type recursively in slot order (matching the interpreter's layout).
+void writeScalars(const actionlang::TypePtr& type, int32_t addr,
+                  const std::vector<int64_t>& init, size_t& slot,
+                  std::map<int32_t, uint8_t>& bytes) {
+  using actionlang::TypeKind;
+  switch (type->kind()) {
+    case TypeKind::Int: {
+      const int64_t v = slot < init.size() ? init[slot] : 0;
+      ++slot;
+      const int nbytes = type->byteSize();
+      for (int i = 0; i < nbytes; ++i)
+        bytes[addr + i] = static_cast<uint8_t>((static_cast<uint64_t>(v) >> (8 * i)) & 0xFF);
+      break;
+    }
+    case TypeKind::Struct: {
+      int32_t at = addr;
+      for (const auto& [fname, ftype] : type->fields()) {
+        writeScalars(ftype, at, init, slot, bytes);
+        at += ftype->byteSize();
+      }
+      break;
+    }
+    case TypeKind::Array: {
+      int32_t at = addr;
+      for (int i = 0; i < type->arrayCount(); ++i) {
+        writeScalars(type->element(), at, init, slot, bytes);
+        at += type->element()->byteSize();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+MemoryLayout::DataImage MemoryLayout::initialImage(
+    const actionlang::Program& program) const {
+  DataImage image;
+  for (const actionlang::GlobalVar& g : program.globals) {
+    const VarPlacement& p = global(g.name);
+    if (p.storageClass == kStorageRegister) {
+      const int64_t v = g.init.empty() ? 0 : g.init[0];
+      image.registers[p.address] =
+          truncBits(static_cast<uint32_t>(v), g.type->width());
+      continue;
+    }
+    if (g.init.empty()) continue;  // memory assumed zeroed at load
+    size_t slot = 0;
+    writeScalars(g.type, p.address, g.init, slot, image.bytes);
+  }
+  return image;
+}
+
+}  // namespace pscp::compiler

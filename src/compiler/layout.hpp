@@ -1,0 +1,67 @@
+// Static memory layout for compiled applications.
+//
+// The action language forbids recursion, so every function instance gets a
+// statically allocated frame (classic deeply-embedded practice, and what a
+// 1998 ASIP code generator would do). Globals live in external RAM by
+// default; the storage-promotion optimization (Sec. 4: "the type of storage
+// elements and their associated load/store instructions are changed from
+// external to internal to registers") moves hot ones into internal RAM or
+// the register file by rewriting their storage class and re-running layout.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "actionlang/ast.hpp"
+
+namespace pscp::compiler {
+
+/// Storage class values used in actionlang::GlobalVar::storageClass.
+enum StorageClass : int {
+  kStorageExternal = 0,
+  kStorageInternal = 1,
+  kStorageRegister = 2,
+};
+
+struct VarPlacement {
+  int32_t address = 0;   ///< byte address (external/internal) or register index
+  int storageClass = kStorageExternal;
+};
+
+class MemoryLayout {
+ public:
+  /// Lay out all globals of `program` according to their storage classes.
+  /// Register-class variables must be scalars; their count must not exceed
+  /// 16 (the architectural register-file limit).
+  explicit MemoryLayout(const actionlang::Program& program);
+
+  [[nodiscard]] const VarPlacement& global(const std::string& name) const;
+
+  /// Allocate `bytes` of internal RAM (function frames, expression temps).
+  int32_t allocateInternal(int bytes);
+  /// Allocate `bytes` of external RAM.
+  int32_t allocateExternal(int bytes);
+
+  [[nodiscard]] const std::map<std::string, VarPlacement>& globals() const {
+    return globals_;
+  }
+  [[nodiscard]] int internalBytesUsed() const { return internalTop_; }
+  [[nodiscard]] int externalBytesUsed() const;
+  [[nodiscard]] int registersUsed() const { return registerTop_; }
+
+  /// Initial data image: (byte address, value) pairs for all initialized
+  /// memory-resident globals, plus (register, value) pairs.
+  struct DataImage {
+    std::map<int32_t, uint8_t> bytes;
+    std::map<int, uint32_t> registers;
+  };
+  [[nodiscard]] DataImage initialImage(const actionlang::Program& program) const;
+
+ private:
+  std::map<std::string, VarPlacement> globals_;
+  int32_t internalTop_ = 0;
+  int32_t externalTop_ = 0;
+  int registerTop_ = 0;
+};
+
+}  // namespace pscp::compiler

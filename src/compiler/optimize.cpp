@@ -1,0 +1,152 @@
+#include "compiler/optimize.hpp"
+
+#include <set>
+#include <vector>
+
+namespace pscp::compiler {
+
+using tep::AsmProgram;
+using tep::Instr;
+using tep::Opcode;
+
+namespace {
+
+bool isJumpLike(Opcode op) {
+  switch (op) {
+    case Opcode::Jmp:
+    case Opcode::Jz:
+    case Opcode::Jnz:
+    case Opcode::Jn:
+    case Opcode::Jc:
+    case Opcode::Call:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool endsFlow(Opcode op) {
+  return op == Opcode::Jmp || op == Opcode::Ret || op == Opcode::Tret;
+}
+
+int threadJumps(AsmProgram& p) {
+  int changed = 0;
+  for (Instr& in : p.code) {
+    if (!isJumpLike(in.op)) continue;
+    int target = in.operand;
+    std::set<int> seen;
+    while (target >= 0 && target < static_cast<int>(p.code.size()) &&
+           p.code[static_cast<size_t>(target)].op == Opcode::Jmp &&
+           seen.insert(target).second) {
+      target = p.code[static_cast<size_t>(target)].operand;
+    }
+    if (target != in.operand) {
+      in.operand = target;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+/// Remove instructions where keep[i] is false; remap jump operands, labels
+/// and routine entries. Entries pointing into removed code move forward to
+/// the next kept instruction.
+void compact(AsmProgram& p, const std::vector<bool>& keep) {
+  const size_t n = p.code.size();
+  std::vector<int> remap(n + 1, 0);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    remap[i] = next;
+    if (keep[i]) ++next;
+  }
+  remap[n] = next;
+
+  std::vector<Instr> newCode;
+  newCode.reserve(static_cast<size_t>(next));
+  for (size_t i = 0; i < n; ++i)
+    if (keep[i]) newCode.push_back(p.code[i]);
+  for (Instr& in : newCode)
+    if (isJumpLike(in.op)) {
+      // Forward to the next surviving instruction at or after the target.
+      int t = in.operand;
+      while (t < static_cast<int>(n) && !keep[static_cast<size_t>(t)]) ++t;
+      in.operand = remap[static_cast<size_t>(t)];
+    }
+  p.code = std::move(newCode);
+  auto remapEntry = [&](int index) {
+    int t = index;
+    while (t < static_cast<int>(n) && !keep[static_cast<size_t>(t)]) ++t;
+    return remap[static_cast<size_t>(t)];
+  };
+  for (auto& [name, index] : p.labels) index = remapEntry(index);
+  for (auto& [name, index] : p.routines) index = remapEntry(index);
+  for (tep::LoopRegion& loop : p.loops) {
+    loop.begin = remapEntry(loop.begin);
+    loop.end = remapEntry(loop.end);
+  }
+}
+
+/// Mark instructions reachable from routine entries.
+std::vector<bool> reachable(const AsmProgram& p) {
+  std::vector<bool> mark(p.code.size(), false);
+  std::vector<int> work;
+  for (const auto& [name, entry] : p.routines) work.push_back(entry);
+  while (!work.empty()) {
+    const int at = work.back();
+    work.pop_back();
+    if (at < 0 || at >= static_cast<int>(p.code.size())) continue;
+    if (mark[static_cast<size_t>(at)]) continue;
+    mark[static_cast<size_t>(at)] = true;
+    const Instr& in = p.code[static_cast<size_t>(at)];
+    if (isJumpLike(in.op)) work.push_back(in.operand);
+    if (!endsFlow(in.op)) work.push_back(at + 1);
+  }
+  return mark;
+}
+
+}  // namespace
+
+PeepholeStats peepholeOptimize(AsmProgram& program) {
+  PeepholeStats stats;
+  for (;;) {
+    ++stats.iterations;
+    bool changed = false;
+
+    const int threaded = threadJumps(program);
+    stats.jumpsThreaded += threaded;
+    changed |= threaded > 0;
+
+    // Jump-to-next elimination.
+    std::vector<bool> keep(program.code.size(), true);
+    int removedJumps = 0;
+    for (size_t i = 0; i < program.code.size(); ++i) {
+      const Instr& in = program.code[i];
+      if (isJumpLike(in.op) && in.op != Opcode::Call &&
+          in.operand == static_cast<int>(i) + 1) {
+        keep[i] = false;
+        ++removedJumps;
+      }
+    }
+    if (removedJumps > 0) {
+      compact(program, keep);
+      stats.jumpsRemoved += removedJumps;
+      changed = true;
+    }
+
+    // Dead-code elimination.
+    const std::vector<bool> live = reachable(program);
+    int removedDead = 0;
+    for (bool l : live)
+      if (!l) ++removedDead;
+    if (removedDead > 0) {
+      compact(program, live);
+      stats.deadInstructionsRemoved += removedDead;
+      changed = true;
+    }
+
+    if (!changed || stats.iterations > 16) break;
+  }
+  return stats;
+}
+
+}  // namespace pscp::compiler

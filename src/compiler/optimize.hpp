@@ -1,0 +1,28 @@
+// Peephole optimization of compiled TEP programs (Sec. 4: "a peephole
+// optimization step removes redundant jumps").
+//
+// Passes, iterated to a fixed point:
+//   * jump threading: a jump whose target is an unconditional JMP is
+//     retargeted to the final destination;
+//   * jump-to-next elimination: JMP to the textually following instruction
+//     is deleted;
+//   * dead-code elimination: instructions unreachable from any routine
+//     entry are deleted (naive codegen leaves JMP-over-else chains and
+//     unreferenced materialization blocks).
+// All jump/call operands, labels, and routine entries are remapped.
+#pragma once
+
+#include "tep/isa.hpp"
+
+namespace pscp::compiler {
+
+struct PeepholeStats {
+  int jumpsThreaded = 0;
+  int jumpsRemoved = 0;
+  int deadInstructionsRemoved = 0;
+  int iterations = 0;
+};
+
+PeepholeStats peepholeOptimize(tep::AsmProgram& program);
+
+}  // namespace pscp::compiler

@@ -1,0 +1,211 @@
+#include "compiler/patterns.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "hwlib/components.hpp"
+
+namespace pscp::compiler {
+
+using actionlang::BinOp;
+using actionlang::Expr;
+using actionlang::ExprKind;
+using actionlang::Program;
+using actionlang::Stmt;
+using actionlang::StmtKind;
+using actionlang::UnOp;
+
+namespace {
+
+void walkExprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const auto& child : e.children) walkExprs(*child, fn);
+}
+
+void walkStmts(const std::vector<actionlang::StmtPtr>& body,
+               const std::function<void(const Expr&)>& fn) {
+  for (const auto& s : body) {
+    if (s->lhs) walkExprs(*s->lhs, fn);
+    if (s->expr) walkExprs(*s->expr, fn);
+    walkStmts(s->body, fn);
+    walkStmts(s->elseBody, fn);
+  }
+}
+
+void walkProgram(const Program& program, const std::function<void(const Expr&)>& fn) {
+  for (const auto& f : program.functions) walkStmts(f.body, fn);
+}
+
+std::optional<hwlib::CustomOp> fusibleOp(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return hwlib::CustomOp::Add;
+    case BinOp::Sub: return hwlib::CustomOp::Sub;
+    case BinOp::And: return hwlib::CustomOp::And;
+    case BinOp::Or: return hwlib::CustomOp::Or;
+    case BinOp::Xor: return hwlib::CustomOp::Xor;
+    case BinOp::Shl: return hwlib::CustomOp::Shl;
+    case BinOp::Shr: return hwlib::CustomOp::Shr;
+    default: return std::nullopt;
+  }
+}
+
+const char* customOpToken(hwlib::CustomOp op) {
+  switch (op) {
+    case hwlib::CustomOp::Add: return "+";
+    case hwlib::CustomOp::Sub: return "-";
+    case hwlib::CustomOp::And: return "&";
+    case hwlib::CustomOp::Or: return "|";
+    case hwlib::CustomOp::Xor: return "^";
+    case hwlib::CustomOp::Shl: return "<<";
+    case hwlib::CustomOp::Shr: return ">>";
+    case hwlib::CustomOp::Sar: return ">>a";
+    case hwlib::CustomOp::Neg: return "neg";
+    case hwlib::CustomOp::Not: return "~";
+  }
+  return "?";
+}
+
+bool isScalarLeaf(const Expr& e) {
+  return (e.kind == ExprKind::VarRef || e.kind == ExprKind::Member) && e.type &&
+         e.type->isScalar() && !e.constant.has_value();
+}
+
+int containerWidth(int w) { return w <= 8 ? 8 : w <= 16 ? 16 : 32; }
+
+}  // namespace
+
+PatternCounts countPatterns(const Program& program) {
+  PatternCounts counts;
+  walkProgram(program, [&](const Expr& e) {
+    if (e.kind == ExprKind::Binary) {
+      switch (e.binOp) {
+        case BinOp::Eq:
+        case BinOp::Ne:
+          ++counts.equalityCompares;
+          break;
+        case BinOp::Shl:
+        case BinOp::Shr:
+          ++counts.shifts;
+          break;
+        case BinOp::Mul:
+        case BinOp::Div:
+        case BinOp::Mod:
+          ++counts.mulDiv;
+          break;
+        default:
+          break;
+      }
+    }
+    if (e.kind == ExprKind::Unary && e.unOp == UnOp::Neg && !e.constant.has_value())
+      ++counts.negations;
+  });
+  return counts;
+}
+
+std::optional<FusionChain> extractChain(const Expr& expr, int minOps) {
+  if (!expr.type || !expr.type->isScalar() || expr.constant.has_value())
+    return std::nullopt;
+  // Walk the left spine collecting steps bottom-up.
+  std::vector<const Expr*> spine;
+  const Expr* node = &expr;
+  while (node->kind == ExprKind::Binary && fusibleOp(node->binOp).has_value()) {
+    spine.push_back(node);
+    node = node->children[0].get();
+  }
+  if (static_cast<int>(spine.size()) < minOps) return std::nullopt;
+  const Expr* accLeaf = node;
+  if (!isScalarLeaf(*accLeaf) && !accLeaf->constant.has_value()) return std::nullopt;
+
+  FusionChain chain;
+  chain.accLeaf = accLeaf;
+  chain.width = containerWidth(expr.type->width());
+  std::string signature = "a";
+  for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+    const Expr& bin = **it;
+    const Expr& rhs = *bin.children[1];
+    hwlib::CustomStep step;
+    step.op = *fusibleOp(bin.binOp);
+    // Arithmetic right shift when the operand type is signed.
+    if (step.op == hwlib::CustomOp::Shr && bin.children[0]->type->isSigned())
+      step.op = hwlib::CustomOp::Sar;
+    if (rhs.constant.has_value()) {
+      step.useConst = true;
+      step.konst = static_cast<int32_t>(*rhs.constant);
+      signature = "(" + signature + customOpToken(step.op) + "#" +
+                  std::to_string(step.konst) + ")";
+    } else {
+      if (!isScalarLeaf(rhs)) return std::nullopt;
+      // All variable operands must refer to the same value: one OP input.
+      if (chain.opLeaf == nullptr) {
+        chain.opLeaf = &rhs;
+      } else if (chain.opLeaf->str() != rhs.str()) {
+        return std::nullopt;
+      }
+      step.useConst = false;
+      signature = "(" + signature + customOpToken(step.op) + "b)";
+    }
+    // Widths must agree with the chain container (no hidden truncations).
+    if (containerWidth(bin.type->width()) != chain.width) return std::nullopt;
+    chain.steps.push_back(step);
+  }
+  chain.signature = signature;
+  chain.fusedOps = static_cast<int>(chain.steps.size());
+  return chain;
+}
+
+double chainDelayNs(int steps, int width, hwlib::AluStyle style) {
+  const double unit = hwlib::componentDelayNs(hwlib::ComponentId::CalcUnitCore, width) *
+                      hwlib::aluStyleDelayFactor(style);
+  return unit * (1.0 + 0.55 * (steps - 1));
+}
+
+double chainAreaClb(int steps, int width) {
+  // Each extra fused stage replicates roughly a third of a calculation
+  // unit's combinational logic.
+  return 0.35 * hwlib::componentArea(hwlib::ComponentId::CalcUnitCore, width) *
+         (steps - 1);
+}
+
+std::vector<hwlib::CustomInstr> findCustomCandidates(const Program& program,
+                                                     const hwlib::ArchConfig& arch) {
+  struct Candidate {
+    FusionChain chain;
+    int occurrences = 0;
+  };
+  std::map<std::string, Candidate> bySignature;
+  walkProgram(program, [&](const Expr& e) {
+    std::optional<FusionChain> chain = extractChain(e);
+    if (!chain) return;
+    const double delay = chainDelayNs(chain->fusedOps, chain->width, arch.aluStyle);
+    if (delay > arch.clockPeriodNs()) return;  // would become the critical path
+    auto [it, inserted] = bySignature.emplace(
+        chain->signature + strfmt("@%d", chain->width), Candidate{*chain, 1});
+    if (!inserted) ++it->second.occurrences;
+  });
+
+  std::vector<Candidate> ordered;
+  ordered.reserve(bySignature.size());
+  for (auto& [sig, cand] : bySignature) ordered.push_back(std::move(cand));
+  std::sort(ordered.begin(), ordered.end(), [](const Candidate& a, const Candidate& b) {
+    const int ga = a.occurrences * (a.chain.fusedOps - 1);
+    const int gb = b.occurrences * (b.chain.fusedOps - 1);
+    if (ga != gb) return ga > gb;
+    return a.chain.signature < b.chain.signature;
+  });
+
+  std::vector<hwlib::CustomInstr> out;
+  for (const Candidate& cand : ordered) {
+    hwlib::CustomInstr ci;
+    ci.name = strfmt("cust%zu", out.size());
+    ci.signature = cand.chain.signature;
+    ci.steps = cand.chain.steps;
+    ci.width = cand.chain.width;
+    ci.delayNs = chainDelayNs(cand.chain.fusedOps, cand.chain.width, arch.aluStyle);
+    ci.areaClb = chainAreaClb(cand.chain.fusedOps, cand.chain.width);
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+}  // namespace pscp::compiler

@@ -1,0 +1,60 @@
+// Pattern detection for the optimization ladder of Sec. 4:
+//
+//  "After the simple optimizations, pattern matching is used: if, e.g., a
+//   pattern of the form `if (a == b) ... else ...` is detected, a
+//   calculation unit with an additional comparator is inserted; if
+//   patterns of the form `x = -x` are detected, an ALU capable of
+//   performing two's complement is inserted. ... The next level are custom
+//   instructions for arithmetic expressions found in the transition
+//   routines. Complex expressions are broken up into smaller ones not to
+//   introduce long critical paths in the design."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "actionlang/ast.hpp"
+#include "hwlib/arch_config.hpp"
+
+namespace pscp::compiler {
+
+/// Occurrence counts of the hardware-insertable patterns.
+struct PatternCounts {
+  int equalityCompares = 0;  ///< == / != comparisons -> comparator unit
+  int negations = 0;         ///< unary minus -> two's-complement unit
+  int shifts = 0;            ///< shift expressions -> barrel shifter
+  int mulDiv = 0;            ///< * / % -> multiply/divide unit
+};
+
+[[nodiscard]] PatternCounts countPatterns(const actionlang::Program& program);
+
+/// A left-spine chain of fusible binary operations:  ((a op1 r1) op2 r2)...
+/// where every rhs is either a constant or one common scalar variable.
+/// Maps onto a custom calculation-unit instruction with inputs ACC (the
+/// leftmost leaf) and OP (the shared variable), executing in one cycle.
+struct FusionChain {
+  std::vector<hwlib::CustomStep> steps;
+  const actionlang::Expr* accLeaf = nullptr;  ///< gen'd into ACC
+  const actionlang::Expr* opLeaf = nullptr;   ///< gen'd into OP (null if all-const)
+  std::string signature;                      ///< canonical shape, e.g. "((a+b)<<#2)"
+  int width = 16;                             ///< result container width
+  int fusedOps = 0;
+};
+
+/// Try to view `expr` as a fusion chain of >= minOps operations.
+[[nodiscard]] std::optional<FusionChain> extractChain(const actionlang::Expr& expr,
+                                                      int minOps = 2);
+
+/// Combinational delay of an n-step fused chain at `width` bits.
+[[nodiscard]] double chainDelayNs(int steps, int width, hwlib::AluStyle style);
+
+/// Extra datapath area of an n-step fused chain.
+[[nodiscard]] double chainAreaClb(int steps, int width);
+
+/// Scan a program for profitable custom-instruction candidates that meet
+/// the clock-period constraint of `arch`; returns ready-to-install
+/// CustomInstr descriptors (deduplicated by signature, most-fused first).
+[[nodiscard]] std::vector<hwlib::CustomInstr> findCustomCandidates(
+    const actionlang::Program& program, const hwlib::ArchConfig& arch);
+
+}  // namespace pscp::compiler

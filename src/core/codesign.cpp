@@ -1,0 +1,106 @@
+#include "core/codesign.hpp"
+
+#include "actionlang/parser.hpp"
+#include "sla/sla.hpp"
+#include "statechart/parser.hpp"
+#include "tep/microcode.hpp"
+
+namespace pscp::core {
+
+std::vector<fpga::Block> floorplanBlocks(const hwlib::ArchConfig& arch,
+                                         const hwlib::ChartHardwareStats& stats,
+                                         int microWords) {
+  std::vector<fpga::Block> blocks;
+  blocks.push_back({"SLA", stats.productTerms / 2.0});
+  blocks.push_back({"Configuration Register", stats.crBits / 2.0});
+  blocks.push_back({"Transition Address Table", stats.transitions / 2.0});
+  blocks.push_back(
+      {"Port architecture",
+       hwlib::componentArea(hwlib::ComponentId::PortInterface, arch.dataWidth) *
+           stats.ports});
+  blocks.push_back({"Scheduler", 10.0 + 4.0 * arch.numTeps});
+  for (int i = 0; i < arch.numTeps; ++i) {
+    const std::string prefix = strfmt("TEP%d ", i);
+    for (const hwlib::SelectedComponent& part : hwlib::tepComponents(arch, microWords)) {
+      const double area = hwlib::componentArea(part.id, part.width) * part.count;
+      if (area < 0.5) continue;
+      blocks.push_back({prefix + hwlib::componentName(part.id), area});
+    }
+  }
+  return blocks;
+}
+
+std::unique_ptr<machine::PscpMachine> CodesignResult::buildMachine() const {
+  return std::make_unique<machine::PscpMachine>(chart, actions, exploration.arch,
+                                                exploration.options);
+}
+
+std::string CodesignResult::summary() const {
+  std::string out;
+  out += "=== PSCP codesign summary ===\n";
+  out += "architecture : " + exploration.arch.describe() + "\n";
+  out += strfmt("area         : %.0f CLBs on %s (%s)\n", exploration.final.areaClb,
+                device.name.c_str(),
+                exploration.fitsDevice ? "fits" : "DOES NOT FIT");
+  out += strfmt("timing       : %s (%d violating event cycles, worst excess %lld)\n",
+                exploration.timingMet ? "all constraints met" : "violations remain",
+                exploration.final.violations,
+                static_cast<long long>(exploration.final.worstExcess));
+  out += strfmt("program      : %d words, microcode %d words\n",
+                exploration.final.programWords, exploration.final.microWords);
+  return out;
+}
+
+CodesignResult Codesign::run(const std::string& chartText, const std::string& actionText,
+                             const std::string& deviceName) {
+  statechart::Chart chart = statechart::parseChart(chartText, "<chart>");
+  actionlang::Program parsed = actionlang::parseActionSource(actionText, "<actions>");
+  const fpga::Device& device = fpga::deviceByName(deviceName);
+
+  explore::Explorer explorer(chart, std::move(parsed), device);
+  explore::ExplorationResult exploration = explorer.run();
+
+  // Re-parse to obtain an owned program, then apply the explorer's storage
+  // decisions (Program is move-only; the explorer owns its working copy).
+  actionlang::Program finalProgram =
+      actionlang::parseActionSource(actionText, "<actions>");
+  for (const auto& [name, sc] : explorer.storageClasses()) {
+    actionlang::GlobalVar* g = finalProgram.findGlobal(name);
+    if (g != nullptr) g->storageClass = sc;
+  }
+
+  // Move the inputs into the result first so every analysis below binds to
+  // the long-lived copies.
+  CodesignResult result{std::move(chart), std::move(finalProgram),
+                        std::move(exploration), "", "", "", "", "", "", device};
+
+  sla::CrLayout layout(result.chart);
+  sla::Sla slaModel(result.chart, layout);
+  const compiler::HardwareBinding binding = sla::makeBinding(result.chart, layout);
+  compiler::Compiler comp(result.actions, binding, result.exploration.arch,
+                          result.exploration.options);
+  const compiler::CompiledApp app = comp.compile(result.chart);
+
+  timing::TransitionLengths lengths =
+      timing::transitionLengths(result.chart, app.program, app.transitionRoutine,
+                                result.exploration.arch, layout.conditionCount());
+  timing::EventCycleAnalyzer analyzer(result.chart, std::move(lengths),
+                                      result.exploration.arch.numTeps);
+
+  result.slaBlif = slaModel.emitBlif(result.chart.name());
+  result.slaVhdl = slaModel.emitVhdl(result.chart.name());
+  result.crDescription = layout.describe(result.chart);
+  result.programListing = app.program.listing();
+  result.timingTable =
+      timing::renderEventCycleTable(result.chart, analyzer.analyzeConstrained());
+
+  const int microWords = tep::buildMicrocodeRom(app.program, result.exploration.arch)
+                             .totalWords();
+  fpga::Floorplan plan(device,
+                       floorplanBlocks(result.exploration.arch,
+                                       slaModel.hardwareStats(result.chart), microWords));
+  result.floorplanAscii = plan.render();
+  return result;
+}
+
+}  // namespace pscp::core

@@ -1,0 +1,62 @@
+// The top-level codesign flow (paper Sec. 2-5, end to end):
+//
+//   textual statechart + C action routines
+//     -> parse / check (Statechart Structural Analyzer front end)
+//     -> CR layout + SLA synthesis (BLIF and VHDL)
+//     -> iterative architecture & instruction selection against the
+//        timing constraints (Sec. 4)
+//     -> compiled TEP program, microcode decoder, area account,
+//        floorplan on the chosen FPGA.
+//
+// This is the API a downstream user drives; the examples and benches are
+// thin wrappers around it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "actionlang/ast.hpp"
+#include "explore/explorer.hpp"
+#include "fpga/device.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/chart.hpp"
+#include "timing/event_cycles.hpp"
+
+namespace pscp::core {
+
+struct CodesignResult {
+  statechart::Chart chart;
+  actionlang::Program actions;  ///< with the explorer's storage classes
+  explore::ExplorationResult exploration;
+
+  // Generated artifacts.
+  std::string slaBlif;
+  std::string slaVhdl;
+  std::string crDescription;
+  std::string programListing;
+  std::string timingTable;     ///< Table-3-style event-cycle report
+  std::string floorplanAscii;  ///< Fig.-8-style placement
+  fpga::Device device;
+
+  /// Instantiate the cycle-accurate machine for the selected architecture.
+  [[nodiscard]] std::unique_ptr<machine::PscpMachine> buildMachine() const;
+
+  /// One-page summary (architecture, area, timing verdict).
+  [[nodiscard]] std::string summary() const;
+};
+
+class Codesign {
+ public:
+  /// Run the full flow. `deviceName` picks the FPGA (default: the paper's
+  /// XC4025). Throws pscp::Error on malformed inputs.
+  [[nodiscard]] static CodesignResult run(const std::string& chartText,
+                                          const std::string& actionText,
+                                          const std::string& deviceName = "XC4025");
+};
+
+/// Floorplan block list for an architecture (shared blocks + per-TEP).
+[[nodiscard]] std::vector<fpga::Block> floorplanBlocks(
+    const hwlib::ArchConfig& arch, const hwlib::ChartHardwareStats& stats,
+    int microWords);
+
+}  // namespace pscp::core

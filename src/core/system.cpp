@@ -1,0 +1,105 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+namespace pscp::core {
+
+using statechart::StepResult;
+
+ReferenceSystem::ReferenceSystem(const statechart::Chart& chart,
+                                 const actionlang::Program& actions)
+    : chartModel_(chart), chart_(chart), actions_(actions, *this) {}
+
+StepResult ReferenceSystem::step(const std::set<std::string>& externalEvents) {
+  snapshot_ = chart_.active();
+  statechart::ActionHandler handler = [this](const statechart::ActionCall& call,
+                                             statechart::StepEffects& fx) {
+    effects_ = &fx;
+    actions_.callFromLabel(call.function, call.args);
+    effects_ = nullptr;
+  };
+  return chart_.step(externalEvents, handler);
+}
+
+std::vector<StepResult> ReferenceSystem::runToQuiescence(
+    const std::set<std::string>& initialEvents, int maxCycles) {
+  std::vector<StepResult> out;
+  out.push_back(step(initialEvents));
+  while (static_cast<int>(out.size()) < maxCycles) {
+    const bool pending = !out.back().raisedEvents.empty();
+    if (out.back().quiescent && !pending) break;
+    out.push_back(step({}));
+    if (out.back().quiescent && out.back().raisedEvents.empty()) break;
+  }
+  return out;
+}
+
+bool ReferenceSystem::isActive(const std::string& stateName) const {
+  return chart_.isActive(stateName);
+}
+
+std::vector<std::string> ReferenceSystem::activeNames() const {
+  return chart_.activeNames();
+}
+
+bool ReferenceSystem::conditionValue(const std::string& name) const {
+  return chart_.conditionValue(name);
+}
+
+void ReferenceSystem::forceCondition(const std::string& name, bool value) {
+  chart_.setCondition(name, value);
+}
+
+int64_t ReferenceSystem::globalValue(const std::string& name) const {
+  return actions_.globalValue(name);
+}
+
+void ReferenceSystem::setGlobalValue(const std::string& name, int64_t value) {
+  actions_.setGlobalValue(name, value);
+}
+
+void ReferenceSystem::setInputPort(const std::string& portName, uint32_t value) {
+  if (chartModel_.ports().count(portName) == 0)
+    fail("no port named '%s'", portName.c_str());
+  ports_[portName] = value;
+}
+
+uint32_t ReferenceSystem::outputPort(const std::string& portName) const {
+  auto it = ports_.find(portName);
+  return it == ports_.end() ? 0 : it->second;
+}
+
+// ----------------------------------------------------------- HardwareEnv
+
+void ReferenceSystem::raiseEvent(const std::string& name) {
+  PSCP_ASSERT(effects_ != nullptr);
+  effects_->raiseEvent(name);
+}
+
+void ReferenceSystem::setCondition(const std::string& name, bool value) {
+  PSCP_ASSERT(effects_ != nullptr);
+  effects_->setCondition(name, value);
+}
+
+bool ReferenceSystem::testCondition(const std::string& name) {
+  // A routine sees its own (and this step's) pending writes, then the CR.
+  if (effects_ != nullptr) {
+    auto it = effects_->conditionWrites().find(name);
+    if (it != effects_->conditionWrites().end()) return it->second;
+  }
+  return chart_.conditionValue(name);
+}
+
+uint32_t ReferenceSystem::readPort(const std::string& name) { return ports_[name]; }
+
+void ReferenceSystem::writePort(const std::string& name, uint32_t value) {
+  ports_[name] = value;
+  portWrites_.emplace_back(name, value);
+}
+
+bool ReferenceSystem::inState(const std::string& name) {
+  const statechart::StateId id = chartModel_.findState(name);
+  return id != statechart::kNoState && snapshot_.count(id) != 0;
+}
+
+}  // namespace pscp::core

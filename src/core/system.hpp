@@ -1,0 +1,77 @@
+// ReferenceSystem: specification-level co-simulation of a reactive
+// application — the statechart Interpreter drives configurations while the
+// action-language Interp executes transition routines against a
+// HardwareEnv that mirrors the PSCP's CR/port architecture.
+//
+// This is the golden model: the cycle-accurate machine::PscpMachine must
+// produce the same observable behaviour (configurations, conditions,
+// events, port writes, global values) on the same event trace.
+//
+// Known modelling difference (both sides are documented races in the
+// paper's architecture too): a routine reading a condition written by a
+// *different* routine in the same configuration cycle sees the merged
+// step effects here but only its own TEP cache on the PSCP; designers
+// must use mutual-exclusion groups for such couplings.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actionlang/interp.hpp"
+#include "statechart/semantics.hpp"
+
+namespace pscp::core {
+
+class ReferenceSystem : public actionlang::HardwareEnv {
+ public:
+  ReferenceSystem(const statechart::Chart& chart, const actionlang::Program& actions);
+
+  /// One configuration cycle.
+  statechart::StepResult step(const std::set<std::string>& externalEvents);
+
+  /// Step until quiescent (no fired transitions, no pending events).
+  std::vector<statechart::StepResult> runToQuiescence(
+      const std::set<std::string>& initialEvents, int maxCycles = 64);
+
+  // ------------------------------------------------------------ observers
+  [[nodiscard]] bool isActive(const std::string& stateName) const;
+  [[nodiscard]] std::vector<std::string> activeNames() const;
+  [[nodiscard]] bool conditionValue(const std::string& name) const;
+  /// Testbench-level condition override (writes the CR directly).
+  void forceCondition(const std::string& name, bool value);
+  [[nodiscard]] int64_t globalValue(const std::string& name) const;
+  void setGlobalValue(const std::string& name, int64_t value);
+  void setInputPort(const std::string& portName, uint32_t value);
+  [[nodiscard]] uint32_t outputPort(const std::string& portName) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, uint32_t>>& portWriteLog()
+      const {
+    return portWrites_;
+  }
+
+  [[nodiscard]] const statechart::Interpreter& chartInterp() const { return chart_; }
+  [[nodiscard]] actionlang::Interp& actionInterp() { return actions_; }
+
+  // -------------------------------------------------- HardwareEnv (actions)
+  void raiseEvent(const std::string& name) override;
+  void setCondition(const std::string& name, bool value) override;
+  bool testCondition(const std::string& name) override;
+  uint32_t readPort(const std::string& name) override;
+  void writePort(const std::string& name, uint32_t value) override;
+  bool inState(const std::string& name) override;
+
+ private:
+  const statechart::Chart& chartModel_;
+  statechart::Interpreter chart_;
+  actionlang::Interp actions_;
+
+  // Step-scoped wiring.
+  statechart::StepEffects* effects_ = nullptr;
+  std::set<statechart::StateId> snapshot_;
+
+  std::map<std::string, uint32_t> ports_;
+  std::vector<std::pair<std::string, uint32_t>> portWrites_;
+};
+
+}  // namespace pscp::core

@@ -1,0 +1,329 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "compiler/patterns.hpp"
+#include "sla/sla.hpp"
+#include "tep/microcode.hpp"
+
+namespace pscp::explore {
+
+using actionlang::Program;
+using compiler::CompileOptions;
+using hwlib::ArchConfig;
+using statechart::Chart;
+
+Evaluation evaluate(const Chart& chart, const Program& actions, const ArchConfig& arch,
+                    const CompileOptions& options) {
+  Evaluation eval;
+  eval.arch = arch;
+  eval.options = options;
+
+  sla::CrLayout layout(chart);
+  sla::Sla slaModel(chart, layout);
+  const compiler::HardwareBinding binding = sla::makeBinding(chart, layout);
+  compiler::Compiler comp(actions, binding, arch, options);
+  const compiler::CompiledApp app = comp.compile(chart);
+
+  const tep::MicrocodeRom rom = tep::buildMicrocodeRom(app.program, arch);
+  eval.microWords = rom.totalWords();
+  eval.programWords = app.program.programWords();
+  eval.areaClb = hwlib::systemArea(arch, slaModel.hardwareStats(chart), eval.microWords);
+
+  const timing::TransitionLengths lengths = timing::transitionLengths(
+      chart, app.program, app.transitionRoutine, arch, layout.conditionCount());
+  timing::EventCycleAnalyzer analyzer(chart, lengths, arch.numTeps);
+  eval.cycles = analyzer.analyzeConstrained();
+  for (const timing::EventCycle& c : eval.cycles) {
+    if (c.violates()) {
+      ++eval.violations;
+      eval.worstExcess = std::max(eval.worstExcess, c.length - c.period);
+    }
+    if (c.event == "X_PULSE" || c.event == "Y_PULSE")
+      eval.worstXyLength = std::max(eval.worstXyLength, c.length);
+    if (c.event == "DATA_VALID")
+      eval.worstDataValidLength = std::max(eval.worstDataValidLength, c.length);
+  }
+  return eval;
+}
+
+std::string ExplorationResult::log() const {
+  std::string out;
+  for (const ExplorationStep& s : steps)
+    out += strfmt("%-44s area %6.0f CLB, violations %d, worst excess %lld%s\n",
+                  s.action.c_str(), s.eval.areaClb, s.eval.violations,
+                  static_cast<long long>(s.eval.worstExcess),
+                  s.kept ? "  [kept]" : "  [rolled back]");
+  out += strfmt("final: %s -> %s, timing %s, %s (%s)\n", arch.describe().c_str(),
+                deviceName.c_str(), timingMet ? "met" : "VIOLATED",
+                fitsDevice ? "fits" : "DOES NOT FIT",
+                strfmt("%.0f CLBs", final.areaClb).c_str());
+  return out;
+}
+
+Explorer::Explorer(const Chart& chart, Program actions, const fpga::Device& device)
+    : chart_(chart), actions_(std::move(actions)), device_(device) {}
+
+Evaluation Explorer::tryCandidate(const ArchConfig& arch, const CompileOptions& options) {
+  return evaluate(chart_, actions_, arch, options);
+}
+
+// ---------------------------------------------------------- access ranking
+
+namespace {
+
+void walkExprCounts(const actionlang::Expr& e, int64_t weight,
+                    std::map<std::string, int64_t>& counts, const Program& program) {
+  if (e.kind == actionlang::ExprKind::VarRef &&
+      program.findGlobal(e.name) != nullptr && !e.constant.has_value())
+    counts[e.name] += weight;
+  for (const auto& child : e.children) walkExprCounts(*child, weight, counts, program);
+}
+
+void walkStmtCounts(const std::vector<actionlang::StmtPtr>& body, int64_t weight,
+                    std::map<std::string, int64_t>& counts, const Program& program) {
+  for (const auto& s : body) {
+    const int64_t w =
+        s->kind == actionlang::StmtKind::While ? weight * std::max<int64_t>(s->loopBound, 1)
+                                               : weight;
+    if (s->lhs) walkExprCounts(*s->lhs, w, counts, program);
+    if (s->expr) walkExprCounts(*s->expr, w, counts, program);
+    walkStmtCounts(s->body, w, counts, program);
+    walkStmtCounts(s->elseBody, w, counts, program);
+  }
+}
+
+/// Functions transitively reachable from a function (no recursion).
+void reachableFunctions(const Program& program, const std::string& fn,
+                        std::set<std::string>& out) {
+  if (!out.insert(fn).second) return;
+  const actionlang::Function* f = program.findFunction(fn);
+  if (f == nullptr) return;
+  std::function<void(const actionlang::Expr&)> visitExpr =
+      [&](const actionlang::Expr& e) {
+        if (e.kind == actionlang::ExprKind::Call &&
+            !actionlang::isIntrinsicName(e.name))
+          reachableFunctions(program, e.name, out);
+        for (const auto& c : e.children) visitExpr(*c);
+      };
+  std::function<void(const std::vector<actionlang::StmtPtr>&)> visitBody =
+      [&](const std::vector<actionlang::StmtPtr>& body) {
+        for (const auto& s : body) {
+          if (s->lhs) visitExpr(*s->lhs);
+          if (s->expr) visitExpr(*s->expr);
+          visitBody(s->body);
+          visitBody(s->elseBody);
+        }
+      };
+  visitBody(f->body);
+}
+
+/// Globals a function (transitively) references.
+std::set<std::string> globalsUsedBy(const Program& program, const std::string& fn) {
+  std::set<std::string> fns;
+  reachableFunctions(program, fn, fns);
+  std::map<std::string, int64_t> counts;
+  for (const std::string& name : fns) {
+    const actionlang::Function* f = program.findFunction(name);
+    if (f != nullptr) walkStmtCounts(f->body, 1, counts, program);
+  }
+  std::set<std::string> out;
+  for (const auto& [g, n] : counts) out.insert(g);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, int64_t>> Explorer::hotGlobals() const {
+  std::map<std::string, int64_t> counts;
+  for (const actionlang::Function& f : actions_.functions)
+    walkStmtCounts(f.body, 1, counts, actions_);
+  std::vector<std::pair<std::string, int64_t>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return ranked;
+}
+
+std::vector<std::string> Explorer::singleOwnerGlobals() const {
+  // Owner routine per global: which transitions' action functions touch it.
+  std::map<std::string, std::set<int>> owners;
+  for (const statechart::Transition& t : chart_.transitions()) {
+    for (const statechart::ActionCall& call : t.label.actions) {
+      for (const std::string& g : globalsUsedBy(actions_, call.function))
+        owners[g].insert(t.id);
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [g, ts] : owners)
+    if (ts.size() <= 1) out.push_back(g);
+  return out;
+}
+
+void Explorer::applyStoragePromotion(int numTeps) {
+  // Reset, then promote the hottest globals: scalars narrow enough for the
+  // register file first (single-owner only when TEPs share it), then
+  // internal RAM (TEP-local: only coherent with a single TEP).
+  for (actionlang::GlobalVar& g : actions_.globals)
+    g.storageClass = compiler::kStorageExternal;
+
+  const auto ranked = hotGlobals();
+  // Register files are TEP-local, so globals may live there only when a
+  // single TEP exists (otherwise a routine migrating between TEPs would
+  // see a stale copy). A few registers are reserved; the rest hold the
+  // compiler's call-frame windows.
+  int regsLeft = numTeps == 1 ? 4 : 0;
+  for (const auto& [name, weight] : ranked) {
+    actionlang::GlobalVar* g = actions_.findGlobal(name);
+    if (g == nullptr) continue;
+    if (regsLeft > 0 && g->type->isScalar()) {
+      g->storageClass = compiler::kStorageRegister;
+      --regsLeft;
+      continue;
+    }
+    if (numTeps == 1) g->storageClass = compiler::kStorageInternal;
+  }
+}
+
+std::map<std::string, int> Explorer::storageClasses() const {
+  std::map<std::string, int> out;
+  for (const actionlang::GlobalVar& g : actions_.globals) out[g.name] = g.storageClass;
+  return out;
+}
+
+ExplorationResult Explorer::run() {
+  ExplorationResult result;
+  auto record = [&](const std::string& action, const Evaluation& eval, bool kept) {
+    result.steps.push_back({action, eval, kept});
+  };
+
+  // Step 0: minimal TEP, unoptimized code (Table 4 row 1).
+  ArchConfig arch;
+  arch.dataWidth = 8;
+  CompileOptions options = CompileOptions::unoptimized();
+  Evaluation best = tryCandidate(arch, options);
+  record("baseline: minimal 8-bit TEP, unoptimized", best, true);
+
+  auto attempt = [&](const std::string& action, const ArchConfig& a,
+                     const CompileOptions& o) {
+    if (best.timingMet()) return;
+    const Evaluation cand = tryCandidate(a, o);
+    const bool keep = cand.violations < best.violations ||
+                      (cand.violations == best.violations &&
+                       cand.worstExcess < best.worstExcess);
+    record(action, cand, keep);
+    if (keep) {
+      best = cand;
+      arch = a;
+      options = o;
+    }
+  };
+
+  // 1. Optimized code generation + peephole.
+  attempt("peephole + fused compare/branch codegen", arch, CompileOptions{});
+
+  // 1b. Register file for call frames (fast storage for params/locals).
+  {
+    ArchConfig a = arch;
+    a.registerFileSize = 12;
+    attempt("add register file (12 regs, frame windows)", a, options);
+  }
+
+  // 2. Storage promotion (rewrites the program's storage classes).
+  if (!best.timingMet()) {
+    applyStoragePromotion(arch.numTeps);
+    const Evaluation cand = tryCandidate(arch, options);
+    const bool keep = cand.violations <= best.violations && cand.worstExcess <= best.worstExcess;
+    record("storage promotion: external -> internal/registers", cand, keep);
+    if (keep) {
+      best = cand;
+    } else {
+      for (actionlang::GlobalVar& g : actions_.globals)
+        g.storageClass = compiler::kStorageExternal;
+    }
+  }
+
+  // 3. Pattern-matched functional units.
+  {
+    const compiler::PatternCounts patterns = compiler::countPatterns(actions_);
+    ArchConfig a = arch;
+    if (patterns.equalityCompares > 0) a.hasComparator = true;
+    if (patterns.negations > 0) a.hasTwosComplement = true;
+    if (patterns.shifts > 0) a.hasBarrelShifter = true;
+    if (!(a == arch)) attempt("pattern units: comparator/negate/shifter", a, options);
+  }
+
+  // 4. Wider data bus.
+  {
+    ArchConfig a = arch;
+    a.dataWidth = 16;
+    attempt("widen data bus to 16 bits", a, options);
+  }
+
+  // 5. Multiply/divide unit.
+  {
+    ArchConfig a = arch;
+    a.hasMulDiv = true;
+    attempt("add multiply/divide unit", a, options);
+  }
+
+  // 5b. Register-file frames pay off once the datapath is wide enough to
+  // hold the 16-bit locals; retry after the widening steps.
+  if (!best.timingMet() && arch.registerFileSize < 12) {
+    ArchConfig a = arch;
+    a.registerFileSize = 12;
+    attempt("add register file (12 regs, frame windows)", a, options);
+  }
+
+  // 5c. Pipelined instruction fetch (the paper lists this as future work;
+  // implemented here as a library element the explorer may pick).
+  {
+    ArchConfig a = arch;
+    a.pipelinedFetch = true;
+    attempt("pipelined instruction fetch", a, options);
+  }
+
+  // 6. Custom instructions (limited by the clock period).
+  {
+    ArchConfig a = arch;
+    a.customInstructions = compiler::findCustomCandidates(actions_, a);
+    if (!a.customInstructions.empty())
+      attempt(strfmt("custom instructions (%zu candidates)",
+                     a.customInstructions.size()),
+              a, options);
+  }
+
+  // 7. More TEPs — the last resort; each one must still fit the device
+  // ("special consideration of the limited available hardware resources").
+  while (!best.timingMet() && arch.numTeps < 4) {
+    ArchConfig a = arch;
+    ++a.numTeps;
+    applyStoragePromotion(a.numTeps);
+    const Evaluation cand = tryCandidate(a, options);
+    const bool improves = cand.violations < best.violations ||
+                          (cand.violations == best.violations &&
+                           cand.worstExcess < best.worstExcess);
+    const bool keep = improves && cand.areaClb <= device_.clbs();
+    record(strfmt("add TEP (now %d)", a.numTeps), cand, keep);
+    if (!keep) {
+      applyStoragePromotion(arch.numTeps);  // restore the kept layout
+      break;
+    }
+    best = cand;
+    arch = a;
+  }
+
+  result.arch = arch;
+  result.options = options;
+  result.final = best;
+  result.timingMet = best.timingMet();
+  result.fitsDevice = best.areaClb <= device_.clbs();
+  result.deviceName = device_.name;
+  return result;
+}
+
+}  // namespace pscp::explore

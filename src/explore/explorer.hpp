@@ -1,0 +1,104 @@
+// Iterative architecture/instruction-set selection (paper Sec. 4).
+//
+// "If a violation for an event cycle is detected, improvements are applied
+//  in increasing order of difficulty to the transitions in question:"
+//    1. peephole optimization (redundant jumps),
+//    2. storage promotion: external RAM -> internal RAM -> registers,
+//    3. pattern-matched units: comparator ("if (a == b)"), two's
+//       complement ("x = -x"), barrel shifter,
+//    4. wider data bus,
+//    5. the multiply/divide unit,
+//    6. custom single-cycle instructions (critical-path limited),
+//    7. additional TEPs (with bus-contention repercussions).
+//
+// Every step re-compiles the application, re-derives transition WCETs from
+// the new assembler code, re-runs the event-cycle analysis, and re-prices
+// the architecture in CLBs. Steps that stop helping are rolled back; the
+// ladder stops as soon as every constraint of Table 2 is met.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "actionlang/ast.hpp"
+#include "compiler/codegen.hpp"
+#include "fpga/device.hpp"
+#include "hwlib/arch_config.hpp"
+#include "statechart/chart.hpp"
+#include "timing/event_cycles.hpp"
+
+namespace pscp::explore {
+
+/// One evaluated design point.
+struct Evaluation {
+  hwlib::ArchConfig arch;
+  compiler::CompileOptions options;
+  std::vector<timing::EventCycle> cycles;   ///< constrained event cycles
+  int violations = 0;
+  int64_t worstExcess = 0;                  ///< max(length - period), >0 = violation
+  int64_t worstXyLength = 0;                ///< worst X/Y_PULSE cycle (Table 4 col)
+  int64_t worstDataValidLength = 0;         ///< worst DATA_VALID cycle (Table 4 col)
+  double areaClb = 0.0;
+  int microWords = 0;
+  int programWords = 0;
+
+  [[nodiscard]] bool timingMet() const { return violations == 0; }
+};
+
+/// Compile + analyze one candidate (also used standalone by the benches).
+[[nodiscard]] Evaluation evaluate(const statechart::Chart& chart,
+                                  const actionlang::Program& actions,
+                                  const hwlib::ArchConfig& arch,
+                                  const compiler::CompileOptions& options);
+
+struct ExplorationStep {
+  std::string action;  ///< human-readable ladder move
+  Evaluation eval;
+  bool kept = false;
+};
+
+struct ExplorationResult {
+  hwlib::ArchConfig arch;
+  compiler::CompileOptions options;
+  Evaluation final;
+  std::vector<ExplorationStep> steps;
+  bool timingMet = false;
+  bool fitsDevice = false;
+  std::string deviceName;
+
+  [[nodiscard]] std::string log() const;
+};
+
+class Explorer {
+ public:
+  /// `actions` is copied: storage promotion rewrites storage classes.
+  Explorer(const statechart::Chart& chart, actionlang::Program actions,
+           const fpga::Device& device);
+
+  [[nodiscard]] ExplorationResult run();
+
+  /// Globals ranked by (loop-weighted) static access count — the storage
+  /// promotion order. Exposed for tests.
+  [[nodiscard]] std::vector<std::pair<std::string, int64_t>> hotGlobals() const;
+
+  /// Globals referenced (transitively) by at most one transition routine.
+  [[nodiscard]] std::vector<std::string> singleOwnerGlobals() const;
+
+  /// Storage classes after run() (the promotion decisions).
+  [[nodiscard]] std::map<std::string, int> storageClasses() const;
+
+  /// The (possibly storage-rewritten) program.
+  [[nodiscard]] const actionlang::Program& actions() const { return actions_; }
+
+ private:
+  [[nodiscard]] Evaluation tryCandidate(const hwlib::ArchConfig& arch,
+                                        const compiler::CompileOptions& options);
+  void applyStoragePromotion(int numTeps);
+
+  const statechart::Chart& chart_;
+  actionlang::Program actions_;
+  fpga::Device device_;
+};
+
+}  // namespace pscp::explore

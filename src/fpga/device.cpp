@@ -1,0 +1,114 @@
+#include "fpga/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace pscp::fpga {
+
+const std::vector<Device>& xc4000Family() {
+  static const std::vector<Device> family = {
+      {"XC4002", 8, 8},    {"XC4003", 10, 10}, {"XC4005", 14, 14},
+      {"XC4006", 16, 16},  {"XC4008", 18, 18}, {"XC4010", 20, 20},
+      {"XC4013", 24, 24},  {"XC4020", 28, 28}, {"XC4025", 32, 32},
+  };
+  return family;
+}
+
+const Device& deviceByName(const std::string& name) {
+  for (const Device& d : xc4000Family())
+    if (d.name == name) return d;
+  fail("unknown FPGA device '%s'", name.c_str());
+}
+
+const Device& smallestFitting(double clbs) {
+  for (const Device& d : xc4000Family())
+    if (d.clbs() >= clbs) return d;
+  fail("no XC4000 device offers %.0f CLBs (largest is %d)", clbs,
+       xc4000Family().back().clbs());
+}
+
+Floorplan::Floorplan(const Device& device, std::vector<Block> blocks)
+    : device_(device) {
+  double total = 0.0;
+  for (const Block& b : blocks) total += b.clbs;
+  if (total > device.clbs())
+    fail("design needs %.0f CLBs, %s offers only %d", total, device.name.c_str(),
+         device.clbs());
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.clbs > b.clbs; });
+
+  // Skyline (bottom-left) packing: for each block try shapes from
+  // near-square to flat, and drop it at the column window with the lowest
+  // resulting top edge.
+  std::vector<int> skyline(static_cast<size_t>(device.cols), 0);
+  char glyph = 'A';
+  for (const Block& b : blocks) {
+    if (b.clbs <= 0.0) continue;
+    const int cells = std::max(1, static_cast<int>(std::ceil(b.clbs)));
+    const int squareH = std::max(1, static_cast<int>(std::round(std::sqrt(cells))));
+
+    int bestTop = device.rows + 1;
+    int bestCol = -1;
+    int bestW = 0;
+    int bestH = 0;
+    for (int h = std::min(squareH, device.rows); h >= 1; --h) {
+      const int w = std::min(device.cols, (cells + h - 1) / h);
+      for (int col = 0; col + w <= device.cols; ++col) {
+        int base = 0;
+        for (int c = col; c < col + w; ++c)
+          base = std::max(base, skyline[static_cast<size_t>(c)]);
+        const int top = base + h;
+        if (top <= device.rows && top < bestTop) {
+          bestTop = top;
+          bestCol = col;
+          bestW = w;
+          bestH = h;
+        }
+      }
+      if (bestCol != -1 && h <= squareH - 2) break;  // good enough shape found
+    }
+    if (bestCol == -1)
+      fail("floorplanner cannot place '%s' (%d cells)", b.name.c_str(), cells);
+
+    PlacedBlock pb;
+    pb.block = b;
+    pb.row = bestTop - bestH;
+    pb.col = bestCol;
+    pb.width = bestW;
+    pb.height = bestH;
+    pb.glyph = glyph;
+    placed_.push_back(pb);
+    for (int c = bestCol; c < bestCol + bestW; ++c)
+      skyline[static_cast<size_t>(c)] = bestTop;
+    glyph = glyph == 'Z' ? 'a' : static_cast<char>(glyph + 1);
+  }
+}
+
+double Floorplan::utilization() const {
+  double used = 0.0;
+  for (const PlacedBlock& p : placed_) used += p.block.clbs;
+  return used / device_.clbs();
+}
+
+std::string Floorplan::render() const {
+  std::vector<std::string> grid(static_cast<size_t>(device_.rows),
+                                std::string(static_cast<size_t>(device_.cols), '.'));
+  for (const PlacedBlock& p : placed_)
+    for (int r = p.row; r < p.row + p.height && r < device_.rows; ++r)
+      for (int c = p.col; c < p.col + p.width && c < device_.cols; ++c)
+        grid[static_cast<size_t>(r)][static_cast<size_t>(c)] = p.glyph;
+
+  std::string out = strfmt("%s floorplan (%dx%d CLBs, %.0f%% used)\n",
+                           device_.name.c_str(), device_.rows, device_.cols,
+                           utilization() * 100.0);
+  for (const std::string& row : grid) out += "  " + row + "\n";
+  out += "legend:\n";
+  for (const PlacedBlock& p : placed_)
+    out += strfmt("  %c  %-28s %6.1f CLBs\n", p.glyph, p.block.name.c_str(),
+                  p.block.clbs);
+  return out;
+}
+
+}  // namespace pscp::fpga

@@ -1,0 +1,67 @@
+// FPGA device models and a block floorplanner (paper Sec. 5 / Fig. 8).
+//
+// "Our target platform is based on FPGAs, which requires special
+//  consideration of the limited available hardware resources and of the
+//  attainable system speeds. ... The result fits on a single Xilinx
+//  XC4025 FPGA, which contains 1024 CLBs."
+//
+// We model the XC4000 family as CLB grids; "synthesis" in this repro is
+// CLB accounting plus a greedy strip floorplanner that renders the Fig. 8
+// style placement as ASCII art.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace pscp::fpga {
+
+struct Device {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+
+  [[nodiscard]] int clbs() const { return rows * cols; }
+};
+
+/// The XC4000 parts of the 1994 Xilinx data book the paper cites.
+[[nodiscard]] const std::vector<Device>& xc4000Family();
+[[nodiscard]] const Device& deviceByName(const std::string& name);
+/// Smallest family member with at least `clbs` CLBs; throws if none fits.
+[[nodiscard]] const Device& smallestFitting(double clbs);
+
+// ------------------------------------------------------------- floorplan
+
+struct Block {
+  std::string name;
+  double clbs = 0.0;
+};
+
+struct PlacedBlock {
+  Block block;
+  int row = 0;
+  int col = 0;
+  int width = 0;
+  int height = 0;
+  char glyph = '?';
+};
+
+class Floorplan {
+ public:
+  /// Greedy strip packing of blocks (largest first) onto the device grid.
+  /// Throws if the blocks do not fit.
+  Floorplan(const Device& device, std::vector<Block> blocks);
+
+  [[nodiscard]] const std::vector<PlacedBlock>& placements() const { return placed_; }
+  [[nodiscard]] double utilization() const;  ///< fraction of CLBs occupied
+
+  /// ASCII rendering (one character per CLB) plus a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  Device device_;
+  std::vector<PlacedBlock> placed_;
+};
+
+}  // namespace pscp::fpga

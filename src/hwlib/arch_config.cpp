@@ -1,0 +1,99 @@
+#include "hwlib/arch_config.hpp"
+
+#include <algorithm>
+
+namespace pscp::hwlib {
+
+void ArchConfig::validate() const {
+  if (dataWidth != 8 && dataWidth != 16 && dataWidth != 32)
+    fail("unsupported data width %d (library offers 8/16/32)", dataWidth);
+  if (numTeps < 1 || numTeps > 8)
+    fail("number of TEPs %d out of range [1, 8]", numTeps);
+  if (registerFileSize < 0 || registerFileSize > 16)
+    fail("register file size %d out of range [0, 16]", registerFileSize);
+  if (internalRamBytes < 0 || internalRamBytes > 4096)
+    fail("internal RAM size %d out of range [0, 4096]", internalRamBytes);
+  if (clockMhz <= 0.0) fail("clock must be positive");
+  for (const CustomInstr& ci : customInstructions)
+    if (ci.delayNs > clockPeriodNs())
+      fail("custom instruction '%s' (%.1f ns) exceeds the clock period (%.1f ns)",
+           ci.name.c_str(), ci.delayNs, clockPeriodNs());
+}
+
+std::string ArchConfig::describe() const {
+  std::string out = strfmt("%dbit", dataWidth);
+  if (hasMulDiv) out += " M/D";
+  out += " TEP";
+  if (numTeps > 1) out += strfmt(" x%d", numTeps);
+  if (registerFileSize > 0) out += strfmt(", %d regs", registerFileSize);
+  if (hasBarrelShifter) out += ", barrel";
+  if (pipelinedFetch) out += ", pipelined";
+  if (hasComparator) out += ", cmp";
+  if (hasTwosComplement) out += ", neg";
+  if (!customInstructions.empty())
+    out += strfmt(", %zu custom", customInstructions.size());
+  return out;
+}
+
+std::vector<SelectedComponent> tepComponents(const ArchConfig& config, int microWords) {
+  std::vector<SelectedComponent> parts;
+  const int w = config.dataWidth;
+  parts.push_back({ComponentId::CalcUnitCore, w, 1});
+  if (config.hasMulDiv) parts.push_back({ComponentId::MulDivUnit, w, 1});
+  if (config.hasBarrelShifter) parts.push_back({ComponentId::BarrelShifter, w, 1});
+  if (config.hasComparator) parts.push_back({ComponentId::Comparator, w, 1});
+  if (config.hasTwosComplement) parts.push_back({ComponentId::TwosComplementer, w, 1});
+  if (config.pipelinedFetch)  // prefetch buffer + bypass muxes
+    parts.push_back({ComponentId::InstructionFetch, w, 1});
+  if (config.registerFileSize > 0)
+    parts.push_back({ComponentId::RegisterFile, w, config.registerFileSize});
+  if (config.internalRamBytes > 0)
+    parts.push_back({ComponentId::InternalRam, w, config.internalRamBytes});
+  parts.push_back({ComponentId::ExternalRamIf, w, 1});
+  parts.push_back({ComponentId::MicroSequencer, w, 1});
+  parts.push_back({ComponentId::MicrocodeRom, w, std::max(microWords, 1)});
+  parts.push_back({ComponentId::InstructionFetch, w, 1});
+  parts.push_back({ComponentId::TransitionRegs, w, 1});
+  parts.push_back({ComponentId::BusInterface, w, 1});
+  return parts;
+}
+
+double tepArea(const ArchConfig& config, int microWords) {
+  double area = totalArea(tepComponents(config, microWords));
+  // ALU style scales only the calculation unit core.
+  area += componentArea(ComponentId::CalcUnitCore, config.dataWidth) *
+          (aluStyleAreaFactor(config.aluStyle) - 1.0);
+  for (const CustomInstr& ci : config.customInstructions) area += ci.areaClb;
+  return area;
+}
+
+double sharedArea(const ArchConfig& config, const ChartHardwareStats& stats) {
+  // SLA: two-level logic, ~1 CLB per 2 product terms (wide AND + OR share a
+  // CLB column). CR: flip-flop pairs per CLB. Transition address table: one
+  // entry per transition. Scheduler grows mildly with TEP count (round-
+  // robin arbitration + condition-cache copy logic per TEP).
+  const double sla = stats.productTerms / 2.0;
+  const double cr = stats.crBits / 2.0;
+  const double tat = stats.transitions / 2.0;
+  const double portArea =
+      componentArea(ComponentId::PortInterface, config.dataWidth) * stats.ports;
+  const double scheduler = 10.0 + 4.0 * config.numTeps;
+  return sla + cr + tat + portArea + scheduler;
+}
+
+double systemArea(const ArchConfig& config, const ChartHardwareStats& stats,
+                  int microWords) {
+  return sharedArea(config, stats) + config.numTeps * tepArea(config, microWords);
+}
+
+double calcUnitCriticalPathNs(const ArchConfig& config) {
+  double path = componentDelayNs(ComponentId::CalcUnitCore, config.dataWidth) *
+                aluStyleDelayFactor(config.aluStyle);
+  if (config.hasBarrelShifter)
+    path = std::max(path, componentDelayNs(ComponentId::BarrelShifter, config.dataWidth));
+  for (const CustomInstr& ci : config.customInstructions)
+    path = std::max(path, ci.delayNs);
+  return path;
+}
+
+}  // namespace pscp::hwlib

@@ -1,0 +1,118 @@
+// ArchConfig: the full description of one concrete PSCP instance.
+//
+// "Our ASIP architecture is scalable with respect to the number of
+//  processing elements as well as parameters such as bus widths and
+//  register file sizes."
+//
+// The design-space explorer (src/explore) mutates an ArchConfig along the
+// optimization ladder of Sec. 4; the compiler, microcode generator, timing
+// analysis, and area model all consume it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwlib/components.hpp"
+
+namespace pscp::hwlib {
+
+/// Primitive operations a custom instruction may chain combinationally.
+enum class CustomOp { Add, Sub, And, Or, Xor, Shl, Shr, Sar, Neg, Not };
+
+/// One stage of a custom instruction's combinational chain. The chain
+/// starts from ACC; each stage combines the running value with either the
+/// OP register or a hardwired constant.
+struct CustomStep {
+  CustomOp op = CustomOp::Add;
+  bool useConst = false;
+  int32_t konst = 0;
+
+  [[nodiscard]] bool operator==(const CustomStep&) const = default;
+};
+
+/// A generated custom single-cycle instruction (Sec. 3.3: "simple
+/// components such as shifters and registers can be combined to custom
+/// operations, which are derived from the assembler code. These
+/// instructions execute within one clock cycle. Care must be taken that
+/// such instructions do not become the critical paths inside the TEP.").
+struct CustomInstr {
+  std::string name;          ///< e.g. "cust_add_shl2"
+  std::string signature;     ///< canonical expression shape it replaces
+  std::vector<CustomStep> steps;
+  int width = 16;            ///< datapath width of the fused chain
+  double areaClb = 0.0;      ///< extra datapath area
+  double delayNs = 0.0;      ///< combinational depth (must fit the clock)
+
+  [[nodiscard]] bool operator==(const CustomInstr&) const = default;
+};
+
+struct ArchConfig {
+  // ------------------------------------------------------------- datapath
+  int dataWidth = 8;            ///< data bus / ALU width (8 or 16)
+  AluStyle aluStyle = AluStyle::Ripple;
+  bool hasMulDiv = false;       ///< hardware multiply/divide unit
+  bool hasBarrelShifter = false;///< multi-bit shifts in one cycle
+  bool hasComparator = false;   ///< pattern-matched "if (a == b)" unit
+  bool hasTwosComplement = false; ///< pattern-matched "x = -x" unit
+  /// Pipelined instruction fetch (paper Sec. 6 future work): prefetch
+  /// overlaps execution; straight-line instructions save the fetch state,
+  /// control transfers still pay it (prefetch flush).
+  bool pipelinedFetch = false;
+  int registerFileSize = 0;     ///< general registers beyond ACC/OP
+  int internalRamBytes = 32;    ///< on-chip RAM
+  std::vector<CustomInstr> customInstructions;
+
+  // -------------------------------------------------------------- machine
+  int numTeps = 1;
+  double clockMhz = 15.0;       ///< the paper's reference clock
+
+  [[nodiscard]] double clockPeriodNs() const { return 1000.0 / clockMhz; }
+
+  /// Chunks a `width`-bit value occupies on this datapath.
+  [[nodiscard]] int chunksFor(int width) const {
+    return (width + dataWidth - 1) / dataWidth;
+  }
+
+  /// Bytes per datapath word.
+  [[nodiscard]] int bytesPerWord() const { return dataWidth / 8; }
+
+  /// Throws pscp::Error if the configuration is inconsistent.
+  void validate() const;
+
+  /// Human-readable one-line summary, e.g. "16bit M/D TEP x2, 4 regs".
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const ArchConfig&) const = default;
+};
+
+/// Statistics of the synthesized statechart front end needed for the
+/// shared (non-TEP) area: SLA product terms, CR bits, ports, transitions.
+struct ChartHardwareStats {
+  int productTerms = 0;
+  int crBits = 0;
+  int ports = 0;
+  int transitions = 0;
+};
+
+/// Per-TEP component selection implied by the configuration (including the
+/// microcode ROM sized from `microWords`).
+[[nodiscard]] std::vector<SelectedComponent> tepComponents(const ArchConfig& config,
+                                                           int microWords);
+
+/// CLB area of one TEP.
+[[nodiscard]] double tepArea(const ArchConfig& config, int microWords);
+
+/// CLB area of the shared machine blocks (SLA, CR, transition address
+/// table, scheduler, buses) for a chart of the given size.
+[[nodiscard]] double sharedArea(const ArchConfig& config, const ChartHardwareStats& stats);
+
+/// Total system area: shared + numTeps * per-TEP.
+[[nodiscard]] double systemArea(const ArchConfig& config, const ChartHardwareStats& stats,
+                                int microWords);
+
+/// Worst-case combinational delay through the configured calculation unit;
+/// the custom-instruction generator must keep fused expressions below the
+/// clock period.
+[[nodiscard]] double calcUnitCriticalPathNs(const ArchConfig& config);
+
+}  // namespace pscp::hwlib

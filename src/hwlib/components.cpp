@@ -1,0 +1,109 @@
+#include "hwlib/components.hpp"
+
+namespace pscp::hwlib {
+
+const char* componentName(ComponentId id) {
+  switch (id) {
+    case ComponentId::CalcUnitCore: return "calc-unit";
+    case ComponentId::MulDivUnit: return "mul/div-unit";
+    case ComponentId::BarrelShifter: return "barrel-shifter";
+    case ComponentId::Comparator: return "comparator";
+    case ComponentId::TwosComplementer: return "twos-complementer";
+    case ComponentId::RegisterFile: return "register-file";
+    case ComponentId::InternalRam: return "internal-ram";
+    case ComponentId::ExternalRamIf: return "external-ram-if";
+    case ComponentId::MicroSequencer: return "micro-sequencer";
+    case ComponentId::MicrocodeRom: return "microcode-rom";
+    case ComponentId::PortInterface: return "port-interface";
+    case ComponentId::TransitionRegs: return "transition-regs";
+    case ComponentId::BusInterface: return "bus-interface";
+    case ComponentId::InstructionFetch: return "instruction-fetch";
+  }
+  return "?";
+}
+
+namespace {
+/// Linear-in-width area models, CLBs. An XC4000 CLB holds two 4-input LUTs
+/// and two flip-flops, so a W-bit register is ~W/2 CLBs and a W-bit ripple
+/// ALU slice ~W CLBs plus control overhead.
+double widthUnits(int width) { return width / 8.0; }
+}  // namespace
+
+double componentArea(ComponentId id, int width) {
+  const double w = widthUnits(width);
+  switch (id) {
+    case ComponentId::CalcUnitCore: return 14.0 * w + 10.0;  // ACC+OP+ALU+flags
+    case ComponentId::MulDivUnit: return 36.0 * w + 4.0;
+    case ComponentId::BarrelShifter: return 6.0 * w + 2.0;
+    case ComponentId::Comparator: return 3.0 * w + 1.0;
+    case ComponentId::TwosComplementer: return 2.5 * w + 1.0;
+    case ComponentId::RegisterFile: return 4.0 * w;          // per register
+    case ComponentId::InternalRam: return 0.25;              // per byte (CLB RAM)
+    case ComponentId::ExternalRamIf: return 12.0;
+    case ComponentId::MicroSequencer: return 24.0;
+    case ComponentId::MicrocodeRom: return 1.0 / 16.0;       // per microword
+    case ComponentId::PortInterface: return 2.5;             // per port
+    case ComponentId::TransitionRegs: return 14.0;
+    case ComponentId::BusInterface: return 8.0 * w + 4.0;
+    case ComponentId::InstructionFetch: return 18.0;
+  }
+  return 0.0;
+}
+
+double componentDelayNs(ComponentId id, int width) {
+  // XC4000-4 era: ~6 ns per logic level + ~4 ns routing per stage. A
+  // ripple-carry chain costs ~1.5 ns per bit beyond the first nibble.
+  switch (id) {
+    case ComponentId::CalcUnitCore: return 14.0 + 1.5 * width;
+    case ComponentId::MulDivUnit: return 30.0 + 2.0 * width;  // iterative unit, per step
+    case ComponentId::BarrelShifter: return 10.0 + 0.6 * width;
+    case ComponentId::Comparator: return 8.0 + 0.8 * width;
+    case ComponentId::TwosComplementer: return 8.0 + 1.0 * width;
+    case ComponentId::RegisterFile: return 6.0;
+    case ComponentId::InternalRam: return 12.0;
+    case ComponentId::ExternalRamIf: return 35.0;
+    case ComponentId::MicroSequencer: return 10.0;
+    case ComponentId::MicrocodeRom: return 8.0;
+    case ComponentId::PortInterface: return 9.0;
+    case ComponentId::TransitionRegs: return 7.0;
+    case ComponentId::BusInterface: return 11.0;
+    case ComponentId::InstructionFetch: return 10.0;
+  }
+  return 0.0;
+}
+
+double totalArea(const std::vector<SelectedComponent>& parts) {
+  double area = 0.0;
+  for (const SelectedComponent& p : parts)
+    area += componentArea(p.id, p.width) * p.count;
+  return area;
+}
+
+const char* aluStyleName(AluStyle s) {
+  switch (s) {
+    case AluStyle::Ripple: return "ripple";
+    case AluStyle::CarryLookahead: return "carry-lookahead";
+    case AluStyle::CarrySelect: return "carry-select";
+  }
+  return "?";
+}
+
+double aluStyleAreaFactor(AluStyle s) {
+  switch (s) {
+    case AluStyle::Ripple: return 1.0;
+    case AluStyle::CarryLookahead: return 1.25;
+    case AluStyle::CarrySelect: return 1.5;
+  }
+  return 1.0;
+}
+
+double aluStyleDelayFactor(AluStyle s) {
+  switch (s) {
+    case AluStyle::Ripple: return 1.0;
+    case AluStyle::CarryLookahead: return 0.7;
+    case AluStyle::CarrySelect: return 0.55;
+  }
+  return 1.0;
+}
+
+}  // namespace pscp::hwlib

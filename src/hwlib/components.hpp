@@ -1,0 +1,70 @@
+// Hardware component library (paper Sec. 3.3).
+//
+// "The TEP of an application is derived from a library of elements
+//  consisting of hardware building blocks and associated microinstruction
+//  sequences. The main library elements are calculation units of varying
+//  size and functionality. ... The library also contains several storage
+//  alternatives: fast, but more expensive registers, moderately fast and
+//  moderately expensive internal RAM, and slower, but cheaper external RAM."
+//
+// Every component carries an area model in Xilinx XC4000 CLBs and a
+// combinational delay model in nanoseconds. The area model is calibrated
+// so that the paper's Table 4 architectures land in the reported ballpark
+// (minimal TEP system = 224 CLBs, 16-bit M/D TEP system = 421, two TEPs =
+// 773 on an XC4025 with 1024 CLBs); the delay model drives the custom-
+// instruction critical-path limit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace pscp::hwlib {
+
+enum class ComponentId {
+  CalcUnitCore,      ///< accumulator + operand register + basic ALU
+  MulDivUnit,        ///< hardware multiply/divide extension
+  BarrelShifter,     ///< single-cycle shift unit
+  Comparator,        ///< dedicated equality/relation comparator (pattern opt.)
+  TwosComplementer,  ///< single-cycle negate unit (pattern opt.)
+  RegisterFile,      ///< per-register cost (fast storage alternative)
+  InternalRam,       ///< on-chip RAM, cost per byte (moderate storage)
+  ExternalRamIf,     ///< interface to off-chip RAM (cheap storage, slow)
+  MicroSequencer,    ///< microprogram counter + decode logic
+  MicrocodeRom,      ///< microprogram store, cost per 16-bit microword
+  PortInterface,     ///< event/condition/data port block (per port)
+  TransitionRegs,    ///< transition address/trigger registers + SLA link
+  BusInterface,      ///< shared event/condition/data bus attach
+  InstructionFetch,  ///< PC, IR, program memory interface (Harvard side)
+};
+
+[[nodiscard]] const char* componentName(ComponentId id);
+
+/// Area in CLBs for one instance at the given datapath width (bits).
+/// Width-independent components ignore `width`.
+[[nodiscard]] double componentArea(ComponentId id, int width);
+
+/// Worst-case combinational delay contribution in nanoseconds at `width`.
+[[nodiscard]] double componentDelayNs(ComponentId id, int width);
+
+/// One selected element of a concrete TEP configuration.
+struct SelectedComponent {
+  ComponentId id;
+  int width = 8;
+  int count = 1;  ///< registers: #registers; RAM: #bytes; ROM: #microwords
+};
+
+/// Total CLB area of a selection.
+[[nodiscard]] double totalArea(const std::vector<SelectedComponent>& parts);
+
+/// ALU styles offered by the library ("several styles of ALUs ... are
+/// available"). Ripple is smallest/slowest, carry-select fastest/largest.
+enum class AluStyle { Ripple, CarryLookahead, CarrySelect };
+
+[[nodiscard]] const char* aluStyleName(AluStyle s);
+/// Multiplicative area / delay factors applied to the CalcUnitCore.
+[[nodiscard]] double aluStyleAreaFactor(AluStyle s);
+[[nodiscard]] double aluStyleDelayFactor(AluStyle s);
+
+}  // namespace pscp::hwlib

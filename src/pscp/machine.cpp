@@ -1,0 +1,411 @@
+#include "pscp/machine.hpp"
+
+#include <algorithm>
+
+#include "pscp/sched_cost.hpp"
+#include "support/bits.hpp"
+
+namespace pscp::machine {
+
+using statechart::StateId;
+using statechart::TransitionId;
+
+PscpMachine::PscpMachine(const statechart::Chart& chart,
+                         const actionlang::Program& actions,
+                         const hwlib::ArchConfig& arch,
+                         compiler::CompileOptions options)
+    : chart_(chart),
+      actions_(actions),
+      arch_(arch),
+      layout_(chart),
+      sla_(chart, layout_),
+      binding_(sla::makeBinding(chart, layout_)),
+      app_(compiler::Compiler(actions, binding_, arch_, options).compile(chart)),
+      structure_(chart),
+      externalMem_(tep::kExternalSize, 0) {
+  arch_.validate();
+  internalBanks_.assign(static_cast<size_t>(arch_.numTeps),
+                        std::vector<uint8_t>(tep::kExternalBase, 0));
+  regBanks_.assign(static_cast<size_t>(arch_.numTeps), std::vector<uint32_t>(16, 0));
+  crConditions_.assign(static_cast<size_t>(layout_.conditionCount()), false);
+  for (StateId s : chart_.defaultCompletion(chart_.root())) active_.insert(s);
+  activeSnapshot_ = active_;
+  app_.loadImage(*this);
+  for (int i = 0; i < arch_.numTeps; ++i) {
+    teps_.push_back(std::make_unique<tep::Tep>(arch_, *this, i));
+    teps_.back()->setProgram(&app_.program);
+    condCache_.emplace_back();
+    condDirty_.emplace_back();
+  }
+}
+
+PscpMachine::~PscpMachine() = default;
+
+// ----------------------------------------------------------------- TepHost
+
+uint8_t PscpMachine::readByte(int32_t addr) {
+  if (addr >= 0 && addr < tep::kExternalBase) {
+    // TEP-local bank; outside any TEP (loader/observers), bank 0.
+    const size_t bank = currentTep_ >= 0 ? static_cast<size_t>(currentTep_) : 0;
+    return internalBanks_[bank][static_cast<size_t>(addr)];
+  }
+  if (tep::isExternalAddress(addr) && addr < tep::kExternalBase + tep::kExternalSize)
+    return externalMem_[static_cast<size_t>(addr - tep::kExternalBase)];
+  fail("PSCP: data read from unmapped address 0x%X", addr);
+}
+
+void PscpMachine::writeByte(int32_t addr, uint8_t value) {
+  if (addr >= 0 && addr < tep::kExternalBase) {
+    if (currentTep_ >= 0) {
+      internalBanks_[static_cast<size_t>(currentTep_)][static_cast<size_t>(addr)] = value;
+    } else {
+      // Loader writes (initial data image) broadcast to every bank.
+      for (auto& bank : internalBanks_) bank[static_cast<size_t>(addr)] = value;
+    }
+    return;
+  }
+  if (tep::isExternalAddress(addr) && addr < tep::kExternalBase + tep::kExternalSize) {
+    externalMem_[static_cast<size_t>(addr - tep::kExternalBase)] = value;
+    return;
+  }
+  fail("PSCP: data write to unmapped address 0x%X", addr);
+}
+
+uint32_t PscpMachine::readReg(int index) {
+  PSCP_ASSERT(index >= 0 && index < 16);
+  const size_t bank = currentTep_ >= 0 ? static_cast<size_t>(currentTep_) : 0;
+  return regBanks_[bank][static_cast<size_t>(index)];
+}
+
+void PscpMachine::writeReg(int index, uint32_t value) {
+  PSCP_ASSERT(index >= 0 && index < 16);
+  if (currentTep_ >= 0) {
+    regBanks_[static_cast<size_t>(currentTep_)][static_cast<size_t>(index)] = value;
+    return;
+  }
+  for (auto& bank : regBanks_) bank[static_cast<size_t>(index)] = value;  // loader
+}
+
+uint32_t PscpMachine::readPort(int address) { return ports_[address]; }
+
+void PscpMachine::writePort(int address, uint32_t value) {
+  ports_[address] = value;
+  portWrites_.emplace_back(address, value);
+}
+
+void PscpMachine::raiseEvent(int index) { pendingInternalEvents_.insert(index); }
+
+void PscpMachine::setCondition(int index, bool value) {
+  // TEPs write their local condition cache; the write-back at routine end
+  // moves it to the CR. Writes from outside any TEP hit the CR directly.
+  if (currentTep_ >= 0) {
+    condCache_[static_cast<size_t>(currentTep_)][index] = value;
+    condDirty_[static_cast<size_t>(currentTep_)].insert(index);
+    return;
+  }
+  PSCP_ASSERT(index >= 0 && index < static_cast<int>(crConditions_.size()));
+  crConditions_[static_cast<size_t>(index)] = value;
+}
+
+bool PscpMachine::testCondition(int index) {
+  if (currentTep_ >= 0) {
+    auto& cache = condCache_[static_cast<size_t>(currentTep_)];
+    auto it = cache.find(index);
+    if (it != cache.end()) return it->second;
+  }
+  PSCP_ASSERT(index >= 0 && index < static_cast<int>(crConditions_.size()));
+  return crConditions_[static_cast<size_t>(index)];
+}
+
+bool PscpMachine::testState(int index) {
+  // STST reads the state part of the CR, which holds the configuration the
+  // cycle started with (updates are applied at cycle end).
+  return activeSnapshot_.count(static_cast<StateId>(index)) != 0;
+}
+
+bool PscpMachine::acquireExternalBus(int tepId) {
+  if (busOwner_ == -1 || busOwner_ == tepId) {
+    busOwner_ = tepId;
+    return true;
+  }
+  ++busStallsThisCycle_;
+  return false;
+}
+
+// ------------------------------------------------------------- observation
+
+bool PscpMachine::isActive(const std::string& stateName) const {
+  const StateId id = chart_.findState(stateName);
+  return id != statechart::kNoState && active_.count(id) != 0;
+}
+
+std::vector<std::string> PscpMachine::activeNames() const {
+  std::vector<std::string> names;
+  for (StateId s : active_) names.push_back(chart_.state(s).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PscpMachine::conditionValue(const std::string& name) const {
+  return crConditions_[static_cast<size_t>(layout_.conditionBit(name))];
+}
+
+void PscpMachine::setCondition(const std::string& name, bool value) {
+  crConditions_[static_cast<size_t>(layout_.conditionBit(name))] = value;
+}
+
+void PscpMachine::setInputPort(const std::string& portName, uint32_t value) {
+  const auto& ports = chart_.ports();
+  auto it = ports.find(portName);
+  if (it == ports.end()) fail("no port named '%s'", portName.c_str());
+  ports_[it->second.address] = value;
+}
+
+uint32_t PscpMachine::outputPort(const std::string& portName) const {
+  const auto& ports = chart_.ports();
+  auto it = ports.find(portName);
+  if (it == ports.end()) fail("no port named '%s'", portName.c_str());
+  auto vit = ports_.find(it->second.address);
+  return vit == ports_.end() ? 0 : vit->second;
+}
+
+int64_t PscpMachine::globalValue(const std::string& name) const {
+  const compiler::VarPlacement& p = app_.globalPlacement.at(name);
+  const actionlang::GlobalVar* g = actions_.findGlobal(name);
+  PSCP_ASSERT(g != nullptr);
+  uint32_t raw = 0;
+  if (p.storageClass == compiler::kStorageRegister) {
+    raw = regBanks_[0][static_cast<size_t>(p.address)];
+  } else {
+    const int bytes = g->type->byteSize();
+    for (int i = 0; i < bytes; ++i)
+      raw |= static_cast<uint32_t>(
+                 const_cast<PscpMachine*>(this)->readByte(p.address + i))
+             << (8 * i);
+  }
+  const int w = g->type->width();
+  return g->type->isSigned() ? signExtend(truncBits(raw, w), w)
+                             : static_cast<int64_t>(truncBits(raw, w));
+}
+
+void PscpMachine::setGlobalValue(const std::string& name, int64_t value) {
+  const compiler::VarPlacement& p = app_.globalPlacement.at(name);
+  const actionlang::GlobalVar* g = actions_.findGlobal(name);
+  PSCP_ASSERT(g != nullptr);
+  if (p.storageClass == compiler::kStorageRegister) {
+    for (auto& bank : regBanks_)
+      bank[static_cast<size_t>(p.address)] =
+          truncBits(static_cast<uint32_t>(value), g->type->width());
+    return;
+  }
+  const int bytes = g->type->byteSize();
+  for (int i = 0; i < bytes; ++i)
+    writeByte(p.address + i,
+              static_cast<uint8_t>((static_cast<uint64_t>(value) >> (8 * i)) & 0xFF));
+}
+
+// ------------------------------------------------------------- cycle logic
+
+void PscpMachine::addTimer(const std::string& event, int64_t period) {
+  if (period <= 0) fail("timer period must be positive (got %lld)",
+                        static_cast<long long>(period));
+  Timer t;
+  t.eventBit = layout_.eventBit(event);
+  t.period = period;
+  t.nextFire = totalCycles_ + period;
+  timers_.push_back(t);
+}
+
+std::vector<bool> PscpMachine::buildCrBits(const std::set<int>& eventBits) const {
+  std::vector<bool> bits(static_cast<size_t>(layout_.totalBits()), false);
+  for (int b : eventBits) bits[static_cast<size_t>(b)] = true;
+  for (int c = 0; c < layout_.conditionCount(); ++c)
+    bits[static_cast<size_t>(layout_.conditionBase() + c)] =
+        crConditions_[static_cast<size_t>(c)];
+  for (const sla::StateField& field : layout_.stateFields()) {
+    int code = 0;
+    for (size_t i = 0; i < field.states.size(); ++i)
+      if (active_.count(field.states[i]) != 0) code = static_cast<int>(i) + 1;
+    for (int i = 0; i < field.width; ++i)
+      bits[static_cast<size_t>(layout_.stateBase() + field.baseBit + i)] =
+          ((code >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+std::vector<TransitionId> PscpMachine::resolveConflicts(
+    const std::vector<TransitionId>& selected) const {
+  // Identical policy to statechart::Interpreter::step — outer scope first,
+  // then declaration order; drop transitions whose exit sets overlap.
+  std::vector<TransitionId> order = selected;
+  std::stable_sort(order.begin(), order.end(), [&](TransitionId a, TransitionId b) {
+    const int da = chart_.depth(structure_.scopeOf(a));
+    const int db = chart_.depth(structure_.scopeOf(b));
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<TransitionId> chosen;
+  std::set<StateId> exited;
+  for (TransitionId t : order) {
+    const statechart::Transition& tr = chart_.transition(t);
+    if (exited.count(tr.source) != 0) continue;
+    std::set<StateId> exits = structure_.exitSet(t);
+    bool conflict = false;
+    for (StateId s : exits)
+      if (exited.count(s) != 0) {
+        conflict = true;
+        break;
+      }
+    if (conflict) continue;
+    for (StateId s : exits)
+      if (active_.count(s) != 0) exited.insert(s);
+    chosen.push_back(t);
+  }
+  return chosen;
+}
+
+CycleStats PscpMachine::configurationCycle(const std::set<std::string>& externalEvents) {
+  ++configCycles_;
+  CycleStats stats;
+  activeSnapshot_ = active_;
+  busStallsThisCycle_ = 0;
+
+  // 1. Sample events into the CR: external + those the TEPs raised last
+  //    cycle + matured hardware timers. Events live for exactly this cycle.
+  std::set<int> eventBits = pendingInternalEvents_;
+  pendingInternalEvents_.clear();
+  for (const std::string& name : externalEvents)
+    eventBits.insert(layout_.eventBit(name));
+  for (Timer& t : timers_) {
+    if (totalCycles_ >= t.nextFire) {
+      eventBits.insert(t.eventBit);
+      // Catch up without bursting: one event per cycle boundary.
+      while (t.nextFire <= totalCycles_) t.nextFire += t.period;
+    }
+  }
+
+  // 2. SLA selects enabled transitions; scheduler resolves conflicts.
+  const std::vector<bool> cr = buildCrBits(eventBits);
+  const std::vector<TransitionId> chosen = resolveConflicts(sla_.select(cr));
+  if (chosen.empty()) {
+    stats.quiescent = true;
+    stats.cycles = kSlaEvaluateCycles;
+    totalCycles_ += stats.cycles;
+    return stats;
+  }
+
+  // 3. Fill the TEP condition caches from the CR.
+  for (size_t i = 0; i < teps_.size(); ++i) {
+    condCache_[i].clear();
+    condDirty_[i].clear();
+    for (int c = 0; c < layout_.conditionCount(); ++c)
+      condCache_[i][c] = crConditions_[static_cast<size_t>(c)];
+  }
+
+  // 4. Dispatch from the Transition Address Table round-robin; execute the
+  //    TEPs in lockstep with bus arbitration. Mutual-exclusion groups are
+  //    never in flight on two TEPs at once (the "additional decode logic"
+  //    of Sec. 4).
+  std::vector<TransitionId> table = chosen;  // FIFO of pending transitions
+  std::vector<TransitionId> running(teps_.size(), -1);
+  std::set<std::string> groupsInFlight;
+  int64_t cycles = kSlaEvaluateCycles +
+                   static_cast<int64_t>(teps_.size()) *
+                       conditionCopyCycles(arch_, layout_.conditionCount());
+
+  auto tryDispatch = [&](size_t tepIndex) {
+    if (running[tepIndex] != -1 || table.empty()) return;
+    // Find the first pending transition whose exclusion group is free.
+    for (size_t j = 0; j < table.size(); ++j) {
+      const statechart::Transition& tr = chart_.transition(table[j]);
+      if (!tr.exclusionGroup.empty() && groupsInFlight.count(tr.exclusionGroup) != 0)
+        continue;
+      const TransitionId t = table[j];
+      table.erase(table.begin() + static_cast<std::ptrdiff_t>(j));
+      running[tepIndex] = t;
+      if (!tr.exclusionGroup.empty()) groupsInFlight.insert(tr.exclusionGroup);
+      const std::string& routine = app_.transitionRoutine.at(t);
+      teps_[tepIndex]->startRoutine(app_.program.entryOf(routine));
+      cycles += kDispatchCyclesPerTransition;
+      break;
+    }
+  };
+
+  for (size_t i = 0; i < teps_.size(); ++i) tryDispatch(i);
+
+  const int64_t maxMachineCycles = 4'000'000;
+  int64_t guard = 0;
+  while (true) {
+    bool anyBusy = false;
+    for (size_t i = 0; i < teps_.size(); ++i)
+      if (teps_[i]->busy()) anyBusy = true;
+    if (!anyBusy && table.empty()) break;
+
+    if (!anyBusy && !table.empty()) {
+      // All TEPs idle but exclusion groups blocked dispatch earlier: clear
+      // finished groups and retry.
+      for (size_t i = 0; i < teps_.size(); ++i) tryDispatch(i);
+      if (std::none_of(teps_.begin(), teps_.end(),
+                       [](const auto& t) { return t->busy(); }))
+        fail("PSCP scheduler deadlock (mutual-exclusion groups)");
+      continue;
+    }
+
+    // One machine cycle: every busy TEP advances one microinstruction;
+    // the external bus has a single owner per cycle (rotating priority).
+    busOwner_ = -1;
+    for (size_t k = 0; k < teps_.size(); ++k) {
+      const size_t i = (static_cast<size_t>(cycles) + k) % teps_.size();
+      if (!teps_[i]->busy()) continue;
+      currentTep_ = static_cast<int>(i);
+      teps_[i]->stepCycle();
+      currentTep_ = -1;
+      if (!teps_[i]->busy()) {
+        // Routine finished: write back this TEP's condition cache and free
+        // its exclusion group, then hand it the next transition.
+        const TransitionId done = running[i];
+        running[i] = -1;
+        for (int c : condDirty_[i])
+          crConditions_[static_cast<size_t>(c)] = condCache_[i][c];
+        condDirty_[i].clear();
+        const statechart::Transition& tr = chart_.transition(done);
+        if (!tr.exclusionGroup.empty()) groupsInFlight.erase(tr.exclusionGroup);
+        cycles += conditionCopyCycles(arch_, layout_.conditionCount());
+        stats.fired.push_back(done);
+        tryDispatch(i);
+      }
+    }
+    ++cycles;
+    if (++guard > maxMachineCycles)
+      fail("PSCP configuration cycle exceeded %lld machine cycles",
+           static_cast<long long>(maxMachineCycles));
+  }
+
+  // 5. Configuration update: apply exits/enters of all fired transitions.
+  for (TransitionId t : chosen) {
+    for (StateId s : structure_.exitSet(t)) active_.erase(s);
+  }
+  for (TransitionId t : chosen) {
+    for (StateId s : structure_.enterSet(t)) active_.insert(s);
+  }
+
+  stats.cycles = cycles;
+  stats.busStallCycles = busStallsThisCycle_;
+  totalCycles_ += cycles;
+  totalBusStalls_ += busStallsThisCycle_;
+  return stats;
+}
+
+std::vector<CycleStats> PscpMachine::runToQuiescence(
+    const std::set<std::string>& initialEvents, int maxCycles) {
+  std::vector<CycleStats> out;
+  out.push_back(configurationCycle(initialEvents));
+  while (!out.back().quiescent || !pendingInternalEvents_.empty()) {
+    if (static_cast<int>(out.size()) >= maxCycles) break;
+    out.push_back(configurationCycle({}));
+    if (out.back().quiescent && pendingInternalEvents_.empty()) break;
+  }
+  return out;
+}
+
+}  // namespace pscp::machine

@@ -1,0 +1,161 @@
+// The PSCP machine simulator (paper Fig. 1 and Sec. 3.1).
+//
+// "The execution of the PSCP is controlled by the scheduler, which enables
+//  the SLA at the beginning of a configuration cycle. The SLA generates
+//  the addresses of the transitions to be executed... The scheduler copies
+//  the contents of the condition part of the CR into the local condition
+//  caches, and assigns the execution of the individual transitions to the
+//  available TEPs employing a round-robin protocol. ... At the end of a
+//  transition execution, the scheduler copies the condition cache back to
+//  the CR. Transitions are scheduled until the Transition Address Table is
+//  empty. The TEPs may generate new events in the CR, and alter the
+//  contents of their condition caches, thus generating a new
+//  configuration. The scheduler then enables the SLA to begin the next
+//  configuration cycle, at which time the new external events are sampled
+//  into the CR."
+//
+// This class is the executable model of that machine: N cycle-accurate
+// TEPs stepped in lockstep with single-owner external-bus arbitration,
+// per-TEP condition caches with end-of-routine write-back, a Transition
+// Address Table, mutual-exclusion decode logic, and the CR. Its observable
+// behaviour (configurations, conditions, raised events, fired transitions)
+// must agree with the specification-level statechart::Interpreter +
+// actionlang::Interp pair; property tests enforce this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hpp"
+#include "sla/sla.hpp"
+#include "statechart/semantics.hpp"
+#include "tep/machine.hpp"
+
+namespace pscp::machine {
+
+struct CycleStats {
+  std::vector<statechart::TransitionId> fired;  ///< in dispatch order
+  int64_t cycles = 0;          ///< reference-clock cycles consumed
+  int64_t busStallCycles = 0;  ///< external-bus arbitration losses
+  bool quiescent = false;      ///< SLA selected nothing
+};
+
+class PscpMachine : public tep::TepHost {
+ public:
+  PscpMachine(const statechart::Chart& chart, const actionlang::Program& actions,
+              const hwlib::ArchConfig& arch,
+              compiler::CompileOptions options = {});
+  ~PscpMachine() override;
+
+  /// Run one configuration cycle with the given external events.
+  CycleStats configurationCycle(const std::set<std::string>& externalEvents);
+
+  /// Hardware timer (paper Sec. 6 future work): raises `event` every
+  /// `period` reference-clock cycles of machine time. Timer events are
+  /// sampled into the CR at the next configuration-cycle boundary, like
+  /// any external event.
+  void addTimer(const std::string& event, int64_t period);
+
+  /// Run cycles until quiescent (no enabled transitions and no pending
+  /// internal events), up to `maxCycles` configuration cycles.
+  std::vector<CycleStats> runToQuiescence(const std::set<std::string>& initialEvents,
+                                          int maxCycles = 64);
+
+  // ------------------------------------------------------------ observers
+  [[nodiscard]] bool isActive(const std::string& stateName) const;
+  [[nodiscard]] std::vector<std::string> activeNames() const;
+  [[nodiscard]] bool conditionValue(const std::string& name) const;
+  void setCondition(const std::string& name, bool value);
+  [[nodiscard]] int64_t totalCycles() const { return totalCycles_; }
+  [[nodiscard]] int64_t totalBusStalls() const { return totalBusStalls_; }
+  [[nodiscard]] int64_t configurationCycles() const { return configCycles_; }
+
+  /// Environment-facing ports (by chart port name).
+  void setInputPort(const std::string& portName, uint32_t value);
+  [[nodiscard]] uint32_t outputPort(const std::string& portName) const;
+  [[nodiscard]] const std::vector<std::pair<int, uint32_t>>& portWriteLog() const {
+    return portWrites_;
+  }
+
+  /// Read a compiled global (for assertions / environment models).
+  [[nodiscard]] int64_t globalValue(const std::string& name) const;
+  void setGlobalValue(const std::string& name, int64_t value);
+
+  [[nodiscard]] const compiler::CompiledApp& app() const { return app_; }
+  [[nodiscard]] const sla::Sla& slaModel() const { return sla_; }
+  [[nodiscard]] const sla::CrLayout& crLayout() const { return layout_; }
+  [[nodiscard]] const hwlib::ArchConfig& arch() const { return arch_; }
+
+  // ---------------------------------------------------- TepHost interface
+  uint8_t readByte(int32_t addr) override;
+  void writeByte(int32_t addr, uint8_t value) override;
+  uint32_t readReg(int index) override;
+  void writeReg(int index, uint32_t value) override;
+  uint32_t readPort(int address) override;
+  void writePort(int address, uint32_t value) override;
+  void raiseEvent(int index) override;
+  void setCondition(int index, bool value) override;
+  bool testCondition(int index) override;
+  bool testState(int index) override;
+  bool acquireExternalBus(int tepId) override;
+
+ private:
+  [[nodiscard]] std::vector<bool> buildCrBits(const std::set<int>& eventBits) const;
+  [[nodiscard]] std::vector<statechart::TransitionId> resolveConflicts(
+      const std::vector<statechart::TransitionId>& selected) const;
+
+  const statechart::Chart& chart_;
+  const actionlang::Program& actions_;
+  hwlib::ArchConfig arch_;
+  sla::CrLayout layout_;
+  sla::Sla sla_;
+  compiler::HardwareBinding binding_;
+  compiler::CompiledApp app_;
+  /// Structure-only interpreter used for scope/exit/enter computations.
+  statechart::Interpreter structure_;
+
+  // Machine state.
+  struct Timer {
+    int eventBit = 0;
+    int64_t period = 0;
+    int64_t nextFire = 0;
+  };
+  std::vector<Timer> timers_;
+
+  std::set<statechart::StateId> active_;
+  std::set<statechart::StateId> activeSnapshot_;  ///< config at cycle start
+  std::vector<bool> crConditions_;
+  std::set<int> pendingInternalEvents_;
+
+  // Memory / registers / ports. Internal RAM is the TEP-local memory of
+  // Fig. 1 — one bank per TEP (function frames and expression temporaries
+  // land there, so parallel TEPs never race on them); external RAM and the
+  // register bank are shared.
+  std::vector<std::vector<uint8_t>> internalBanks_;
+  std::vector<uint8_t> externalMem_;
+  /// Register files are per TEP too ("units with or without associated
+  /// register files"): the compiler's register windows hold call frames.
+  std::vector<std::vector<uint32_t>> regBanks_;
+  std::map<int, uint32_t> ports_;
+  std::vector<std::pair<int, uint32_t>> portWrites_;
+
+  // TEP cores and their condition caches.
+  std::vector<std::unique_ptr<tep::Tep>> teps_;
+  std::vector<std::map<int, bool>> condCache_;   ///< full copy per TEP
+  std::vector<std::set<int>> condDirty_;         ///< written entries
+  int currentTep_ = -1;
+
+  // External-bus arbitration (single owner per machine cycle).
+  int busOwner_ = -1;
+  int64_t busStallsThisCycle_ = 0;
+
+  // Statistics.
+  int64_t totalCycles_ = 0;
+  int64_t totalBusStalls_ = 0;
+  int64_t configCycles_ = 0;
+};
+
+}  // namespace pscp::machine

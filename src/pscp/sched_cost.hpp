@@ -1,0 +1,32 @@
+// Scheduler cost model shared by the PSCP machine simulator and the static
+// timing analysis — both must charge the same per-configuration-cycle and
+// per-transition overheads or the analysis would not bound the simulation.
+#pragma once
+
+#include "hwlib/arch_config.hpp"
+
+namespace pscp::machine {
+
+/// Cycles for the SLA to settle and the scheduler to latch its outputs at
+/// the start of a configuration cycle.
+inline constexpr int kSlaEvaluateCycles = 2;
+
+/// Cycles to hand one transition address to a TEP (round-robin grant).
+inline constexpr int kDispatchCyclesPerTransition = 1;
+
+/// Cycles to copy the condition part of the CR into one TEP's condition
+/// cache (and the same to write it back): one bus beat per data word.
+[[nodiscard]] inline int conditionCopyCycles(const hwlib::ArchConfig& config,
+                                             int conditionCount) {
+  const int words = (conditionCount + config.dataWidth - 1) / config.dataWidth;
+  return words < 1 ? 1 : words;
+}
+
+/// Fixed overhead charged to a configuration cycle that runs at least one
+/// transition: SLA evaluation + cache fill + cache write-back.
+[[nodiscard]] inline int cycleOverhead(const hwlib::ArchConfig& config,
+                                       int conditionCount) {
+  return kSlaEvaluateCycles + 2 * conditionCopyCycles(config, conditionCount);
+}
+
+}  // namespace pscp::machine

@@ -1,0 +1,230 @@
+#include "sla/sla.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace pscp::sla {
+
+using statechart::BoolExpr;
+using statechart::BoolOp;
+using statechart::Chart;
+using statechart::StateId;
+using statechart::TransitionId;
+
+bool ProductTerm::matches(const std::vector<bool>& crBits) const {
+  return std::all_of(literals.begin(), literals.end(), [&](const Literal& lit) {
+    PSCP_ASSERT(lit.bit >= 0 && lit.bit < static_cast<int>(crBits.size()));
+    return crBits[static_cast<size_t>(lit.bit)] == lit.polarity;
+  });
+}
+
+namespace {
+
+constexpr size_t kMaxTermsPerTransition = 256;
+
+/// Sum-of-products form: a list of terms, each a list of literals.
+using Sop = std::vector<std::vector<Literal>>;
+
+Sop sopTrue() { return {{}}; }  // one empty term: always true
+Sop sopFalse() { return {}; }
+
+Sop sopAnd(const Sop& a, const Sop& b) {
+  Sop out;
+  for (const auto& ta : a)
+    for (const auto& tb : b) {
+      std::vector<Literal> merged = ta;
+      bool contradiction = false;
+      for (const Literal& lit : tb) {
+        auto same = std::find_if(merged.begin(), merged.end(),
+                                 [&](const Literal& m) { return m.bit == lit.bit; });
+        if (same != merged.end()) {
+          if (same->polarity != lit.polarity) {
+            contradiction = true;
+            break;
+          }
+          continue;  // duplicate literal
+        }
+        merged.push_back(lit);
+      }
+      if (!contradiction) out.push_back(std::move(merged));
+      if (out.size() > kMaxTermsPerTransition)
+        fail("SLA product-term explosion (> %zu terms)", kMaxTermsPerTransition);
+    }
+  return out;
+}
+
+Sop sopOr(Sop a, const Sop& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  if (a.size() > kMaxTermsPerTransition)
+    fail("SLA product-term explosion (> %zu terms)", kMaxTermsPerTransition);
+  return a;
+}
+
+/// Expand a label boolean expression to SOP over CR bits. `negated` pushes
+/// negations down (De Morgan).
+Sop expand(const BoolExpr& e, bool negated,
+           const std::function<int(const std::string&)>& bitOf) {
+  switch (e.op()) {
+    case BoolOp::True:
+      return negated ? sopFalse() : sopTrue();
+    case BoolOp::Ref:
+      return {{Literal{bitOf(e.name()), !negated}}};
+    case BoolOp::Not:
+      return expand(e.children()[0], !negated, bitOf);
+    case BoolOp::And: {
+      // negated AND -> OR of negated children.
+      Sop acc = negated ? sopFalse() : sopTrue();
+      for (const BoolExpr& k : e.children()) {
+        const Sop part = expand(k, negated, bitOf);
+        acc = negated ? sopOr(std::move(acc), part) : sopAnd(acc, part);
+      }
+      return acc;
+    }
+    case BoolOp::Or: {
+      Sop acc = negated ? sopTrue() : sopFalse();
+      for (const BoolExpr& k : e.children()) {
+        const Sop part = expand(k, negated, bitOf);
+        acc = negated ? sopAnd(acc, part) : sopOr(std::move(acc), part);
+      }
+      return acc;
+    }
+  }
+  return sopFalse();
+}
+
+}  // namespace
+
+Sla::Sla(const Chart& chart, const CrLayout& layout) : chart_(chart), layout_(layout) {
+  terms_.resize(chart.transitions().size());
+  for (const statechart::Transition& t : chart.transitions()) {
+    // Source-state activity: the state's field must equal its code.
+    const auto [fieldIndex, code] = layout_.stateCode(t.source);
+    const StateField& field = layout_.stateFields()[static_cast<size_t>(fieldIndex)];
+    std::vector<Literal> activity;
+    for (int i = 0; i < field.width; ++i)
+      activity.push_back(Literal{layout_.stateBase() + field.baseBit + i,
+                                 ((code >> i) & 1) != 0});
+    Sop sop = {activity};
+
+    auto eventBit = [&](const std::string& name) { return layout_.eventBit(name); };
+    auto condBit = [&](const std::string& name) {
+      return layout_.conditionBase() + layout_.conditionBit(name);
+    };
+    sop = sopAnd(sop, expand(t.label.trigger, false, eventBit));
+    sop = sopAnd(sop, expand(t.label.guard, false, condBit));
+
+    auto& out = terms_[static_cast<size_t>(t.id)];
+    out.reserve(sop.size());
+    for (auto& termLits : sop) out.push_back(ProductTerm{std::move(termLits)});
+  }
+}
+
+std::vector<TransitionId> Sla::select(const std::vector<bool>& crBits) const {
+  std::vector<TransitionId> out;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    const bool hit = std::any_of(terms_[t].begin(), terms_[t].end(),
+                                 [&](const ProductTerm& pt) { return pt.matches(crBits); });
+    if (hit) out.push_back(static_cast<TransitionId>(t));
+  }
+  return out;
+}
+
+int Sla::productTermCount() const {
+  int n = 0;
+  for (const auto& ts : terms_) n += static_cast<int>(ts.size());
+  return n;
+}
+
+int Sla::literalCount() const {
+  int n = 0;
+  for (const auto& ts : terms_)
+    for (const ProductTerm& pt : ts) n += static_cast<int>(pt.literals.size());
+  return n;
+}
+
+std::string Sla::emitBlif(const std::string& modelName) const {
+  std::string out = ".model " + modelName + "\n.inputs";
+  for (int i = 0; i < layout_.totalBits(); ++i) out += strfmt(" cr%d", i);
+  out += "\n.outputs";
+  for (size_t t = 0; t < terms_.size(); ++t) out += strfmt(" t%zu", t);
+  out += "\n";
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (terms_[t].empty()) {
+      out += strfmt(".names t%zu\n0\n", t);  // constant 0 (never enabled)
+      continue;
+    }
+    // Each output: .names over the union of referenced inputs; one row per
+    // product term with don't-cares elsewhere.
+    std::vector<int> used;
+    for (const ProductTerm& pt : terms_[t])
+      for (const Literal& lit : pt.literals)
+        if (std::find(used.begin(), used.end(), lit.bit) == used.end())
+          used.push_back(lit.bit);
+    std::sort(used.begin(), used.end());
+    out += ".names";
+    for (int bit : used) out += strfmt(" cr%d", bit);
+    out += strfmt(" t%zu\n", t);
+    for (const ProductTerm& pt : terms_[t]) {
+      std::string row(used.size(), '-');
+      for (const Literal& lit : pt.literals) {
+        const auto pos = std::find(used.begin(), used.end(), lit.bit) - used.begin();
+        row[static_cast<size_t>(pos)] = lit.polarity ? '1' : '0';
+      }
+      out += row + " 1\n";
+    }
+  }
+  out += ".end\n";
+  return out;
+}
+
+std::string Sla::emitVhdl(const std::string& entityName) const {
+  std::string out;
+  out += "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
+  out += "entity " + entityName + " is\n  port (\n";
+  out += strfmt("    cr : in  std_logic_vector(%d downto 0);\n", layout_.totalBits() - 1);
+  out += strfmt("    t  : out std_logic_vector(%zu downto 0)\n  );\n", terms_.size() - 1);
+  out += "end entity;\n\narchitecture rtl of " + entityName + " is\nbegin\n";
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (terms_[t].empty()) {
+      out += strfmt("  t(%zu) <= '0';\n", t);
+      continue;
+    }
+    std::string expr;
+    for (size_t i = 0; i < terms_[t].size(); ++i) {
+      if (i != 0) expr += " or ";
+      std::string product;
+      const ProductTerm& pt = terms_[t][i];
+      for (size_t j = 0; j < pt.literals.size(); ++j) {
+        if (j != 0) product += " and ";
+        const Literal& lit = pt.literals[j];
+        product += lit.polarity ? strfmt("cr(%d) = '1'", lit.bit)
+                                : strfmt("cr(%d) = '0'", lit.bit);
+      }
+      expr += "(" + product + ")";
+    }
+    out += strfmt("  t(%zu) <= '1' when %s else '0';\n", t, expr.c_str());
+  }
+  out += "end architecture;\n";
+  return out;
+}
+
+hwlib::ChartHardwareStats Sla::hardwareStats(const Chart& chart) const {
+  hwlib::ChartHardwareStats stats;
+  stats.productTerms = productTermCount();
+  stats.crBits = layout_.totalBits();
+  stats.ports = static_cast<int>(chart.ports().size());
+  stats.transitions = static_cast<int>(chart.transitions().size());
+  return stats;
+}
+
+compiler::HardwareBinding makeBinding(const Chart& chart, const CrLayout& layout) {
+  compiler::HardwareBinding binding;
+  binding.eventIndex = layout.eventBits();
+  binding.conditionIndex = layout.conditionBits();
+  for (const statechart::State& s : chart.states())
+    binding.stateIndex[s.name] = s.id;
+  for (const auto& [name, port] : chart.ports()) binding.portAddress[name] = port.address;
+  return binding;
+}
+
+}  // namespace pscp::sla

@@ -1,0 +1,79 @@
+// The Statechart Logic Array (paper Fig. 1, [Buchenrieder/Pyttel/Veith,
+// EURO-DAC'96]): a two-level (AND/OR) logic block that decodes the
+// Configuration Register and produces one select signal per transition.
+// The select signals drive the Transition Address Table; the scheduler
+// dispatches selected transitions to the TEPs.
+//
+// A transition is selected when (source state active) AND (trigger
+// expression over event bits) AND (guard expression over condition bits).
+// The boolean expressions are expanded to sum-of-products over CR
+// literals; product-term and literal counts feed the area model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/binding.hpp"
+#include "hwlib/arch_config.hpp"
+#include "sla/encoding.hpp"
+#include "statechart/chart.hpp"
+
+namespace pscp::sla {
+
+/// One literal over a CR bit: bit value must equal `polarity`.
+struct Literal {
+  int bit = 0;
+  bool polarity = true;
+
+  [[nodiscard]] bool operator==(const Literal&) const = default;
+};
+
+/// AND of literals.
+struct ProductTerm {
+  std::vector<Literal> literals;
+
+  [[nodiscard]] bool matches(const std::vector<bool>& crBits) const;
+};
+
+/// The synthesized logic array.
+class Sla {
+ public:
+  Sla(const statechart::Chart& chart, const CrLayout& layout);
+
+  /// Enabled transitions for a CR value (no conflict resolution — that is
+  /// the scheduler's job).
+  [[nodiscard]] std::vector<statechart::TransitionId> select(
+      const std::vector<bool>& crBits) const;
+
+  [[nodiscard]] int productTermCount() const;
+  [[nodiscard]] int literalCount() const;
+  [[nodiscard]] const std::vector<std::vector<ProductTerm>>& transitionTerms() const {
+    return terms_;
+  }
+  [[nodiscard]] const CrLayout& layout() const { return layout_; }
+
+  /// BLIF description of the array ("the frontend also generates a BLIF
+  /// description of the SLA ... converted to VHDL").
+  [[nodiscard]] std::string emitBlif(const std::string& modelName = "sla") const;
+  /// Structural VHDL generated from the same netlist.
+  [[nodiscard]] std::string emitVhdl(const std::string& entityName = "sla") const;
+
+  /// Hardware stats consumed by the area model.
+  [[nodiscard]] hwlib::ChartHardwareStats hardwareStats(
+      const statechart::Chart& chart) const;
+
+ private:
+  const statechart::Chart& chart_;
+  CrLayout layout_;
+  /// terms_[t] = product terms whose OR is transition t's select signal.
+  std::vector<std::vector<ProductTerm>> terms_;
+};
+
+/// Build the compiler-facing name binding from a chart + CR layout:
+/// events/conditions to CR indices, states to their StateId (the machine's
+/// STST exposes configuration bits by state id), ports to bus addresses.
+[[nodiscard]] compiler::HardwareBinding makeBinding(const statechart::Chart& chart,
+                                                    const CrLayout& layout);
+
+}  // namespace pscp::sla

@@ -1,0 +1,326 @@
+#include "statechart/chart.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pscp::statechart {
+
+const char* stateKindName(StateKind k) {
+  switch (k) {
+    case StateKind::Basic: return "basicstate";
+    case StateKind::Or: return "orstate";
+    case StateKind::And: return "andstate";
+  }
+  return "?";
+}
+
+const char* portKindName(PortKind k) {
+  switch (k) {
+    case PortKind::Event: return "event";
+    case PortKind::Condition: return "condition";
+    case PortKind::Data: return "data";
+  }
+  return "?";
+}
+
+const char* portDirName(PortDir d) {
+  switch (d) {
+    case PortDir::Input: return "in";
+    case PortDir::Output: return "out";
+    case PortDir::Bidirectional: return "bidir";
+  }
+  return "?";
+}
+
+Chart::Chart(std::string name) : name_(std::move(name)) {
+  State root;
+  root.name = name_;
+  root.kind = StateKind::Or;
+  root.id = 0;
+  states_.push_back(root);
+  byName_[name_] = 0;
+}
+
+StateId Chart::addState(std::string name, StateKind kind, StateId parent) {
+  if (byName_.count(name) != 0)
+    fail("duplicate state name '%s' in chart '%s'", name.c_str(), name_.c_str());
+  PSCP_ASSERT(parent >= 0 && parent < static_cast<StateId>(states_.size()));
+  State s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.id = static_cast<StateId>(states_.size());
+  s.parent = parent;
+  byName_[s.name] = s.id;
+  states_[static_cast<size_t>(parent)].children.push_back(s.id);
+  // First child of an OR state becomes the default until overridden.
+  State& p = states_[static_cast<size_t>(parent)];
+  if (p.kind == StateKind::Or && p.defaultChild == kNoState) p.defaultChild = s.id;
+  states_.push_back(std::move(s));
+  return states_.back().id;
+}
+
+void Chart::setDefaultChild(StateId orState, StateId child) {
+  State& p = state(orState);
+  if (p.kind != StateKind::Or)
+    fail("default child only allowed on orstate, '%s' is %s", p.name.c_str(),
+         stateKindName(p.kind));
+  if (state(child).parent != orState)
+    fail("default '%s' is not a child of '%s'", state(child).name.c_str(), p.name.c_str());
+  p.defaultChild = child;
+}
+
+TransitionId Chart::addTransition(StateId source, StateId target, Label label) {
+  PSCP_ASSERT(source >= 0 && source < static_cast<StateId>(states_.size()));
+  PSCP_ASSERT(target >= 0 && target < static_cast<StateId>(states_.size()));
+  Transition t;
+  t.id = static_cast<TransitionId>(transitions_.size());
+  t.source = source;
+  t.target = target;
+  t.label = std::move(label);
+  transitions_.push_back(std::move(t));
+  return transitions_.back().id;
+}
+
+void Chart::declareEvent(EventDecl e) {
+  if (conditions_.count(e.name) != 0)
+    fail("'%s' already declared as a condition", e.name.c_str());
+  events_[e.name] = std::move(e);
+}
+
+void Chart::declareCondition(ConditionDecl c) {
+  if (events_.count(c.name) != 0)
+    fail("'%s' already declared as an event", c.name.c_str());
+  conditions_[c.name] = std::move(c);
+}
+
+void Chart::declarePort(Port p) {
+  for (const auto& [name, other] : ports_) {
+    if (name != p.name && other.address == p.address && other.kind == p.kind)
+      fail("port '%s' reuses %s-bus address %d of port '%s'", p.name.c_str(),
+           portKindName(p.kind), p.address, name.c_str());
+  }
+  ports_[p.name] = std::move(p);
+}
+
+const State& Chart::state(StateId id) const {
+  PSCP_ASSERT(id >= 0 && id < static_cast<StateId>(states_.size()));
+  return states_[static_cast<size_t>(id)];
+}
+
+State& Chart::state(StateId id) {
+  PSCP_ASSERT(id >= 0 && id < static_cast<StateId>(states_.size()));
+  return states_[static_cast<size_t>(id)];
+}
+
+StateId Chart::findState(const std::string& name) const {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? kNoState : it->second;
+}
+
+StateId Chart::stateByName(const std::string& name) const {
+  StateId id = findState(name);
+  if (id == kNoState) fail("chart '%s' has no state named '%s'", name_.c_str(), name.c_str());
+  return id;
+}
+
+const Transition& Chart::transition(TransitionId id) const {
+  PSCP_ASSERT(id >= 0 && id < static_cast<TransitionId>(transitions_.size()));
+  return transitions_[static_cast<size_t>(id)];
+}
+
+Transition& Chart::transition(TransitionId id) {
+  PSCP_ASSERT(id >= 0 && id < static_cast<TransitionId>(transitions_.size()));
+  return transitions_[static_cast<size_t>(id)];
+}
+
+std::vector<TransitionId> Chart::outgoing(StateId s) const {
+  std::vector<TransitionId> out;
+  for (const Transition& t : transitions_)
+    if (t.source == s) out.push_back(t.id);
+  return out;
+}
+
+const EventDecl& Chart::event(const std::string& n) const {
+  auto it = events_.find(n);
+  if (it == events_.end()) fail("undeclared event '%s'", n.c_str());
+  return it->second;
+}
+
+const ConditionDecl& Chart::condition(const std::string& n) const {
+  auto it = conditions_.find(n);
+  if (it == conditions_.end()) fail("undeclared condition '%s'", n.c_str());
+  return it->second;
+}
+
+bool Chart::isAncestor(StateId anc, StateId desc) const {
+  for (StateId s = desc; s != kNoState; s = state(s).parent)
+    if (s == anc) return true;
+  return false;
+}
+
+std::vector<StateId> Chart::pathFromRoot(StateId s) const {
+  std::vector<StateId> path;
+  for (StateId cur = s; cur != kNoState; cur = state(cur).parent) path.push_back(cur);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+StateId Chart::lowestCommonAncestor(StateId a, StateId b) const {
+  const std::vector<StateId> pa = pathFromRoot(a);
+  const std::vector<StateId> pb = pathFromRoot(b);
+  StateId lca = 0;
+  for (size_t i = 0; i < pa.size() && i < pb.size(); ++i) {
+    if (pa[i] != pb[i]) break;
+    lca = pa[i];
+  }
+  return lca;
+}
+
+std::vector<StateId> Chart::subtree(StateId s) const {
+  std::vector<StateId> out;
+  std::vector<StateId> stack{s};
+  while (!stack.empty()) {
+    const StateId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const State& st = state(cur);
+    for (auto it = st.children.rbegin(); it != st.children.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+int Chart::depth(StateId s) const {
+  int d = 0;
+  for (StateId cur = state(s).parent; cur != kNoState; cur = state(cur).parent) ++d;
+  return d;
+}
+
+bool Chart::orthogonal(StateId a, StateId b) const {
+  if (a == b || isAncestor(a, b) || isAncestor(b, a)) return false;
+  const StateId lca = lowestCommonAncestor(a, b);
+  return state(lca).kind == StateKind::And;
+}
+
+std::vector<StateId> Chart::defaultCompletion(StateId s) const {
+  std::vector<StateId> out;
+  std::vector<StateId> stack{s};
+  while (!stack.empty()) {
+    const StateId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const State& st = state(cur);
+    switch (st.kind) {
+      case StateKind::Basic:
+        break;
+      case StateKind::Or:
+        if (st.defaultChild == kNoState)
+          fail("orstate '%s' has no default child", st.name.c_str());
+        stack.push_back(st.defaultChild);
+        break;
+      case StateKind::And:
+        for (auto it = st.children.rbegin(); it != st.children.rend(); ++it)
+          stack.push_back(*it);
+        break;
+    }
+  }
+  return out;
+}
+
+void Chart::validate() const {
+  for (const State& s : states_) {
+    if (s.kind == StateKind::Or) {
+      if (s.children.empty())
+        fail("orstate '%s' has no children", s.name.c_str());
+      if (s.defaultChild == kNoState)
+        fail("orstate '%s' has no default child", s.name.c_str());
+    }
+    if (s.kind == StateKind::And && s.children.size() < 2)
+      fail("andstate '%s' must contain at least two parallel components (has %zu)",
+           s.name.c_str(), s.children.size());
+    if (s.kind == StateKind::Basic && !s.children.empty())
+      fail("basicstate '%s' may not contain children", s.name.c_str());
+  }
+  for (const Transition& t : transitions_) {
+    if (t.source == root())
+      fail("transition %d may not originate at the chart root", t.id);
+    // A transition may not cross INTO an AND component from outside it other
+    // than by targeting the AND state itself or a full-default entry: we
+    // forbid targeting a strict descendant of one AND child from outside the
+    // AND state while leaving sibling components unspecified.
+    const StateId lca = lowestCommonAncestor(t.source, t.target);
+    for (StateId cur = t.target; cur != lca && cur != kNoState; cur = state(cur).parent) {
+      const StateId par = state(cur).parent;
+      if (par != kNoState && par != lca && state(par).kind == StateKind::And)
+        fail("transition %d ('%s' -> '%s') enters parallel component '%s' without "
+             "entering its AND parent '%s' as a whole",
+             t.id, state(t.source).name.c_str(), state(t.target).name.c_str(),
+             state(cur).name.c_str(), state(par).name.c_str());
+    }
+    if (orthogonal(t.source, t.target))
+      fail("transition %d connects orthogonal states '%s' and '%s'", t.id,
+           state(t.source).name.c_str(), state(t.target).name.c_str());
+    for (const std::string& n : t.label.trigger.referencedNames())
+      if (!hasEvent(n))
+        fail("transition %d trigger references undeclared event '%s'", t.id, n.c_str());
+    for (const std::string& n : t.label.guard.referencedNames())
+      if (!hasCondition(n))
+        fail("transition %d guard references undeclared condition '%s'", t.id, n.c_str());
+  }
+  for (const auto& [name, e] : events_) {
+    if (!e.port.empty() && ports_.count(e.port) == 0)
+      fail("event '%s' references undeclared port '%s'", name.c_str(), e.port.c_str());
+    if (e.period < 0) fail("event '%s' has negative period", name.c_str());
+  }
+  for (const auto& [name, c] : conditions_) {
+    if (!c.port.empty() && ports_.count(c.port) == 0)
+      fail("condition '%s' references undeclared port '%s'", name.c_str(), c.port.c_str());
+  }
+}
+
+void Chart::declareImplicit() {
+  for (const Transition& t : transitions_) {
+    for (const std::string& n : t.label.trigger.referencedNames()) {
+      if (!hasEvent(n) && !hasCondition(n)) {
+        EventDecl e;
+        e.name = n;
+        declareEvent(std::move(e));
+      }
+    }
+    for (const std::string& n : t.label.guard.referencedNames()) {
+      if (!hasCondition(n) && !hasEvent(n)) {
+        ConditionDecl c;
+        c.name = n;
+        declareCondition(std::move(c));
+      }
+    }
+  }
+}
+
+std::string Chart::dump() const {
+  std::string out;
+  // Recursive outline of the state tree with transitions inline.
+  struct Printer {
+    const Chart& chart;
+    std::string& out;
+    void print(StateId id, int indent) {
+      const State& s = chart.state(id);
+      out.append(static_cast<size_t>(indent) * 2, ' ');
+      out += stateKindName(s.kind);
+      out += ' ';
+      out += s.name;
+      if (s.kind == StateKind::Or && s.defaultChild != kNoState)
+        out += " (default " + chart.state(s.defaultChild).name + ")";
+      out += '\n';
+      for (TransitionId t : chart.outgoing(id)) {
+        const Transition& tr = chart.transition(t);
+        out.append(static_cast<size_t>(indent) * 2 + 2, ' ');
+        out += "-> " + chart.state(tr.target).name + " on \"" + tr.label.raw + "\"\n";
+      }
+      for (StateId c : s.children) print(c, indent + 1);
+    }
+  } printer{*this, out};
+  printer.print(root(), 0);
+  return out;
+}
+
+}  // namespace pscp::statechart

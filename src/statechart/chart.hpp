@@ -1,0 +1,169 @@
+// Extended-statechart object model (paper Sec. 2).
+//
+// A chart is a tree of states (basic / OR / AND) plus a set of labelled
+// transitions between arbitrary states, extended — following the paper —
+// with external *ports* over which events, conditions and data are
+// exchanged with the environment, and with per-event timing constraints
+// (arrival periods) that drive the static timing validation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "statechart/expr.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::statechart {
+
+using StateId = int32_t;
+using TransitionId = int32_t;
+inline constexpr StateId kNoState = -1;
+
+enum class StateKind {
+  Basic,  ///< leaf state
+  Or,     ///< exclusive composite: exactly one child active
+  And,    ///< parallel composite: all children active
+};
+
+[[nodiscard]] const char* stateKindName(StateKind k);
+
+struct State {
+  std::string name;
+  StateKind kind = StateKind::Basic;
+  StateId id = kNoState;
+  StateId parent = kNoState;
+  std::vector<StateId> children;       // in declaration order
+  StateId defaultChild = kNoState;     // OR states only
+};
+
+struct Transition {
+  TransitionId id = -1;
+  StateId source = kNoState;
+  StateId target = kNoState;
+  Label label;
+  /// Optional designer-supplied WCET bound (reference-clock cycles) for the
+  /// action routine — used by timing analysis when no compiled code exists.
+  std::optional<int64_t> explicitBound;
+  /// Mutual-exclusion group: transitions sharing a group are never
+  /// dispatched to different TEPs in the same configuration cycle (Sec. 4).
+  std::string exclusionGroup;
+};
+
+enum class PortKind { Event, Condition, Data };
+enum class PortDir { Input, Output, Bidirectional };
+
+[[nodiscard]] const char* portKindName(PortKind k);
+[[nodiscard]] const char* portDirName(PortDir d);
+
+/// External port (paper Fig. 2b `Port`): an addressable connection point on
+/// the event / condition / data bus.
+struct Port {
+  std::string name;
+  PortKind kind = PortKind::Event;
+  int width = 1;
+  int address = 0;
+  PortDir dir = PortDir::Input;
+};
+
+/// Declared event or condition (paper Fig. 2b `EventCondition`). Events are
+/// present for a single configuration cycle; conditions persist.
+struct EventDecl {
+  std::string name;
+  int width = 1;              ///< size in bits (events may carry small data)
+  std::string port;           ///< owning port name; empty = internal
+  int positionInPort = 0;
+  /// Arrival period in reference-clock cycles (Table 2). 0 = unconstrained.
+  int64_t period = 0;
+  bool external = false;      ///< delivered over a port from the environment
+};
+
+struct ConditionDecl {
+  std::string name;
+  std::string port;           ///< empty = internal condition
+  int positionInPort = 0;
+  bool external = false;
+};
+
+/// The chart. States form a tree rooted at state 0 (an implicit OR state
+/// named after the chart).
+class Chart {
+ public:
+  explicit Chart(std::string name);
+
+  // -- construction ---------------------------------------------------------
+  StateId addState(std::string name, StateKind kind, StateId parent);
+  void setDefaultChild(StateId orState, StateId child);
+  TransitionId addTransition(StateId source, StateId target, Label label);
+  void declareEvent(EventDecl e);
+  void declareCondition(ConditionDecl c);
+  void declarePort(Port p);
+
+  // -- lookup ---------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] StateId root() const { return 0; }
+  [[nodiscard]] size_t stateCount() const { return states_.size(); }
+  [[nodiscard]] const State& state(StateId id) const;
+  [[nodiscard]] State& state(StateId id);
+  [[nodiscard]] const std::vector<State>& states() const { return states_; }
+  [[nodiscard]] StateId findState(const std::string& name) const;  // kNoState if absent
+  [[nodiscard]] StateId stateByName(const std::string& name) const;  // throws if absent
+
+  [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
+  [[nodiscard]] const Transition& transition(TransitionId id) const;
+  [[nodiscard]] Transition& transition(TransitionId id);
+  /// Transitions whose source is `s`, in declaration order.
+  [[nodiscard]] std::vector<TransitionId> outgoing(StateId s) const;
+
+  [[nodiscard]] const std::map<std::string, EventDecl>& events() const { return events_; }
+  [[nodiscard]] const std::map<std::string, ConditionDecl>& conditions() const { return conditions_; }
+  [[nodiscard]] const std::map<std::string, Port>& ports() const { return ports_; }
+  [[nodiscard]] bool hasEvent(const std::string& n) const { return events_.count(n) != 0; }
+  [[nodiscard]] bool hasCondition(const std::string& n) const { return conditions_.count(n) != 0; }
+  [[nodiscard]] const EventDecl& event(const std::string& n) const;
+  [[nodiscard]] const ConditionDecl& condition(const std::string& n) const;
+
+  // -- hierarchy queries ----------------------------------------------------
+  [[nodiscard]] bool isAncestor(StateId anc, StateId desc) const;  // reflexive
+  [[nodiscard]] StateId lowestCommonAncestor(StateId a, StateId b) const;
+  /// Path from root (inclusive) down to `s` (inclusive).
+  [[nodiscard]] std::vector<StateId> pathFromRoot(StateId s) const;
+  /// All states in the subtree rooted at `s` (preorder, `s` first).
+  [[nodiscard]] std::vector<StateId> subtree(StateId s) const;
+  /// Depth of `s` (root = 0).
+  [[nodiscard]] int depth(StateId s) const;
+  /// True if `a` and `b` live in different children of a common AND state
+  /// (i.e. may be active simultaneously yet are unordered).
+  [[nodiscard]] bool orthogonal(StateId a, StateId b) const;
+
+  /// The set of basic/leaf-completed states entered when `s` is entered
+  /// with default completion: `s` plus, recursively, default children of OR
+  /// states and all children of AND states.
+  [[nodiscard]] std::vector<StateId> defaultCompletion(StateId s) const;
+
+  // -- integrity ------------------------------------------------------------
+  /// Throws pscp::Error describing the first well-formedness violation:
+  /// OR states without defaults, AND states with < 2 children, transitions
+  /// targeting ancestors of AND components crossing illegal boundaries,
+  /// triggers referencing undeclared names, duplicate state names, etc.
+  void validate() const;
+
+  /// Auto-declare any event/condition referenced by labels but not declared
+  /// (convenience for hand-written charts; declared as internal).
+  void declareImplicit();
+
+  [[nodiscard]] std::string dump() const;  ///< human-readable outline
+
+ private:
+  std::string name_;
+  std::vector<State> states_;
+  std::vector<Transition> transitions_;
+  std::map<std::string, StateId> byName_;
+  std::map<std::string, EventDecl> events_;
+  std::map<std::string, ConditionDecl> conditions_;
+  std::map<std::string, Port> ports_;
+};
+
+}  // namespace pscp::statechart

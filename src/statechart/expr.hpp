@@ -1,0 +1,80 @@
+// Boolean expression trees for transition labels.
+//
+// A transition label in the extended-statechart notation has the shape
+//     trigger [guard] / action(...); action(...)
+// where `trigger` is a boolean expression over *event* names and `guard`
+// is a boolean expression over *condition* names ("INIT or ALLRESET",
+// "not (X_PULSE or Y_PULSE)", "[XFINISH and YFINISH and PHIFINISH]").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pscp::statechart {
+
+enum class BoolOp {
+  True,   ///< constant true (empty trigger / guard)
+  Ref,    ///< reference to an event or condition by name
+  Not,
+  And,
+  Or,
+};
+
+/// Immutable boolean expression node. Children owned by value.
+class BoolExpr {
+ public:
+  static BoolExpr alwaysTrue();
+  static BoolExpr ref(std::string name);
+  static BoolExpr negate(BoolExpr inner);
+  static BoolExpr conjunction(BoolExpr lhs, BoolExpr rhs);
+  static BoolExpr disjunction(BoolExpr lhs, BoolExpr rhs);
+
+  [[nodiscard]] BoolOp op() const { return op_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<BoolExpr>& children() const { return kids_; }
+  [[nodiscard]] bool isTrue() const { return op_ == BoolOp::True; }
+
+  /// Evaluate with a truth assignment for referenced names.
+  [[nodiscard]] bool eval(const std::function<bool(const std::string&)>& lookup) const;
+
+  /// All distinct names referenced, in first-occurrence order.
+  [[nodiscard]] std::vector<std::string> referencedNames() const;
+
+  /// Names referenced with positive polarity (not under an odd number of
+  /// negations) — "consuming" occurrences in the timing-analysis sense.
+  [[nodiscard]] std::vector<std::string> positiveNames() const;
+
+  /// Round-trippable rendering ("not (A or B)").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  BoolExpr() = default;
+
+  BoolOp op_ = BoolOp::True;
+  std::string name_;
+  std::vector<BoolExpr> kids_;
+};
+
+/// One action invocation in a transition label: `StartMotor(MX, XParams)`.
+/// Arguments are raw identifiers/literals; the compiler binds them against
+/// the action-language declarations.
+struct ActionCall {
+  std::string function;
+  std::vector<std::string> args;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// A fully parsed transition label.
+struct Label {
+  BoolExpr trigger = BoolExpr::alwaysTrue();
+  BoolExpr guard = BoolExpr::alwaysTrue();
+  std::vector<ActionCall> actions;
+  std::string raw;  ///< original text, for reports
+
+  [[nodiscard]] bool isSpontaneous() const { return trigger.isTrue(); }
+};
+
+}  // namespace pscp::statechart

@@ -1,0 +1,32 @@
+// Parser for transition-label strings:  trigger [guard] / actions
+//
+// Examples from the paper:
+//   "INIT or ALLRESET/InitializeAll()"
+//   "not (X_PULSE or Y_PULSE)/PhiParameters(PhiParams, NewPhi, OldPhi)"
+//   "[DATA_VALID]/GetByte()"
+//   "[XFINISH and YFINISH and PHIFINISH]"
+//   "X_STEPS/SetTrue(XFINISH)"
+//   "END_MOVE"
+//
+// Grammar:
+//   label   := [orExpr] [ '[' orExpr ']' ] [ '/' actions ]
+//   orExpr  := andExpr ( 'or' andExpr )*
+//   andExpr := notExpr ( 'and' notExpr )*
+//   notExpr := 'not' notExpr | '(' orExpr ')' | Ident
+//   actions := call ( ';' call )*
+//   call    := Ident '(' [ arg ( ',' arg )* ] ')'
+//   arg     := Ident | Number
+#pragma once
+
+#include <string_view>
+
+#include "statechart/expr.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::statechart {
+
+/// Parses a label string; throws pscp::Error (with `loc` context) on
+/// malformed input. An empty string yields an always-true spontaneous label.
+[[nodiscard]] Label parseLabel(std::string_view text, const SourceLoc& loc = {});
+
+}  // namespace pscp::statechart

@@ -1,0 +1,45 @@
+// Parser for the textual statechart format (paper Fig. 2a), extended with
+// event/condition/port declarations carrying the timing constraints of
+// Table 2 and the port attributes of Fig. 2b.
+//
+// Grammar (comments run from '//' to end of line):
+//
+//   file        := item*
+//   item        := stateDecl | eventDecl | conditionDecl | portDecl | chartDecl
+//   chartDecl   := 'chart' Ident ';'                      // names the chart
+//   stateDecl   := ('basicstate'|'orstate'|'andstate') Ident '{' stateItem* '}'
+//   stateItem   := 'contains' Ident (',' Ident)* ';'
+//                | 'default' Ident ';'
+//                | transition
+//                | stateDecl                               // nested state
+//   transition  := 'transition' '{' tItem* '}'
+//   tItem       := 'target' Ident ';'
+//                | 'label' String ';'
+//                | 'bound' Int ';'                         // explicit WCET
+//                | 'exclusion' Ident ';'                   // mutual-exclusion group
+//   eventDecl   := 'event' Ident eventAttr* ';'
+//   eventAttr   := 'period' Int | 'port' Ident | 'bit' Int | 'width' Int
+//                | 'external'
+//   conditionDecl := 'condition' Ident condAttr* ';'
+//   condAttr    := 'port' Ident | 'bit' Int | 'external'
+//   portDecl    := 'port' Ident ('event'|'condition'|'data')
+//                  ('in'|'out'|'bidir') ['width' Int] ['address' Int] ';'
+//
+// Containment may be expressed either by nesting declarations or by a
+// `contains` list naming states declared elsewhere in the file (the style
+// of Fig. 2a). States contained by nobody become children of the chart
+// root (an implicit OR state).
+#pragma once
+
+#include <string_view>
+
+#include "statechart/chart.hpp"
+
+namespace pscp::statechart {
+
+/// Parses chart text; `fileName` is used in diagnostics only. The returned
+/// chart has implicit events/conditions declared and has been validate()d.
+[[nodiscard]] Chart parseChart(std::string_view text,
+                               const std::string& fileName = "<chart>");
+
+}  // namespace pscp::statechart

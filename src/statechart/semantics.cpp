@@ -1,0 +1,157 @@
+#include "statechart/semantics.hpp"
+
+#include <algorithm>
+
+namespace pscp::statechart {
+
+Interpreter::Interpreter(const Chart& chart) : chart_(chart) { reset(); }
+
+void Interpreter::reset() {
+  active_.clear();
+  for (StateId s : chart_.defaultCompletion(chart_.root())) active_.insert(s);
+  conditions_.clear();
+  pendingInternalEvents_.clear();
+}
+
+bool Interpreter::isActive(const std::string& name) const {
+  const StateId id = chart_.findState(name);
+  return id != kNoState && isActive(id);
+}
+
+bool Interpreter::conditionValue(const std::string& name) const {
+  auto it = conditions_.find(name);
+  return it != conditions_.end() && it->second;
+}
+
+void Interpreter::setCondition(const std::string& name, bool value) {
+  conditions_[name] = value;
+}
+
+std::vector<std::string> Interpreter::activeNames() const {
+  std::vector<std::string> names;
+  names.reserve(active_.size());
+  for (StateId s : active_) names.push_back(chart_.state(s).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StateId Interpreter::scopeOf(TransitionId t) const {
+  const Transition& tr = chart_.transition(t);
+  StateId lca = chart_.lowestCommonAncestor(tr.source, tr.target);
+  // Self- and ancestor-transitions exit the whole source subtree: climb one.
+  if (lca == tr.source || lca == tr.target) lca = chart_.state(lca).parent;
+  // The scope must be an OR state (only OR states have "the active child").
+  while (lca != kNoState && chart_.state(lca).kind != StateKind::Or)
+    lca = chart_.state(lca).parent;
+  PSCP_ASSERT(lca != kNoState);
+  return lca;
+}
+
+std::set<StateId> Interpreter::exitSet(TransitionId t) const {
+  const StateId scope = scopeOf(t);
+  std::set<StateId> out;
+  for (StateId s : chart_.subtree(scope))
+    if (s != scope) out.insert(s);
+  return out;
+}
+
+std::set<StateId> Interpreter::enterSet(TransitionId t) const {
+  const Transition& tr = chart_.transition(t);
+  const StateId scope = scopeOf(t);
+  std::set<StateId> entered;
+  // Path from scope (exclusive) down to the target.
+  const std::vector<StateId> path = chart_.pathFromRoot(tr.target);
+  auto it = std::find(path.begin(), path.end(), scope);
+  PSCP_ASSERT(it != path.end());
+  for (++it; it != path.end(); ++it) {
+    const StateId onPath = *it;
+    entered.insert(onPath);
+    const State& st = chart_.state(onPath);
+    if (st.kind == StateKind::And) {
+      // Entering an AND state on the way down: sibling components not on the
+      // explicit path are entered by default completion.
+      const StateId next = (it + 1 != path.end()) ? *(it + 1) : kNoState;
+      for (StateId child : st.children)
+        if (child != next)
+          for (StateId d : chart_.defaultCompletion(child)) entered.insert(d);
+    }
+  }
+  // Default completion below the target itself.
+  for (StateId d : chart_.defaultCompletion(tr.target)) entered.insert(d);
+  return entered;
+}
+
+std::vector<TransitionId> Interpreter::enabledTransitions(
+    const std::set<std::string>& events) const {
+  auto lookupEvent = [&](const std::string& n) { return events.count(n) != 0; };
+  auto lookupCondition = [&](const std::string& n) { return conditionValue(n); };
+  std::vector<TransitionId> enabled;
+  for (const Transition& tr : chart_.transitions()) {
+    if (active_.count(tr.source) == 0) continue;
+    // A transition with an empty trigger is guard-only: it fires whenever
+    // its guard holds (checked every cycle while the source is active).
+    if (!tr.label.trigger.eval(lookupEvent)) continue;
+    if (!tr.label.guard.eval(lookupCondition)) continue;
+    enabled.push_back(tr.id);
+  }
+  return enabled;
+}
+
+StepResult Interpreter::step(const std::set<std::string>& externalEvents,
+                             const ActionHandler& actions) {
+  // CR event part at cycle start: externally sampled events plus events the
+  // TEPs wrote during the previous cycle.
+  std::set<std::string> events = externalEvents;
+  events.insert(pendingInternalEvents_.begin(), pendingInternalEvents_.end());
+  pendingInternalEvents_.clear();
+
+  std::vector<TransitionId> enabled = enabledTransitions(events);
+
+  // Conflict resolution: Statemate-style structural priority — the
+  // transition whose scope sits higher in the hierarchy wins; ties resolve
+  // by declaration order. Orthogonal (non-overlapping) transitions all fire.
+  std::stable_sort(enabled.begin(), enabled.end(), [&](TransitionId a, TransitionId b) {
+    const int da = chart_.depth(scopeOf(a));
+    const int db = chart_.depth(scopeOf(b));
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  StepResult result;
+  std::set<StateId> exitedThisStep;
+  StepEffects effects;
+  for (TransitionId t : enabled) {
+    const Transition& tr = chart_.transition(t);
+    if (exitedThisStep.count(tr.source) != 0) continue;  // source already left
+    const std::set<StateId> exits = exitSet(t);
+    // Conflict if this transition would exit a state another selected
+    // transition already exited, or would exit a selected source's scope.
+    bool conflict = false;
+    for (StateId s : exits)
+      if (exitedThisStep.count(s) != 0) {
+        conflict = true;
+        break;
+      }
+    if (conflict) continue;
+
+    // Fire: exit, act, enter.
+    for (StateId s : exits)
+      if (active_.erase(s) != 0) exitedThisStep.insert(s);
+    if (actions)
+      for (const ActionCall& call : tr.label.actions) actions(call, effects);
+    for (StateId s : enterSet(t)) active_.insert(s);
+    result.fired.push_back(t);
+  }
+
+  // Event-part reset happens implicitly: `events` is local to this cycle.
+  result.raisedEvents = effects.raisedEvents();
+  result.conditionWrites = effects.conditionWrites();
+  result.quiescent = result.fired.empty();
+
+  // Condition-cache write-back and CR event update for the next cycle.
+  for (const auto& [name, value] : effects.conditionWrites()) conditions_[name] = value;
+  pendingInternalEvents_ = effects.raisedEvents();
+  return result;
+}
+
+}  // namespace pscp::statechart

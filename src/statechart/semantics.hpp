@@ -1,0 +1,107 @@
+// Reference execution semantics for extended statecharts.
+//
+// This is the *specification-level* interpreter: it executes a chart one
+// configuration cycle at a time, exactly mirroring the PSCP execution
+// model of Sec. 3.1 —
+//   * external events are sampled at the start of a cycle and live for
+//     that single cycle,
+//   * all enabled, non-conflicting transitions fire in one cycle (parallel
+//     components step together),
+//   * events raised by action routines become visible in the *next* cycle
+//     (the TEPs write them into the CR, the SLA sees them when next
+//     enabled),
+//   * condition changes take effect at cycle end (condition-cache
+//     write-back).
+//
+// The cycle-accurate PSCP machine model (src/pscp) must agree with this
+// interpreter on observable behaviour; property tests enforce that.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "statechart/chart.hpp"
+
+namespace pscp::statechart {
+
+/// Side-effect sink handed to action routines during a step.
+class StepEffects {
+ public:
+  void raiseEvent(const std::string& name) { raisedEvents_.insert(name); }
+  void setCondition(const std::string& name, bool value) { conditionWrites_[name] = value; }
+
+  [[nodiscard]] const std::set<std::string>& raisedEvents() const { return raisedEvents_; }
+  [[nodiscard]] const std::map<std::string, bool>& conditionWrites() const {
+    return conditionWrites_;
+  }
+
+ private:
+  std::set<std::string> raisedEvents_;
+  std::map<std::string, bool> conditionWrites_;
+};
+
+/// Executes the action part of a fired transition. The default handler
+/// ignores calls (pure control-flow simulation); the action-language
+/// interpreter and the TEP-code execution both implement this.
+using ActionHandler = std::function<void(const ActionCall&, StepEffects&)>;
+
+/// Result of one configuration cycle.
+struct StepResult {
+  std::vector<TransitionId> fired;       ///< in firing order
+  std::set<std::string> raisedEvents;    ///< visible next cycle
+  std::map<std::string, bool> conditionWrites;
+  bool quiescent = false;                ///< no transition fired
+};
+
+/// The interpreter. Holds the current configuration (set of active states,
+/// downward closed) and the persistent condition valuation.
+class Interpreter {
+ public:
+  explicit Interpreter(const Chart& chart);
+
+  /// Reset to the default initial configuration; conditions all false.
+  void reset();
+
+  [[nodiscard]] const std::set<StateId>& active() const { return active_; }
+  [[nodiscard]] bool isActive(StateId s) const { return active_.count(s) != 0; }
+  [[nodiscard]] bool isActive(const std::string& name) const;
+  [[nodiscard]] bool conditionValue(const std::string& name) const;
+  void setCondition(const std::string& name, bool value);
+
+  /// Names of active states, sorted — convenient for tests/goldens.
+  [[nodiscard]] std::vector<std::string> activeNames() const;
+
+  /// Execute one configuration cycle with the given external events.
+  /// Internally raised events from the *previous* cycle are merged in
+  /// automatically (they were latched into the CR).
+  StepResult step(const std::set<std::string>& externalEvents,
+                  const ActionHandler& actions = {});
+
+  /// Transitions enabled in the given event context (before conflict
+  /// resolution) — exposed for the SLA generator tests.
+  [[nodiscard]] std::vector<TransitionId> enabledTransitions(
+      const std::set<std::string>& events) const;
+
+  /// The set of states exited when transition `t` fires (excluding the
+  /// scope itself). Also used for conflict detection and by the SLA
+  /// generator.
+  [[nodiscard]] std::set<StateId> exitSet(TransitionId t) const;
+
+  /// The set of states entered when transition `t` fires.
+  [[nodiscard]] std::set<StateId> enterSet(TransitionId t) const;
+
+  /// The transition scope: the lowest OR-state properly containing both
+  /// source and target (the state whose active child subtree is replaced).
+  [[nodiscard]] StateId scopeOf(TransitionId t) const;
+
+ private:
+  const Chart& chart_;
+  std::set<StateId> active_;
+  std::map<std::string, bool> conditions_;
+  std::set<std::string> pendingInternalEvents_;
+};
+
+}  // namespace pscp::statechart

@@ -1,0 +1,16 @@
+#include "support/bits.hpp"
+
+namespace pscp {
+
+std::string Word::binary() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) out += bit(i) ? '1' : '0';
+  return out;
+}
+
+std::string Word::hex() const {
+  return strfmt("0x%X", value_);
+}
+
+}  // namespace pscp

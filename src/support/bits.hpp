@@ -1,0 +1,81 @@
+// Fixed-width integer helpers shared by the action language, the TEP
+// datapath model, and the SLA logic generator. The PSCP tool flow deals in
+// arbitrary bit widths (1..32), so everything here is width-parameterised.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.hpp"
+
+namespace pscp {
+
+/// Maximum data width supported anywhere in the flow (the paper's widest
+/// declared type is int:32).
+inline constexpr int kMaxWidth = 32;
+
+/// All-ones mask for an n-bit value, n in [0, 32].
+[[nodiscard]] constexpr uint32_t maskBits(int width) {
+  return width >= 32 ? 0xFFFFFFFFu
+         : width <= 0 ? 0u
+                      : ((1u << width) - 1u);
+}
+
+/// Truncate a value to `width` bits.
+[[nodiscard]] constexpr uint32_t truncBits(uint32_t value, int width) {
+  return value & maskBits(width);
+}
+
+/// Sign-extend the low `width` bits of `value` to a signed 32-bit integer.
+[[nodiscard]] constexpr int32_t signExtend(uint32_t value, int width) {
+  if (width <= 0 || width >= 32) return static_cast<int32_t>(value);
+  const uint32_t sign = 1u << (width - 1);
+  const uint32_t truncated = truncBits(value, width);
+  return static_cast<int32_t>((truncated ^ sign) - sign);
+}
+
+/// Number of bits needed to represent `count` distinct values (>= 1).
+[[nodiscard]] constexpr int bitsFor(uint32_t count) {
+  int bits = 0;
+  uint32_t v = (count == 0) ? 1 : count - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+/// A value tagged with its bit width — the unit of data everywhere in the
+/// modelled hardware (buses, registers, ports). Stored zero-extended.
+class Word {
+ public:
+  Word() = default;
+  Word(uint32_t value, int width) : width_(checkWidth(width)), value_(truncBits(value, width)) {}
+
+  [[nodiscard]] uint32_t raw() const { return value_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int32_t asSigned() const { return signExtend(value_, width_); }
+  [[nodiscard]] bool bit(int i) const { return ((value_ >> i) & 1u) != 0; }
+  [[nodiscard]] bool isZero() const { return value_ == 0; }
+
+  /// Re-width (truncating or zero-extending) — models a bus resize.
+  [[nodiscard]] Word resized(int width) const { return Word(value_, width); }
+
+  [[nodiscard]] std::string binary() const;  ///< e.g. "001011"
+  [[nodiscard]] std::string hex() const;     ///< e.g. "0x2B"
+
+  friend bool operator==(const Word& a, const Word& b) {
+    return a.width_ == b.width_ && a.value_ == b.value_;
+  }
+
+ private:
+  static int checkWidth(int width) {
+    PSCP_ASSERT(width >= 1 && width <= kMaxWidth);
+    return width;
+  }
+
+  int width_ = 1;
+  uint32_t value_ = 0;
+};
+
+}  // namespace pscp

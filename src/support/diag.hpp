@@ -1,0 +1,54 @@
+// Diagnostics: source locations, formatted errors, and the PSCP exception
+// type used for all user-input (parse/type/constraint) failures.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pscp {
+
+/// Position inside a user-supplied text (chart source, action code, asm).
+struct SourceLoc {
+  std::string file;  ///< logical file name ("<chart>", "motor.c", ...)
+  int line = 0;      ///< 1-based; 0 means "unknown"
+  int column = 0;    ///< 1-based; 0 means "unknown"
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// printf-style formatting into a std::string (std::format is unavailable
+/// on the reference toolchain).
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+
+/// The exception thrown for every recoverable PSCP error. Carries an
+/// optional source location which is prepended to what().
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message);
+  Error(SourceLoc loc, std::string message);
+
+  [[nodiscard]] const SourceLoc& where() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Throw an Error with printf-style formatting.
+[[noreturn, gnu::format(printf, 1, 2)]] void fail(const char* fmt, ...);
+[[noreturn, gnu::format(printf, 2, 3)]] void failAt(const SourceLoc& loc,
+                                                    const char* fmt, ...);
+
+namespace detail {
+[[noreturn]] void assertFail(const char* cond, const char* file, int line);
+}  // namespace detail
+
+/// Internal invariant check; always on (these models are not hot enough to
+/// justify a release/debug split, and silent corruption is far worse).
+#define PSCP_ASSERT(cond)                                        \
+  do {                                                           \
+    if (!(cond)) ::pscp::detail::assertFail(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace pscp

@@ -1,0 +1,132 @@
+#include "tep/assembler.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/text.hpp"
+
+namespace pscp::tep {
+namespace {
+
+const std::map<std::string, Opcode>& mnemonicTable() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int i = 0; i <= static_cast<int>(Opcode::Custom); ++i) {
+      const auto op = static_cast<Opcode>(i);
+      t[opcodeMnemonic(op)] = op;
+    }
+    return t;
+  }();
+  return table;
+}
+
+struct Fixup {
+  size_t instrIndex;
+  std::string label;
+  SourceLoc loc;
+};
+
+int64_t parseNumber(std::string_view text, const SourceLoc& loc) {
+  try {
+    size_t used = 0;
+    const int64_t v = std::stoll(std::string(text), &used, 0);
+    if (used != text.size()) throw std::invalid_argument(std::string(text));
+    return v;
+  } catch (const std::exception&) {
+    failAt(loc, "malformed number '%s'", std::string(text).c_str());
+  }
+}
+
+}  // namespace
+
+AsmProgram assemble(std::string_view source, const std::string& file) {
+  AsmProgram program;
+  std::vector<Fixup> fixups;
+
+  int lineNo = 0;
+  for (const std::string& rawLine : splitOn(source, '\n')) {
+    ++lineNo;
+    const SourceLoc loc{file, lineNo, 1};
+    std::string_view line = rawLine;
+    if (const size_t semi = line.find(';'); semi != std::string_view::npos)
+      line = line.substr(0, semi);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // Routine directive.
+    if (line.rfind(".routine", 0) == 0) {
+      const std::string name(trim(line.substr(8)));
+      if (!isIdentifier(name)) failAt(loc, "bad routine name '%s'", name.c_str());
+      if (program.routines.count(name) != 0)
+        failAt(loc, "routine '%s' declared twice", name.c_str());
+      program.routines[name] = static_cast<int>(program.code.size());
+      continue;
+    }
+    // Label.
+    if (line.back() == ':') {
+      const std::string name(trim(line.substr(0, line.size() - 1)));
+      if (!isIdentifier(name)) failAt(loc, "bad label '%s'", name.c_str());
+      if (program.labels.count(name) != 0)
+        failAt(loc, "label '%s' defined twice", name.c_str());
+      program.labels[name] = static_cast<int>(program.code.size());
+      continue;
+    }
+
+    // Instruction: MNEMONIC[.width] [operand]
+    size_t sp = line.find_first_of(" \t");
+    std::string mnemonicPart(sp == std::string_view::npos ? line : line.substr(0, sp));
+    std::string_view rest = sp == std::string_view::npos ? "" : trim(line.substr(sp));
+
+    Instr instr;
+    std::string mnemonic = toUpper(mnemonicPart);
+    if (const size_t dot = mnemonic.find('.'); dot != std::string::npos) {
+      instr.width = static_cast<int>(parseNumber(mnemonic.substr(dot + 1), loc));
+      mnemonic = mnemonic.substr(0, dot);
+    }
+    auto it = mnemonicTable().find(mnemonic);
+    if (it == mnemonicTable().end())
+      failAt(loc, "unknown mnemonic '%s'", mnemonic.c_str());
+    instr.op = it->second;
+    if (instr.width != 8 && instr.width != 16 && instr.width != 32)
+      failAt(loc, "unsupported width %d", instr.width);
+
+    if (!rest.empty()) {
+      if (rest[0] == '#') {
+        instr.operand = static_cast<int32_t>(parseNumber(rest.substr(1), loc));
+      } else if (rest[0] == '[') {
+        if (rest.back() != ']') failAt(loc, "missing ']'");
+        instr.operand =
+            static_cast<int32_t>(parseNumber(trim(rest.substr(1, rest.size() - 2)), loc));
+      } else if ((rest[0] == 'R' || rest[0] == 'r') && rest.size() > 1 &&
+                 std::isdigit(static_cast<unsigned char>(rest[1])) != 0) {
+        instr.operand = static_cast<int32_t>(parseNumber(rest.substr(1), loc));
+      } else if (std::isdigit(static_cast<unsigned char>(rest[0])) != 0 ||
+                 rest[0] == '-') {
+        instr.operand = static_cast<int32_t>(parseNumber(rest, loc));
+      } else {
+        // Label reference (jump/call target), resolved in the second pass.
+        const std::string label(rest);
+        if (!isIdentifier(label)) failAt(loc, "bad operand '%s'", label.c_str());
+        fixups.push_back({program.code.size(), label, loc});
+      }
+    }
+    program.code.push_back(instr);
+  }
+
+  for (const Fixup& f : fixups) {
+    auto lit = program.labels.find(f.label);
+    if (lit != program.labels.end()) {
+      program.code[f.instrIndex].operand = lit->second;
+      continue;
+    }
+    auto rit = program.routines.find(f.label);
+    if (rit != program.routines.end()) {
+      program.code[f.instrIndex].operand = rit->second;
+      continue;
+    }
+    failAt(f.loc, "undefined label '%s'", f.label.c_str());
+  }
+  return program;
+}
+
+}  // namespace pscp::tep

@@ -1,0 +1,29 @@
+// Two-pass assembler for TEP assembly text.
+//
+// Syntax (one instruction per line; ';' starts a comment):
+//
+//   .routine InitializeAll      ; transition-routine entry point
+//   loop:                       ; label
+//     LDAI.16 #-5               ; immediate
+//     LDA.16  [0x4000]          ; memory absolute
+//     LDAR    R3                ; register
+//     ADD.16                    ; ACC <- ACC + OP
+//     SHL.16  2                 ; shift count
+//     JNZ     loop              ; label reference
+//     INP     0x17              ; port address
+//     EVSET   3                 ; CR event index
+//     TRET
+//
+// The ".W" width suffix defaults to 8 when omitted.
+#pragma once
+
+#include <string_view>
+
+#include "tep/isa.hpp"
+
+namespace pscp::tep {
+
+[[nodiscard]] AsmProgram assemble(std::string_view source,
+                                  const std::string& file = "<asm>");
+
+}  // namespace pscp::tep

@@ -1,0 +1,249 @@
+#include "tep/isa.hpp"
+
+#include "support/bits.hpp"
+
+namespace pscp::tep {
+
+const char* opcodeMnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::Nop: return "NOP";
+    case Opcode::LdaImm: return "LDAI";
+    case Opcode::LdaMem: return "LDA";
+    case Opcode::LdaReg: return "LDAR";
+    case Opcode::StaMem: return "STA";
+    case Opcode::StaReg: return "STAR";
+    case Opcode::LdoImm: return "LDOI";
+    case Opcode::LdoMem: return "LDO";
+    case Opcode::LdoReg: return "LDOR";
+    case Opcode::LdaInd: return "LDAX";
+    case Opcode::StaInd: return "STAX";
+    case Opcode::LdaIdx: return "LDAD";
+    case Opcode::StaIdx: return "STAD";
+    case Opcode::Tao: return "TAO";
+    case Opcode::Add: return "ADD";
+    case Opcode::Sub: return "SUB";
+    case Opcode::And: return "AND";
+    case Opcode::Or: return "OR";
+    case Opcode::Xor: return "XOR";
+    case Opcode::Not: return "NOT";
+    case Opcode::Neg: return "NEG";
+    case Opcode::Mul: return "MUL";
+    case Opcode::Div: return "DIV";
+    case Opcode::Mod: return "MOD";
+    case Opcode::Divu: return "DIVU";
+    case Opcode::Modu: return "MODU";
+    case Opcode::Cmp: return "CMP";
+    case Opcode::Shl: return "SHL";
+    case Opcode::Shr: return "SHR";
+    case Opcode::Sar: return "SAR";
+    case Opcode::Jmp: return "JMP";
+    case Opcode::Jz: return "JZ";
+    case Opcode::Jnz: return "JNZ";
+    case Opcode::Jn: return "JN";
+    case Opcode::Jc: return "JC";
+    case Opcode::Call: return "CALL";
+    case Opcode::Ret: return "RET";
+    case Opcode::Inp: return "INP";
+    case Opcode::Outp: return "OUTP";
+    case Opcode::EvSet: return "EVSET";
+    case Opcode::CSet: return "CSET";
+    case Opcode::CClr: return "CCLR";
+    case Opcode::CTst: return "CTST";
+    case Opcode::STst: return "STST";
+    case Opcode::Tret: return "TRET";
+    case Opcode::Custom: return "CUST";
+  }
+  return "?";
+}
+
+bool hasOperandWord(Opcode op) {
+  switch (op) {
+    case Opcode::LdaImm:
+    case Opcode::LdaMem:
+    case Opcode::StaMem:
+    case Opcode::LdoImm:
+    case Opcode::LdoMem:
+    case Opcode::Jmp:
+    case Opcode::Jz:
+    case Opcode::Jnz:
+    case Opcode::Jn:
+    case Opcode::Jc:
+    case Opcode::Call:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isWidthSensitive(Opcode op) {
+  switch (op) {
+    case Opcode::LdaImm:
+    case Opcode::LdaMem:
+    case Opcode::LdaReg:
+    case Opcode::StaMem:
+    case Opcode::StaReg:
+    case Opcode::LdoImm:
+    case Opcode::LdoMem:
+    case Opcode::LdoReg:
+    case Opcode::LdaInd:
+    case Opcode::StaInd:
+    case Opcode::LdaIdx:
+    case Opcode::StaIdx:
+    case Opcode::Tao:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Not:
+    case Opcode::Neg:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::Divu:
+    case Opcode::Modu:
+    case Opcode::Cmp:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Sar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Instr::str() const {
+  std::string out = opcodeMnemonic(op);
+  if (isWidthSensitive(op)) out += strfmt(".%d", width);
+  switch (op) {
+    case Opcode::Nop:
+    case Opcode::Ret:
+    case Opcode::Tret:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Not:
+    case Opcode::Neg:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::Divu:
+    case Opcode::Modu:
+    case Opcode::Cmp:
+      return out;
+    case Opcode::LdaImm:
+    case Opcode::LdoImm:
+      return out + strfmt(" #%d", operand);
+    case Opcode::LdaMem:
+    case Opcode::StaMem:
+    case Opcode::LdoMem:
+      return out + strfmt(" [0x%X]", operand);
+    case Opcode::LdaReg:
+    case Opcode::StaReg:
+    case Opcode::LdoReg:
+      return out + strfmt(" R%d", operand);
+    default:
+      return out + strfmt(" %d", operand);
+  }
+}
+
+int AsmProgram::entryOf(const std::string& routine) const {
+  auto it = routines.find(routine);
+  if (it == routines.end()) fail("program has no routine '%s'", routine.c_str());
+  return it->second;
+}
+
+std::string AsmProgram::listing() const {
+  // Invert the label/routine maps for printing.
+  std::map<int, std::vector<std::string>> marks;
+  for (const auto& [name, index] : labels) marks[index].push_back(name + ":");
+  for (const auto& [name, index] : routines) marks[index].push_back(name + "::");
+  std::string out;
+  for (size_t i = 0; i < code.size(); ++i) {
+    auto it = marks.find(static_cast<int>(i));
+    if (it != marks.end())
+      for (const std::string& m : it->second) out += m + "\n";
+    out += strfmt("  %4zu  %s\n", i, code[i].str().c_str());
+  }
+  return out;
+}
+
+int AsmProgram::programWords() const {
+  int words = 0;
+  for (const Instr& in : code) words += hasOperandWord(in.op) ? 2 : 1;
+  return words;
+}
+
+namespace {
+int widthCode(int width) {
+  switch (width) {
+    case 8: return 0;
+    case 16: return 1;
+    case 32: return 2;
+    default: fail("unencodable instruction width %d", width);
+  }
+}
+int widthFromCode(int code) {
+  switch (code) {
+    case 0: return 8;
+    case 1: return 16;
+    case 2: return 32;
+    default: fail("bad width code %d", code);
+  }
+}
+}  // namespace
+
+std::vector<uint16_t> encodeInstr(const Instr& instr) {
+  const auto opbits = static_cast<uint16_t>(instr.op);
+  PSCP_ASSERT(opbits < 64);
+  uint16_t first = static_cast<uint16_t>(opbits << 10);
+  first |= static_cast<uint16_t>(widthCode(isWidthSensitive(instr.op) ? instr.width : 8) << 8);
+  if (hasOperandWord(instr.op)) {
+    if (instr.operand < -32768 || instr.operand > 65535)
+      fail("operand %d of %s does not fit a 16-bit word", instr.operand,
+           opcodeMnemonic(instr.op));
+    return {first, static_cast<uint16_t>(instr.operand & 0xFFFF)};
+  }
+  if (instr.operand < 0 || instr.operand > 255)
+    fail("inline operand %d of %s does not fit 8 bits", instr.operand,
+         opcodeMnemonic(instr.op));
+  first |= static_cast<uint16_t>(instr.operand & 0xFF);
+  return {first};
+}
+
+std::vector<uint16_t> encodeProgram(const AsmProgram& program) {
+  std::vector<uint16_t> words;
+  words.reserve(static_cast<size_t>(program.programWords()));
+  for (const Instr& in : program.code) {
+    const std::vector<uint16_t> w = encodeInstr(in);
+    words.insert(words.end(), w.begin(), w.end());
+  }
+  return words;
+}
+
+Instr decodeInstr(const std::vector<uint16_t>& words, size_t& at) {
+  if (at >= words.size()) fail("decode past end of program");
+  const uint16_t first = words[at++];
+  Instr instr;
+  const int opbits = first >> 10;
+  if (opbits > static_cast<int>(Opcode::Custom))
+    fail("bad opcode bits %d", opbits);
+  instr.op = static_cast<Opcode>(opbits);
+  instr.width = widthFromCode((first >> 8) & 0x3);
+  if (hasOperandWord(instr.op)) {
+    if (at >= words.size()) fail("missing operand word");
+    const uint16_t ow = words[at++];
+    // Sign-extend immediates; addresses/jump targets are non-negative and
+    // below 0x8000, so sign extension never corrupts them.
+    instr.operand = (instr.op == Opcode::LdaImm || instr.op == Opcode::LdoImm)
+                        ? signExtend(ow, 16)
+                        : static_cast<int32_t>(ow);
+  } else {
+    instr.operand = first & 0xFF;
+  }
+  return instr;
+}
+
+}  // namespace pscp::tep

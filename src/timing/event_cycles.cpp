@@ -1,0 +1,212 @@
+#include "timing/event_cycles.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pscp/sched_cost.hpp"
+#include "support/text.hpp"
+#include "timing/wcet.hpp"
+
+namespace pscp::timing {
+
+using statechart::Chart;
+using statechart::StateId;
+using statechart::StateKind;
+using statechart::Transition;
+using statechart::TransitionId;
+
+TransitionLengths transitionLengths(const Chart& chart, const tep::AsmProgram& program,
+                                    const std::map<int, std::string>& transitionRoutine,
+                                    const hwlib::ArchConfig& config, int conditionCount) {
+  WcetAnalyzer wcet(program, config);
+  const int64_t overhead = machine::cycleOverhead(config, conditionCount) +
+                           machine::kDispatchCyclesPerTransition;
+  TransitionLengths lengths;
+  for (const Transition& t : chart.transitions()) {
+    if (t.explicitBound.has_value()) {
+      lengths[t.id] = *t.explicitBound;
+      continue;
+    }
+    auto it = transitionRoutine.find(t.id);
+    const int64_t code = it != transitionRoutine.end()
+                             ? wcet.wcetOfRoutine(it->second)
+                             : 0;
+    lengths[t.id] = code + overhead;
+  }
+  return lengths;
+}
+
+std::string EventCycle::describe(const Chart& chart) const {
+  std::string out = "{";
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += chart.state(states[i]).name;
+  }
+  out += "}";
+  return out;
+}
+
+EventCycleAnalyzer::EventCycleAnalyzer(const Chart& chart, TransitionLengths lengths,
+                                       int numTeps)
+    : chart_(chart), lengths_(std::move(lengths)), numTeps_(numTeps) {
+  PSCP_ASSERT(numTeps >= 1);
+}
+
+int64_t EventCycleAnalyzer::subtreeBound(StateId s) const {
+  auto it = boundCache_.find(s);
+  if (it != boundCache_.end()) return it->second;
+  const statechart::State& st = chart_.state(s);
+  // The state's own worst reaction: its longest outgoing transition.
+  int64_t own = 0;
+  for (TransitionId t : chart_.outgoing(s))
+    own = std::max(own, lengths_.at(t));
+  int64_t children = 0;
+  switch (st.kind) {
+    case StateKind::Basic:
+      children = 0;
+      break;
+    case StateKind::Or: {
+      // "At an OR-state, the maximum length transition of this node's
+      //  children is computed."
+      for (StateId c : st.children) children = std::max(children, subtreeBound(c));
+      break;
+    }
+    case StateKind::And: {
+      // "At an AND-state, the result is the sum of the lengths of the
+      //  node's children."
+      for (StateId c : st.children) children += subtreeBound(c);
+      break;
+    }
+  }
+  const int64_t bound = std::max(own, children);
+  boundCache_[s] = bound;
+  return bound;
+}
+
+int64_t EventCycleAnalyzer::parallelBurden(StateId state) const {
+  // The heuristic *localizes* the problem (Sec. 4): only the siblings of
+  // the innermost enclosing AND component are charged per exploration step
+  // (Fig. 4 adds DataPreparation's single sibling bound of 300 per step).
+  int64_t burden = 0;
+  StateId cur = state;
+  StateId parent = chart_.state(cur).parent;
+  while (parent != statechart::kNoState) {
+    const statechart::State& p = chart_.state(parent);
+    if (p.kind == StateKind::And) {
+      for (StateId sibling : p.children)
+        if (sibling != cur) burden += subtreeBound(sibling);
+      break;  // innermost AND only
+    }
+    cur = parent;
+    parent = p.parent;
+  }
+  // Parallel siblings execute on other TEPs when the machine has them:
+  // N processing elements absorb the sibling reactions concurrently.
+  return (burden + numTeps_ - 1) / numTeps_;
+}
+
+bool EventCycleAnalyzer::transitionMentions(const Transition& t,
+                                            const std::string& event) const {
+  // Only *positive* occurrences consume the event (a "not X_PULSE" trigger
+  // reacts to the event's absence).
+  const auto trig = t.label.trigger.positiveNames();
+  if (std::find(trig.begin(), trig.end(), event) != trig.end()) return true;
+  const auto guard = t.label.guard.positiveNames();
+  return std::find(guard.begin(), guard.end(), event) != guard.end();
+}
+
+std::vector<StateId> EventCycleAnalyzer::consumers(const std::string& event) const {
+  std::vector<StateId> out;
+  for (const statechart::State& s : chart_.states()) {
+    for (TransitionId t : chart_.outgoing(s.id)) {
+      if (transitionMentions(chart_.transition(t), event)) {
+        out.push_back(s.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EventCycle> EventCycleAnalyzer::analyze(const std::string& event,
+                                                    int maxDepth) const {
+  const std::vector<StateId> starts = consumers(event);
+  const std::set<StateId> consumerSet(starts.begin(), starts.end());
+  int64_t period = 0;
+  if (chart_.hasEvent(event)) period = chart_.event(event).period;
+
+  std::vector<EventCycle> found;
+  // DFS from each consumer; a path ends when it reaches any consumer state
+  // (a second consumption point). Self-loops count (e.g. {OpReady,
+  // OpReady} in Table 3). States may not repeat otherwise (simple paths).
+  struct Frame {
+    StateId state;
+    std::vector<StateId> states;
+    std::vector<TransitionId> path;
+    int64_t length;
+  };
+  for (StateId start : starts) {
+    std::vector<Frame> stack;
+    stack.push_back({start, {start}, {}, 0});
+    while (!stack.empty()) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      if (static_cast<int>(f.path.size()) >= maxDepth) continue;
+      // A state's reactions include the transitions of its ancestors (they
+      // exit this state too) — Fig. 4's graph is the tree plus transitions.
+      std::vector<TransitionId> outs = chart_.outgoing(f.state);
+      for (StateId anc = chart_.state(f.state).parent; anc != statechart::kNoState;
+           anc = chart_.state(anc).parent)
+        for (TransitionId t : chart_.outgoing(anc)) outs.push_back(t);
+      for (TransitionId t : outs) {
+        const Transition& tr = chart_.transition(t);
+        Frame next = f;
+        next.state = tr.target;
+        next.states.push_back(tr.target);
+        next.path.push_back(t);
+        next.length += lengths_.at(t) + parallelBurden(tr.source);
+        if (consumerSet.count(tr.target) != 0) {
+          EventCycle cycle;
+          cycle.event = event;
+          cycle.states = next.states;
+          cycle.path = next.path;
+          cycle.length = next.length;
+          cycle.period = period;
+          found.push_back(std::move(cycle));
+          continue;  // consumption point reached: path complete
+        }
+        // Simple-path restriction (the start may repeat as the end).
+        if (std::count(f.states.begin(), f.states.end(), tr.target) != 0) continue;
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const EventCycle& a, const EventCycle& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.states < b.states;
+  });
+  return found;
+}
+
+std::vector<EventCycle> EventCycleAnalyzer::analyzeConstrained(int maxDepth) const {
+  std::vector<EventCycle> all;
+  for (const auto& [name, decl] : chart_.events()) {
+    if (decl.period <= 0) continue;
+    auto cycles = analyze(name, maxDepth);
+    all.insert(all.end(), cycles.begin(), cycles.end());
+  }
+  return all;
+}
+
+std::string renderEventCycleTable(const Chart& chart,
+                                  const std::vector<EventCycle>& cycles) {
+  std::vector<std::vector<std::string>> rows;
+  for (const EventCycle& c : cycles) {
+    rows.push_back({c.event, c.describe(chart), std::to_string(c.length),
+                    c.period > 0 ? std::to_string(c.period) : "-",
+                    c.violates() ? "VIOLATION" : "ok"});
+  }
+  return renderTable({"Event", "Cycle", "Length", "Period", "Status"}, rows);
+}
+
+}  // namespace pscp::timing

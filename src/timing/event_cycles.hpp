@@ -1,0 +1,96 @@
+// Heuristic static timing validation for extended statecharts (Sec. 4).
+//
+// Full validation is reachability analysis (NP-complete even for basic
+// statecharts), so the paper localizes: for each constrained event, find
+// every state that consumes it, then depth-first search the transition
+// graph for *event cycles* — paths between two consumptions of the event.
+// The length of a cycle is the sum of its transition lengths; whenever a
+// step is taken inside one component of an AND state, a recursively
+// computed upper bound for the parallel siblings is added (OR-state: max
+// over children; AND-state: sum over children).
+//
+// Transition lengths come from the compiled code's WCET plus the scheduler
+// overhead (shared cost model in pscp/sched_cost.hpp); transitions with an
+// explicit `bound` annotation use it instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwlib/arch_config.hpp"
+#include "statechart/chart.hpp"
+#include "tep/isa.hpp"
+
+namespace pscp::timing {
+
+/// Per-transition execution lengths in reference-clock cycles.
+using TransitionLengths = std::map<statechart::TransitionId, int64_t>;
+
+/// Compute transition lengths from a compiled application: WCET of each
+/// transition routine + per-transition scheduler overhead. Explicit bounds
+/// on transitions override the computed value.
+[[nodiscard]] TransitionLengths transitionLengths(
+    const statechart::Chart& chart, const tep::AsmProgram& program,
+    const std::map<int, std::string>& transitionRoutine,
+    const hwlib::ArchConfig& config, int conditionCount);
+
+/// One discovered event cycle: a path between two states that both consume
+/// the analyzed event (possibly the same state — a self cycle).
+struct EventCycle {
+  std::string event;
+  std::vector<statechart::StateId> states;       ///< visited states, in order
+  std::vector<statechart::TransitionId> path;    ///< transitions taken
+  int64_t length = 0;                            ///< cycles, incl. sibling bounds
+  int64_t period = 0;                            ///< the event's constraint (0 = none)
+
+  [[nodiscard]] bool violates() const { return period > 0 && length > period; }
+  [[nodiscard]] std::string describe(const statechart::Chart& chart) const;
+};
+
+class EventCycleAnalyzer {
+ public:
+  /// `numTeps` models the parallel machine: the reaction work of parallel
+  /// siblings overlaps with the explored path when several TEPs execute
+  /// concurrently, so the per-step sibling burden divides by the TEP count
+  /// (the paper's "last resort" lever of Sec. 4).
+  EventCycleAnalyzer(const statechart::Chart& chart, TransitionLengths lengths,
+                     int numTeps = 1);
+
+  /// Upper bound (cycles) for the subtree rooted at `s`: the worst single
+  /// reaction the subtree can contribute while a sibling path is explored.
+  [[nodiscard]] int64_t subtreeBound(statechart::StateId s) const;
+
+  /// Extra cost charged per exploration step from `state`: the sum of the
+  /// subtree bounds of all parallel siblings along its ancestor chain.
+  [[nodiscard]] int64_t parallelBurden(statechart::StateId state) const;
+
+  /// States with an outgoing transition triggered/guarded by `event`.
+  [[nodiscard]] std::vector<statechart::StateId> consumers(
+      const std::string& event) const;
+
+  /// All event cycles for `event`, up to `maxDepth` transitions each.
+  [[nodiscard]] std::vector<EventCycle> analyze(const std::string& event,
+                                                int maxDepth = 10) const;
+
+  /// Analyze every event that carries a period constraint.
+  [[nodiscard]] std::vector<EventCycle> analyzeConstrained(int maxDepth = 10) const;
+
+  [[nodiscard]] const TransitionLengths& lengths() const { return lengths_; }
+
+ private:
+  [[nodiscard]] bool transitionMentions(const statechart::Transition& t,
+                                        const std::string& event) const;
+
+  const statechart::Chart& chart_;
+  TransitionLengths lengths_;
+  int numTeps_ = 1;
+  mutable std::map<statechart::StateId, int64_t> boundCache_;
+};
+
+/// Human-readable Table-3-style report.
+[[nodiscard]] std::string renderEventCycleTable(const statechart::Chart& chart,
+                                                const std::vector<EventCycle>& cycles);
+
+}  // namespace pscp::timing

@@ -1,0 +1,132 @@
+#include "timing/wcet.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "tep/microcode.hpp"
+
+namespace pscp::timing {
+
+using tep::AsmProgram;
+using tep::Instr;
+using tep::LoopRegion;
+using tep::Opcode;
+
+WcetAnalyzer::WcetAnalyzer(const AsmProgram& program, const hwlib::ArchConfig& config)
+    : program_(program), config_(config) {}
+
+int64_t WcetAnalyzer::instructionCost(int index) {
+  PSCP_ASSERT(index >= 0 && index < static_cast<int>(program_.code.size()));
+  const Instr& in = program_.code[static_cast<size_t>(index)];
+  int64_t cost = tep::cyclesFor(in, config_);
+  // External-RAM wait states: one extra cycle per chunk moved.
+  switch (in.op) {
+    case Opcode::LdaMem:
+    case Opcode::LdoMem:
+    case Opcode::StaMem:
+      if (tep::isExternalAddress(in.operand)) cost += config_.chunksFor(in.width);
+      break;
+    case Opcode::LdaInd:
+    case Opcode::StaInd:
+      // Address unknown statically: assume external (sound upper bound).
+      cost += config_.chunksFor(in.width);
+      break;
+    case Opcode::Call:
+      cost += wcetOf(in.operand);
+      break;
+    default:
+      break;
+  }
+  return cost;
+}
+
+int64_t WcetAnalyzer::wcetOf(int entry) {
+  auto it = entryCache_.find(entry);
+  if (it != entryCache_.end()) return it->second;
+  entryCache_[entry] = 0;  // cut accidental cycles defensively
+  const int64_t result = longestPath(entry, 0, static_cast<int>(program_.code.size()), 0);
+  entryCache_[entry] = result;
+  return result;
+}
+
+int64_t WcetAnalyzer::wcetOfRoutine(const std::string& routine) {
+  return wcetOf(program_.entryOf(routine));
+}
+
+namespace {
+bool isTerminator(Opcode op) { return op == Opcode::Ret || op == Opcode::Tret; }
+
+bool isConditional(Opcode op) {
+  switch (op) {
+    case Opcode::Jz:
+    case Opcode::Jnz:
+    case Opcode::Jn:
+    case Opcode::Jc:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+/// Longest path from `entry`, confined to [regionBegin, regionEnd); paths
+/// leaving the region (or hitting a back edge / terminator) end there.
+int64_t WcetAnalyzer::longestPath(int entry, int regionBegin, int regionEnd, int depth) {
+  if (depth > 64) fail("WCET analysis recursion too deep (unannotated loop?)");
+
+  // Iterative worklist would be faster; routines are small, so a memoized
+  // recursion over instruction indices is clear and sufficient.
+  std::map<int, int64_t> memo;
+  std::function<int64_t(int)> visit = [&](int i) -> int64_t {
+    if (i < regionBegin || i >= regionEnd) return 0;  // left the region
+    auto mit = memo.find(i);
+    if (mit != memo.end()) {
+      if (mit->second == -1)
+        fail("WCET: unannotated cycle at instruction %d (missing loop bound?)", i);
+      return mit->second;
+    }
+    memo[i] = -1;  // visiting marker
+
+    // Innermost loop region starting exactly here (excluding the one we are
+    // currently analyzing, identified by begin == regionBegin at this call).
+    const LoopRegion* loop = nullptr;
+    for (const LoopRegion& lr : program_.loops) {
+      if (lr.begin != i) continue;
+      if (lr.begin == regionBegin && lr.end == regionEnd) continue;  // self
+      if (lr.begin < regionBegin || lr.end > regionEnd) continue;    // outside
+      if (loop == nullptr || lr.end > loop->end) loop = &lr;         // outermost
+    }
+    if (loop != nullptr) {
+      const int64_t body = longestPath(loop->begin, loop->begin, loop->end, depth + 1);
+      const int64_t after = visit(loop->end);
+      // bound iterations plus the final header test that exits the loop;
+      // charging one extra body keeps the bound sound (and simple).
+      const int64_t total = (loop->bound + 1) * body + after;
+      memo[i] = total;
+      return total;
+    }
+
+    const Instr& in = program_.code[static_cast<size_t>(i)];
+    const int64_t cost = instructionCost(i);
+    int64_t best = 0;
+    if (isTerminator(in.op)) {
+      best = 0;
+    } else if (in.op == Opcode::Jmp) {
+      // Back edges (target at or before the loop header) terminate the
+      // body path; forward jumps continue.
+      best = (in.operand <= i) ? 0 : visit(in.operand);
+    } else if (isConditional(in.op)) {
+      const int64_t taken = (in.operand <= i) ? 0 : visit(in.operand);
+      const int64_t fall = visit(i + 1);
+      best = std::max(taken, fall);
+    } else {
+      best = visit(i + 1);
+    }
+    const int64_t total = cost + best;
+    memo[i] = total;
+    return total;
+  };
+  return visit(entry);
+}
+
+}  // namespace pscp::timing

@@ -1,0 +1,45 @@
+// Static worst-case execution time of compiled routines (paper Sec. 4:
+// "if possible, the transition lengths are derived from the assembler code
+// of their associated routines, otherwise explicit timing constraints must
+// be specified").
+//
+// Method: per-instruction costs come from the microprograms (the same
+// model the simulator executes), external-memory operands add their wait
+// states, CALLs add the callee's WCET (recursion is impossible by
+// construction), and loops add (bound) x (longest path through the loop
+// body) using the designer-asserted `bound` annotations carried in
+// AsmProgram::loops. Branching joins take the longest alternative, so the
+// result is a sound upper bound for the cost model.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hwlib/arch_config.hpp"
+#include "tep/isa.hpp"
+
+namespace pscp::timing {
+
+class WcetAnalyzer {
+ public:
+  WcetAnalyzer(const tep::AsmProgram& program, const hwlib::ArchConfig& config);
+
+  /// WCET (cycles) of the code reachable from `entry` up to TRET/RET.
+  [[nodiscard]] int64_t wcetOf(int entry);
+  [[nodiscard]] int64_t wcetOfRoutine(const std::string& routine);
+
+  /// Cost of a single instruction: microprogram length plus external-RAM
+  /// wait states (one per chunk) for memory operands, plus callee WCET for
+  /// CALL instructions.
+  [[nodiscard]] int64_t instructionCost(int index);
+
+ private:
+  [[nodiscard]] int64_t longestPath(int entry, int regionBegin, int regionEnd,
+                                    int depth);
+
+  const tep::AsmProgram& program_;
+  const hwlib::ArchConfig& config_;
+  std::map<int, int64_t> entryCache_;
+};
+
+}  // namespace pscp::timing

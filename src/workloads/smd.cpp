@@ -1,0 +1,456 @@
+#include "workloads/smd.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace pscp::workloads {
+
+const char* smdChartText() {
+  return R"chart(
+chart SmdPickupHead;
+
+// ---- ports (Fig. 2b style: event/condition/data bus addresses) ----
+port PE0       event     in    width 8  address 0700;
+port CE0       condition bidir width 8  address 0712;
+port Buffer    data      in    width 8  address 0717;
+port CounterX  data      out   width 16 address 0x30;
+port CounterY  data      out   width 16 address 0x32;
+port CounterPhi data     out   width 16 address 0x34;
+port Status    data      out   width 8  address 0x36;
+
+// ---- events with the arrival periods of Table 2 ----
+event DATA_VALID period 1500 port PE0 bit 0;
+event X_PULSE    period 300  port PE0 bit 1;
+event Y_PULSE    period 300  port PE0 bit 2;
+event PHI_PULSE  period 1600 port PE0 bit 3;
+event X_STEPS    port PE0 bit 4;
+event Y_STEPS    port PE0 bit 5;
+event PHI_STEPS  port PE0 bit 6;
+event POWER;
+event INIT;
+event ALLRESET;
+event ERROR;
+event END_DATA;
+event END_MOVE;
+
+condition MOVEMENT  port CE0 bit 0;
+condition XFINISH   port CE0 bit 1;
+condition YFINISH   port CE0 bit 2;
+condition PHIFINISH port CE0 bit 3;
+condition BOUNDS_OK;
+condition HAVE_DATA;
+
+// ---- top-level chart (Fig. 6) ----
+orstate Main {
+  contains Off, Idle1, Operation, ErrState;
+  default Off;
+}
+basicstate Off {
+  transition { target Idle1; label "POWER/InitializeAll()"; }
+}
+basicstate Idle1 {
+  transition { target Operation; label "DATA_VALID/GetByte()"; }
+}
+andstate Operation {
+  transition { target Idle1; label "INIT or ALLRESET/InitializeAll()"; }
+  transition { target ErrState; label "ERROR/Stop()"; }
+
+  // ---- data preparation component ----
+  orstate DataPreparation {
+    contains OpcodeReady, EmptyBuf, Bounds, NoData;
+    default OpcodeReady;
+  }
+
+  // ---- head positioning component (Fig. 5) ----
+  orstate ReachPosition {
+    contains Idle2, Moving;
+    default Idle2;
+  }
+}
+basicstate ErrState {
+  transition { target Idle1; label "INIT or ALLRESET/InitializeAll()"; }
+}
+
+basicstate OpcodeReady {
+  // Pipelined opcode fetch while a move executes: {OpReady, OpReady}.
+  transition { target OpcodeReady; label "DATA_VALID [HAVE_DATA]/GetByte()"; }
+  transition { target EmptyBuf; label "DATA_VALID [not HAVE_DATA]/GetByte()"; }
+  transition { target Idle1; label "END_DATA/Flush()"; }
+}
+basicstate EmptyBuf {
+  transition { target Bounds; label "DATA_VALID/GetByte()"; }
+  transition { target Idle1; label "END_DATA/Flush()"; }
+}
+basicstate Bounds {
+  transition { target NoData; label "DATA_VALID/GetByte(); CheckBounds()"; }
+  transition { target Idle1; label "END_DATA/Flush()"; }
+}
+basicstate NoData {
+  // Phi pre-computation happens while the step pulses are quiet (Fig. 6's
+  // "not (X_PULSE or Y_PULSE)" label).
+  transition {
+    target OpcodeReady;
+    label "not (X_PULSE or Y_PULSE) [BOUNDS_OK and not MOVEMENT]/PhiParameters(PhiParams, NewPhi, OldPhi); PrepareMove()";
+  }
+  transition { target Idle1; label "END_DATA [not BOUNDS_OK]/Flush()"; }
+}
+
+basicstate Idle2 {
+  transition { target Moving; label "[MOVEMENT]/BeginMove()"; }
+}
+andstate Moving {
+  transition { target Idle2; label "[XFINISH and YFINISH and PHIFINISH]/FinishMove()"; }
+  orstate MoveX {
+    contains XStart2, RunX, XEnd2;
+    default XStart2;
+  }
+  orstate MoveY {
+    contains YStart2, RunY, YEnd2;
+    default YStart2;
+  }
+  orstate MovePhi {
+    contains PhiStart, RunPhi, PhiEnd;
+    default PhiStart;
+  }
+}
+basicstate XStart2 {
+  transition { target RunX; label "/StartMotor(MX, XParams)"; }
+}
+basicstate RunX {
+  transition { target RunX; label "X_PULSE/DeltaT(MX)"; }
+  transition { target XEnd2; label "X_STEPS/SetTrue(XFINISH)"; }
+}
+basicstate XEnd2 { }
+basicstate YStart2 {
+  transition { target RunY; label "/StartMotor(MY, YParams)"; }
+}
+basicstate RunY {
+  transition { target RunY; label "Y_PULSE/DeltaT(MY)"; }
+  transition { target YEnd2; label "Y_STEPS/SetTrue(YFINISH)"; }
+}
+basicstate YEnd2 { }
+basicstate PhiStart {
+  transition { target RunPhi; label "/StartMotor(MPHI, PhiParams)"; }
+}
+basicstate RunPhi {
+  transition { target RunPhi; label "PHI_PULSE/DeltaT(MPHI)"; }
+  transition { target PhiEnd; label "PHI_STEPS/SetTrue(PHIFINISH)"; }
+}
+basicstate PhiEnd { }
+)chart";
+}
+
+const char* smdActionText() {
+  return R"code(
+// Designer-written action routines of the SMD pickup-head controller.
+// Velocity unit: 1/40 of the X/Y peak step rate, so vmax = 40 corresponds
+// to 50 kHz (one pulse per 300 reference-clock cycles at 15 MHz), and the
+// counter reload is interval = 12000 / velocity. Phi runs uniformly at
+// vmax = 8 (12800 / 8 = 1600 cycles, ~9 kHz).
+
+enum Motors { MX, MY, MPHI };
+
+typedef struct {
+  int:16 position;
+  int:16 target;
+  int:16 velocity;
+  int:16 accel;
+  int:16 vmax;
+  int:16 interval;
+  int:16 pad0;      // pad the record to 16 bytes so indexed accesses
+  int:16 pad1;      // scale with a shift instead of a multiply
+} Motor;
+
+Motor motors[3];
+Motor XParams   = { 0, 0, 5, 1, 40, 0, 0, 0 };
+Motor YParams   = { 0, 0, 5, 1, 40, 0, 0, 0 };
+Motor PhiParams = { 0, 0, 8, 0, 8, 0, 0, 0 };
+
+uint:8 cmdPhase;
+uint:8 opcode;
+uint:8 rxByte;
+int:16 pendingX;
+int:16 pendingY;
+int:16 pendingPhi;
+int:16 NewPhi;
+int:16 OldPhi;
+int:16 commandsDone;
+int:16 errorsSeen;
+
+void InitializeAll() {
+  cmdPhase = 0;
+  opcode = 0;
+  commandsDone = 0;
+  set_cond(MOVEMENT, 0);
+  set_cond(XFINISH, 0);
+  set_cond(YFINISH, 0);
+  set_cond(PHIFINISH, 0);
+  set_cond(BOUNDS_OK, 0);
+  set_cond(HAVE_DATA, 0);
+  int:16 i = 0;
+  while (i < 3) bound 3 {
+    motors[i].position = 0;
+    motors[i].velocity = 0;
+    motors[i].interval = 0;
+    i = i + 1;
+  }
+}
+
+void GetByte() {
+  rxByte = read_port(Buffer);
+  // Widen before scaling: arithmetic happens at the width of the widest
+  // operand, and rxByte alone is 8 bits.
+  int:16 wide = rxByte;
+  if (cmdPhase == 0) {
+    opcode = rxByte;
+    cmdPhase = 1;
+  } else {
+    if (cmdPhase == 1) {
+      pendingX = wide * 16;
+      cmdPhase = 2;
+    } else {
+      if (cmdPhase == 2) {
+        pendingY = wide * 16;
+        cmdPhase = 3;
+      } else {
+        NewPhi = wide * 4;
+        cmdPhase = 4;
+        set_cond(HAVE_DATA, 1);
+      }
+    }
+  }
+}
+
+void CheckBounds() {
+  // 1 m of travel = 40000 steps of 0.025 mm; command bytes scale to at
+  // most 4080, comfortably inside, but the check mirrors the real device.
+  if (pendingX >= 0 && pendingX <= 4096 && pendingY >= 0 && pendingY <= 4096 &&
+      NewPhi >= 0 && NewPhi <= 1024) {
+    set_cond(BOUNDS_OK, 1);
+  } else {
+    set_cond(BOUNDS_OK, 0);
+    errorsSeen = errorsSeen + 1;
+  }
+}
+
+void PhiParameters(Motor cfg, int:16 target, int:16 old) {
+  // Shortest rotation: fold the requested angle into [-512, 512) steps
+  // relative to the current angle (0.1 degree per step, 3600 steps/turn
+  // scaled down by 4 in this command encoding).
+  int:16 delta = target - old;
+  if (delta > 512) { delta = delta - 1024; }
+  if (delta < -512) { delta = delta + 1024; }
+  if (delta < 0) { delta = -delta; }
+  pendingPhi = delta;
+  OldPhi = target;
+}
+
+void PrepareMove() {
+  set_cond(MOVEMENT, 1);
+  set_cond(HAVE_DATA, 0);
+  cmdPhase = 0;
+}
+
+void BeginMove() {
+  set_cond(XFINISH, 0);
+  set_cond(YFINISH, 0);
+  set_cond(PHIFINISH, 0);
+}
+
+void WriteCounter(int:16 which, int:16 value) {
+  if (which == MX) {
+    write_port(CounterX, value);
+  } else {
+    if (which == MY) {
+      write_port(CounterY, value);
+    } else {
+      write_port(CounterPhi, value);
+    }
+  }
+}
+
+void StartMotor(int:16 which, Motor cfg) {
+  motors[which].position = 0;
+  motors[which].velocity = cfg.velocity;
+  motors[which].accel = cfg.accel;
+  motors[which].vmax = cfg.vmax;
+  int:16 tgt = pendingPhi;
+  if (which == MX) { tgt = pendingX; }
+  if (which == MY) { tgt = pendingY; }
+  motors[which].target = tgt;
+  if (tgt == 0) {
+    // Nothing to do on this axis: report completion immediately.
+    if (which == MX) { raise(X_STEPS); }
+    if (which == MY) { raise(Y_STEPS); }
+    if (which == MPHI) { raise(PHI_STEPS); }
+    motors[which].interval = 0;
+    WriteCounter(which, 0);
+  } else {
+    int:16 k = 12000;
+    if (which == MPHI) { k = 12800; }
+    int:16 iv = k / cfg.velocity;
+    motors[which].interval = iv;
+    WriteCounter(which, iv);
+  }
+}
+
+// The critical routine: runs on every motor step pulse. Trapezoidal
+// velocity profile — accelerate by `accel` per pulse up to vmax, begin
+// decelerating when the remaining distance falls below the stopping
+// distance v^2 / (2a), never below the floor speed.
+// Hand-tuned the way a 1998 firmware engineer would: fields are copied
+// into locals (the TEP's on-chip RAM) instead of re-resolving
+// motors[which] on every access.
+void DeltaT(int:16 which) {
+  int:16 pos = motors[which].position + 1;
+  motors[which].position = pos;
+  int:16 v = motors[which].velocity;
+  int:16 a = motors[which].accel;
+  if (a > 0) {
+    int:16 remaining = motors[which].target - pos;
+    int:16 stopDist = (v * v) / (2 * a);
+    if (remaining <= stopDist) {
+      v = v - a;
+      if (v < 4) { v = 4; }
+    } else {
+      v = v + a;
+      int:16 vm = motors[which].vmax;
+      if (v > vm) { v = vm; }
+    }
+    motors[which].velocity = v;
+  }
+  int:16 k = 12000;
+  if (which == MPHI) { k = 12800; }
+  int:16 iv = k / v;
+  motors[which].interval = iv;
+  WriteCounter(which, iv);
+}
+
+void SetTrue(cond c) {
+  set_cond(c, 1);
+}
+
+void FinishMove() {
+  raise(END_MOVE);
+  set_cond(MOVEMENT, 0);
+  commandsDone = commandsDone + 1;
+  write_port(Status, commandsDone);
+}
+
+void Flush() {
+  cmdPhase = 0;
+  set_cond(HAVE_DATA, 0);
+  set_cond(BOUNDS_OK, 0);
+}
+
+void Stop() {
+  errorsSeen = errorsSeen + 1;
+  WriteCounter(MX, 0);
+  WriteCounter(MY, 0);
+  WriteCounter(MPHI, 0);
+}
+)code";
+}
+
+// ------------------------------------------------------------ environment
+
+SmdEnvironment::SmdEnvironment() {
+  x_.pulseEvent = "X_PULSE";
+  x_.stepsEvent = "X_STEPS";
+  x_.counterPort = "CounterX";
+  x_.minInterval = SmdTiming::kXyPulsePeriod;
+  y_.pulseEvent = "Y_PULSE";
+  y_.stepsEvent = "Y_STEPS";
+  y_.counterPort = "CounterY";
+  y_.minInterval = SmdTiming::kXyPulsePeriod;
+  phi_.pulseEvent = "PHI_PULSE";
+  phi_.stepsEvent = "PHI_STEPS";
+  phi_.counterPort = "CounterPhi";
+  phi_.minInterval = SmdTiming::kPhiPulsePeriod;
+}
+
+void SmdEnvironment::queueMove(int xSteps, int ySteps, int phiSteps) {
+  PSCP_ASSERT(xSteps >= 0 && xSteps <= 255 * 16);
+  PSCP_ASSERT(ySteps >= 0 && ySteps <= 255 * 16);
+  PSCP_ASSERT(phiSteps >= 0 && phiSteps <= 255 * 4);
+  bytes_.push_back(0x01);  // MOVE opcode
+  bytes_.push_back(static_cast<uint8_t>(xSteps / 16));
+  bytes_.push_back(static_cast<uint8_t>(ySteps / 16));
+  bytes_.push_back(static_cast<uint8_t>(phiSteps / 4));
+}
+
+uint8_t SmdEnvironment::nextByte() {
+  PSCP_ASSERT(hasPendingByte());
+  return bytes_[byteAt_++];
+}
+
+void SmdEnvironment::commandMotors(int xSteps, int ySteps, int phiSteps) {
+  auto arm = [](EnvMotor& m, int steps) {
+    m.stepsCommanded = steps;
+    m.stepsDone = 0;
+    m.running = steps > 0;
+    m.counter = 0;  // first pulse after the controller loads the counter
+  };
+  arm(x_, xSteps);
+  arm(y_, ySteps);
+  arm(phi_, phiSteps);
+}
+
+void SmdEnvironment::stopAll() {
+  x_.running = false;
+  y_.running = false;
+  phi_.running = false;
+}
+
+void SmdEnvironment::advanceMotor(EnvMotor& motor, int64_t cycles, uint32_t reload,
+                                  std::set<std::string>& events) {
+  if (!motor.running) return;
+  if (motor.counter == 0) {
+    // Waiting for the controller to load the counter.
+    if (reload == 0) return;
+    motor.counter = std::max<int64_t>(static_cast<int64_t>(reload), motor.minInterval);
+    motor.maxObservedRate = motor.maxObservedRate == 0
+                                ? motor.counter
+                                : std::min(motor.maxObservedRate, motor.counter);
+  }
+  motor.counter -= cycles;
+  if (motor.counter > 0) return;
+  // Pulse. At most one pulse event is delivered per advance; pulses the
+  // controller was too slow to service are counted as missed deadlines.
+  const int64_t reloadEff =
+      std::max<int64_t>(static_cast<int64_t>(reload), motor.minInterval);
+  if (-motor.counter >= reloadEff) motor.missedPulses += (-motor.counter) / reloadEff;
+  ++motor.pulses;
+  ++motor.stepsDone;
+  if (motor.stepsDone >= motor.stepsCommanded) {
+    events.insert(motor.stepsEvent);
+    motor.running = false;
+    motor.counter = 0;
+    return;
+  }
+  events.insert(motor.pulseEvent);
+  motor.counter = std::max<int64_t>(static_cast<int64_t>(reload), motor.minInterval);
+  motor.maxObservedRate = motor.maxObservedRate == 0
+                              ? motor.counter
+                              : std::min(motor.maxObservedRate, motor.counter);
+}
+
+std::set<std::string> SmdEnvironment::advance(int64_t cycles, uint32_t intervalX,
+                                              uint32_t intervalY, uint32_t intervalPhi,
+                                              bool controllerReady) {
+  now_ += cycles;
+  std::set<std::string> events;
+  advanceMotor(x_, cycles, intervalX, events);
+  advanceMotor(y_, cycles, intervalY, events);
+  advanceMotor(phi_, cycles, intervalPhi, events);
+  if (now_ >= nextDataValid_) {
+    nextDataValid_ += SmdTiming::kDataValidPeriod;
+    // The central controller observes the Status handshake and withholds
+    // the strobe while the head controller cannot accept a byte.
+    if (hasPendingByte() && controllerReady) events.insert("DATA_VALID");
+  }
+  return events;
+}
+
+}  // namespace pscp::workloads

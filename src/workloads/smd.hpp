@@ -1,0 +1,106 @@
+// The paper's industrial example (Sec. 5): the pickup-head controller of
+// an automatic SMD assembly machine. Four stepper motors move the head in
+// x, y, z and phi; X/Y step at up to 50 kHz (300 reference-clock cycles at
+// 15 MHz), z/phi at 9 kHz; commands arrive from a central controller every
+// 1500 cycles (Table 2). The X and Y motors must be accelerated and
+// decelerated precisely because of inertia (10 m/s^2 peak, 0.025 mm/step,
+// 1.25 m/s peak velocity); the motors are set in motion by counters that
+// issue a pulse on zero.
+//
+// This module provides the statechart (Figs. 5/6), the action routines
+// (the designer-written C code the paper compiles), the physical motor
+// parameters (Fig. 7), and a cycle-driven environment model that stands in
+// for the real head: it runs the counters, generates pulse/command events,
+// and checks kinematic sanity. The environment substitutes for the paper's
+// physical testbed (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pscp::workloads {
+
+/// Textual statechart of the SMD pickup-head controller (Figs. 5 and 6).
+[[nodiscard]] const char* smdChartText();
+
+/// Action routines (extended-C) for the controller.
+[[nodiscard]] const char* smdActionText();
+
+// --------------------------------------------------------------- physics
+
+/// Fig. 7 / Sec. 5 constants, in reference-clock cycles at 15 MHz.
+struct SmdTiming {
+  static constexpr int64_t kClockHz = 15'000'000;
+  static constexpr int64_t kDataValidPeriod = 1500;  ///< command arrival
+  static constexpr int64_t kXyPulsePeriod = 300;     ///< 50 kHz step rate
+  static constexpr int64_t kPhiPulsePeriod = 1600;   ///< ~9 kHz step rate
+};
+
+/// One motor of the environment: a hardware down-counter loaded by the
+/// controller; on zero it pulses and reloads.
+struct EnvMotor {
+  std::string pulseEvent;     ///< e.g. "X_PULSE"
+  std::string stepsEvent;     ///< e.g. "X_STEPS" (commanded steps reached)
+  std::string counterPort;    ///< port the controller writes intervals to
+  int64_t minInterval = 300;  ///< physical floor (max step rate)
+  int64_t counter = 0;        ///< cycles until next pulse (0 = idle)
+  int64_t stepsDone = 0;
+  int64_t stepsCommanded = 0;
+  bool running = false;
+
+  int64_t maxObservedRate = 0;    ///< min interval seen (for checks)
+  int64_t pulses = 0;
+  int64_t missedPulses = 0;       ///< deadline misses (controller too slow)
+};
+
+/// The environment around the controller: motors + the central controller
+/// that streams 3-byte move commands over the Buffer port.
+class SmdEnvironment {
+ public:
+  SmdEnvironment();
+
+  /// Queue a move command: opcode plus a 16-bit step count per axis packed
+  /// into the byte stream the controller's GetByte() consumes.
+  void queueMove(int xSteps, int ySteps, int phiSteps);
+
+  /// Advance the environment by `cycles` reference-clock cycles and return
+  /// the set of events that became due (pulses, step completions, command
+  /// bytes). `intervalX/Y/Phi` are the controller's current counter-port
+  /// outputs (reloaded on pulse).
+  /// `controllerReady` models the central controller's flow control: the
+  /// DATA_VALID strobe is withheld while the head controller cannot accept
+  /// a byte (it observes the Status port handshake).
+  [[nodiscard]] std::set<std::string> advance(int64_t cycles, uint32_t intervalX,
+                                              uint32_t intervalY, uint32_t intervalPhi,
+                                              bool controllerReady = true);
+
+  /// Start/stop motors when the controller commands it (mirrors the
+  /// StartMotor/StopMotor routine effects as seen at the ports).
+  void commandMotors(int xSteps, int ySteps, int phiSteps);
+  void stopAll();
+
+  /// Next byte for the Buffer port; valid while hasPendingByte().
+  [[nodiscard]] bool hasPendingByte() const { return byteAt_ < bytes_.size(); }
+  [[nodiscard]] uint8_t nextByte();
+
+  [[nodiscard]] const EnvMotor& motorX() const { return x_; }
+  [[nodiscard]] const EnvMotor& motorY() const { return y_; }
+  [[nodiscard]] const EnvMotor& motorPhi() const { return phi_; }
+  [[nodiscard]] int64_t now() const { return now_; }
+
+ private:
+  void advanceMotor(EnvMotor& motor, int64_t cycles, uint32_t reload,
+                    std::set<std::string>& events);
+
+  EnvMotor x_;
+  EnvMotor y_;
+  EnvMotor phi_;
+  std::vector<uint8_t> bytes_;
+  size_t byteAt_ = 0;
+  int64_t now_ = 0;
+  int64_t nextDataValid_ = SmdTiming::kDataValidPeriod;
+};
+
+}  // namespace pscp::workloads

@@ -1,0 +1,76 @@
+#include "workloads/smd_testbench.hpp"
+
+#include <algorithm>
+
+#include "actionlang/parser.hpp"
+#include "statechart/parser.hpp"
+
+namespace pscp::workloads {
+
+SmdTestbench::SmdTestbench(const hwlib::ArchConfig& arch,
+                           compiler::CompileOptions options)
+    : chart_(statechart::parseChart(smdChartText(), "smd.chart")),
+      actions_(actionlang::parseActionSource(smdActionText(), "smd.c")) {
+  machine_ = std::make_unique<machine::PscpMachine>(chart_, actions_, arch, options);
+}
+
+SmdRunResult SmdTestbench::run(int commands, int64_t maxConfigCycles) {
+  // Deterministic command mix: a few long moves, some short, one rotation-
+  // only — enough to exercise acceleration, deceleration, and phi folding.
+  uint32_t rng = 0x5EED;
+  auto next = [&rng]() {
+    rng = rng * 1664525u + 1013904223u;
+    return rng >> 16;
+  };
+  for (int i = 0; i < commands; ++i)
+    env_.queueMove(static_cast<int>(16 * (2 + next() % 12)),
+                   static_cast<int>(16 * (1 + next() % 10)),
+                   static_cast<int>(4 * (next() % 20)));
+
+  machine::PscpMachine& m = *machine_;
+  SmdRunResult result;
+
+  std::set<std::string> events = {"POWER"};
+  bool wasMoving = false;
+  for (int64_t i = 0; i < maxConfigCycles; ++i) {
+    const auto cycle = m.configurationCycle(events);
+    ++result.configCycles;
+
+    // Deliver the Buffer byte for the *next* DATA_VALID before the event
+    // fires (the central controller drives data and strobe together).
+    const bool moving = m.isActive("Moving");
+    if (moving && !wasMoving) {
+      env_.commandMotors(static_cast<int>(m.globalValue("pendingX")),
+                         static_cast<int>(m.globalValue("pendingY")),
+                         static_cast<int>(m.globalValue("pendingPhi")));
+    }
+    wasMoving = moving;
+
+    // Advance the physical world by however long that cycle took; when the
+    // machine is quiescent, skip ahead so simulations stay fast.
+    int64_t dt = cycle.cycles;
+    if (cycle.quiescent) dt = std::max<int64_t>(dt, 50);
+    const bool ready = m.isActive("Idle1") || m.isActive("OpcodeReady") ||
+                       m.isActive("EmptyBuf") || m.isActive("Bounds");
+    events = env_.advance(dt, m.outputPort("CounterX"), m.outputPort("CounterY"),
+                          m.outputPort("CounterPhi"), ready);
+    if (events.count("DATA_VALID") != 0 && env_.hasPendingByte())
+      m.setInputPort("Buffer", env_.nextByte());
+
+    result.commandsCompleted = static_cast<int>(m.globalValue("commandsDone"));
+    if (result.commandsCompleted >= commands && !env_.hasPendingByte()) {
+      result.completedAll = true;
+      break;
+    }
+  }
+
+  result.totalCycles = m.totalCycles();
+  result.missedDeadlines = env_.motorX().missedPulses + env_.motorY().missedPulses +
+                           env_.motorPhi().missedPulses;
+  result.xPulses = env_.motorX().pulses;
+  result.phiPulses = env_.motorPhi().pulses;
+  result.minXInterval = env_.motorX().maxObservedRate;
+  return result;
+}
+
+}  // namespace pscp::workloads

@@ -1,0 +1,53 @@
+// Closed-loop testbench: PSCP machine <-> SMD environment.
+//
+// Drives the compiled controller against the motor/command environment,
+// cycle-accurately: each configuration cycle consumes machine cycles, the
+// environment advances by the same amount, and events that became due are
+// delivered at the next cycle boundary (the paper's event sampling). The
+// testbench reports commands completed, deadline misses (pulses the
+// controller serviced too late), and kinematic checks — the dynamic
+// counterpart of the static Table 2/3 validation.
+#pragma once
+
+#include <memory>
+
+#include "actionlang/ast.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/chart.hpp"
+#include "workloads/smd.hpp"
+
+namespace pscp::workloads {
+
+struct SmdRunResult {
+  int commandsCompleted = 0;
+  int64_t totalCycles = 0;
+  int64_t configCycles = 0;
+  int64_t missedDeadlines = 0;      ///< pulses serviced late, all motors
+  int64_t xPulses = 0;
+  int64_t phiPulses = 0;
+  int64_t minXInterval = 0;         ///< fastest commanded X step interval
+  bool completedAll = false;
+};
+
+class SmdTestbench {
+ public:
+  explicit SmdTestbench(const hwlib::ArchConfig& arch,
+                        compiler::CompileOptions options = {});
+
+  /// Queue `commands` randomized-but-deterministic move commands and run
+  /// the closed loop until they complete (or the cycle budget runs out).
+  SmdRunResult run(int commands, int64_t maxConfigCycles = 20000);
+
+  [[nodiscard]] machine::PscpMachine& machine() { return *machine_; }
+  [[nodiscard]] const statechart::Chart& chart() const { return chart_; }
+  [[nodiscard]] const actionlang::Program& actions() const { return actions_; }
+  [[nodiscard]] SmdEnvironment& environment() { return env_; }
+
+ private:
+  statechart::Chart chart_;
+  actionlang::Program actions_;
+  std::unique_ptr<machine::PscpMachine> machine_;
+  SmdEnvironment env_;
+};
+
+}  // namespace pscp::workloads

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "actionlang/interp.hpp"
+#include "actionlang/parser.hpp"
+
+namespace pscp::actionlang {
+namespace {
+
+// --------------------------------------------------------------- parsing
+
+TEST(ActionParser, PaperPreambleParses) {
+  // Mirrors the generated preamble of Fig. 2b (Port structs are modelled by
+  // the chart; here we exercise the type syntax).
+  Program p = parseActionSource(R"code(
+    enum ECD { Event, Condition, Data };
+    enum Encoding { Onehot, Binary };
+    typedef struct {
+      int:8  Width;
+      int:8  Address;
+    } PortInfo;
+    typedef struct {
+      int:4   Size;
+      int:8   Representation;
+      int:4   PositionInPort;
+      int:32  TimeConstraint;
+    } EventCondition;
+    EventCondition X_PULSE_INFO = { 1, B:1, 0, 400 };
+  )code");
+  EXPECT_EQ(p.enumConstants.at("Condition"), 1);
+  EXPECT_EQ(p.structs.at("EventCondition")->byteSize(), 1 + 1 + 1 + 4);
+  const GlobalVar* g = p.findGlobal("X_PULSE_INFO");
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->init.size(), 4u);
+  EXPECT_EQ(g->init[3], 400);
+}
+
+TEST(ActionParser, BitWidthTypes) {
+  Program p = parseActionSource("int:3 x = 5; uint:12 y = 0xFFF;");
+  EXPECT_EQ(p.findGlobal("x")->type->width(), 3);
+  EXPECT_FALSE(p.findGlobal("y")->type->isSigned());
+}
+
+TEST(ActionParser, BinaryLiterals) {
+  Program p = parseActionSource("int v = B:001011;");
+  EXPECT_EQ(p.findGlobal("v")->init[0], 11);
+}
+
+TEST(ActionParser, OctalAndHex) {
+  Program p = parseActionSource("int a = 0717; int b = 0x2B;");
+  EXPECT_EQ(p.findGlobal("a")->init[0], 0717);
+  EXPECT_EQ(p.findGlobal("b")->init[0], 0x2B);
+}
+
+TEST(ActionParser, DefaultIntWidthIs16) {
+  Program p = parseActionSource("int x;");
+  EXPECT_EQ(p.findGlobal("x")->type->width(), 16);
+}
+
+TEST(ActionParser, ArraysAndNestedInit) {
+  Program p = parseActionSource("int:16 ramp[4] = { 1, 2, 3, 4 };");
+  const GlobalVar* g = p.findGlobal("ramp");
+  EXPECT_EQ(g->type->kind(), TypeKind::Array);
+  EXPECT_EQ(g->type->byteSize(), 8);
+  EXPECT_EQ(g->init[2], 3);
+}
+
+TEST(ActionParser, Errors) {
+  EXPECT_THROW(parseActionSource("int:0 x;"), Error);
+  EXPECT_THROW(parseActionSource("int:33 x;"), Error);
+  EXPECT_THROW(parseActionSource("int x = y;"), Error);        // y not a constant
+  EXPECT_THROW(parseActionSource("void f() { x = 1; }"), Error);  // undeclared
+  EXPECT_THROW(parseActionSource("void f() { while (1) { } }"), Error);  // no bound
+  EXPECT_THROW(parseActionSource("void f() { return 1; }"), Error);
+  EXPECT_THROW(parseActionSource("int f() { return; }"), Error);
+  EXPECT_THROW(parseActionSource("void f() { 1 + 2; }"), Error);  // not a call
+}
+
+TEST(ActionParser, RecursionRejected) {
+  EXPECT_THROW(parseActionSource("void f() { g(); } void g() { f(); }"), Error);
+  EXPECT_THROW(parseActionSource("void f() { f(); }"), Error);
+}
+
+TEST(ActionParser, NonRecursiveCallChainAccepted) {
+  EXPECT_NO_THROW(parseActionSource(
+      "int h() { return 1; } int g() { return h(); } int f() { return g(); }"));
+}
+
+TEST(ActionTypes, PromotionRules) {
+  Program p = parseActionSource(R"code(
+    int:8 a; int:16 b;
+    int f() { return a + b; }
+    int g() { return a < b; }
+  )code");
+  // Type of a+b inside f: widest operand wins.
+  const Function& f = p.function("f");
+  EXPECT_EQ(f.body[0]->expr->type->width(), 16);
+  const Function& g = p.function("g");
+  EXPECT_EQ(g.body[0]->expr->type->width(), 1);
+}
+
+// ----------------------------------------------------------- interpreter
+
+// signed-wrap helper for readability
+int64_t wrapToHelper(int64_t v, int w) {
+  return signExtend(truncBits(static_cast<uint32_t>(v), w), w);
+}
+
+TEST(ActionInterp, ArithmeticAndWidthWrap) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:8 counter;
+    void bump() { counter = counter + 200; }
+    int:8 get() { return counter; }
+  )code");
+  Interp interp(p, env);
+  interp.call("bump");
+  // 0 + 200 wraps in signed 8-bit to -56.
+  EXPECT_EQ(interp.call("get"), -56);
+  interp.call("bump");
+  EXPECT_EQ(interp.call("get"), wrapToHelper(-56 + 200, 8));
+}
+
+TEST(ActionInterp, UnsignedStaysUnsigned) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    uint:8 c;
+    void bump() { c = c + 200; }
+    int:16 get() { return c; }
+  )code");
+  Interp interp(p, env);
+  interp.call("bump");
+  EXPECT_EQ(interp.call("get"), 200);
+  interp.call("bump");
+  EXPECT_EQ(interp.call("get"), (200 + 200) & 0xFF);
+}
+
+TEST(ActionInterp, StructsAndArrays) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    typedef struct { int:16 pos; int:16 vel; } Motor;
+    Motor mx = { 10, 2 };
+    int:16 table[3] = { 5, 6, 7 };
+    void step(Motor m) { m.pos = m.pos + m.vel; }
+    int:16 readPos() { return mx.pos; }
+    int:16 readTable(int:8 i) { return table[i]; }
+  )code");
+  Interp interp(p, env);
+  interp.call("readPos");
+  interp.callFromLabel("step", {"mx"});
+  EXPECT_EQ(interp.call("readPos"), 12);
+  EXPECT_EQ(interp.call("readTable", {2}), 7);
+}
+
+TEST(ActionInterp, ByReferenceStructParam) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    typedef struct { int:16 v; } Box;
+    Box a = { 1 };
+    Box b = { 100 };
+    void add(Box dst, Box src) { dst.v = dst.v + src.v; }
+    int:16 getA() { return a.v; }
+  )code");
+  Interp interp(p, env);
+  interp.callFromLabel("add", {"a", "b"});
+  EXPECT_EQ(interp.call("getA"), 101);
+}
+
+TEST(ActionInterp, ControlFlow) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:16 abs16(int:16 x) { if (x < 0) { return -x; } else { return x; } }
+    int:16 sumTo(int:16 n) {
+      int:16 acc = 0;
+      int:16 i = 1;
+      while (i <= n) bound 100 { acc = acc + i; i = i + 1; }
+      return acc;
+    }
+  )code");
+  Interp interp(p, env);
+  EXPECT_EQ(interp.call("abs16", {-42}), 42);
+  EXPECT_EQ(interp.call("abs16", {42}), 42);
+  EXPECT_EQ(interp.call("sumTo", {10}), 55);
+  EXPECT_EQ(interp.call("sumTo", {0}), 0);
+}
+
+TEST(ActionInterp, LoopBoundViolationThrows) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    void spin(int:16 n) {
+      int:16 i = 0;
+      while (i < n) bound 5 { i = i + 1; }
+    }
+  )code");
+  Interp interp(p, env);
+  EXPECT_NO_THROW(interp.call("spin", {5}));
+  EXPECT_THROW(interp.call("spin", {6}), Error);
+}
+
+TEST(ActionInterp, IntrinsicsReachHardware) {
+  RecordingEnv env;
+  env.ports["Buffer"] = 0x42;
+  Program p = parseActionSource(R"code(
+    uint:8 last;
+    void GetByte() { last = read_port(Buffer); }
+    void SetTrue(cond c) { set_cond(c, 1); }
+    void Announce() { raise(END_MOVE); }
+    int:1 Check() { return test_cond(MOVEMENT); }
+    void Echo() { write_port(Out, last + 1); }
+  )code");
+  Interp interp(p, env);
+  interp.call("GetByte");
+  EXPECT_EQ(interp.globalValue("last"), 0x42);
+  interp.callFromLabel("SetTrue", {"XFINISH"});
+  EXPECT_TRUE(env.conditions["XFINISH"]);
+  interp.call("Announce");
+  ASSERT_EQ(env.raised.size(), 1u);
+  EXPECT_EQ(env.raised[0], "END_MOVE");
+  env.conditions["MOVEMENT"] = true;
+  EXPECT_EQ(interp.call("Check"), 1);
+  interp.call("Echo");
+  EXPECT_EQ(env.ports["Out"], 0x43u);
+}
+
+TEST(ActionInterp, EventParamPassThrough) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    void inner(event e) { raise(e); }
+    void outer(event e) { inner(e); }
+  )code");
+  Interp interp(p, env);
+  interp.callFromLabel("outer", {"PING"});
+  ASSERT_EQ(env.raised.size(), 1u);
+  EXPECT_EQ(env.raised[0], "PING");
+}
+
+TEST(ActionInterp, ShortCircuitEvaluation) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:16 hits;
+    int:1 mark() { hits = hits + 1; return 1; }
+    void f(int:1 gate) { if (gate && mark()) { } }
+    int:16 count() { return hits; }
+  )code");
+  Interp interp(p, env);
+  interp.call("f", {0});
+  EXPECT_EQ(interp.call("count"), 0);  // rhs never evaluated
+  interp.call("f", {1});
+  EXPECT_EQ(interp.call("count"), 1);
+}
+
+TEST(ActionInterp, DivisionByZeroThrows) {
+  RecordingEnv env;
+  Program p = parseActionSource("int:16 f(int:16 a, int:16 b) { return a / b; }");
+  Interp interp(p, env);
+  EXPECT_EQ(interp.call("f", {10, 3}), 3);
+  EXPECT_THROW(interp.call("f", {10, 0}), Error);
+}
+
+TEST(ActionInterp, EnumConstantsFold) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    enum Motors { MX, MY, MZ = 5, MPHI };
+    int:16 pick(int:16 which) {
+      if (which == MPHI) { return 100; }
+      return MZ;
+    }
+  )code");
+  Interp interp(p, env);
+  EXPECT_EQ(interp.call("pick", {6}), 100);
+  EXPECT_EQ(interp.call("pick", {0}), 5);
+}
+
+TEST(ActionInterp, NegativeArrayIndexThrows) {
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:16 t[4] = { 1, 2, 3, 4 };
+    int:16 get(int:16 i) { return t[i]; }
+  )code");
+  Interp interp(p, env);
+  EXPECT_THROW(interp.call("get", {-1}), Error);
+  EXPECT_THROW(interp.call("get", {4}), Error);
+}
+
+}  // namespace
+}  // namespace pscp::actionlang

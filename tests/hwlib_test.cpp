@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hwlib/arch_config.hpp"
+
+namespace pscp::hwlib {
+namespace {
+
+ArchConfig minimalTep() {
+  ArchConfig c;
+  c.dataWidth = 8;
+  return c;
+}
+
+ArchConfig bigTep() {
+  ArchConfig c;
+  c.dataWidth = 16;
+  c.hasMulDiv = true;
+  c.registerFileSize = 4;
+  return c;
+}
+
+TEST(ArchConfig, ValidateAcceptsLibraryConfigs) {
+  EXPECT_NO_THROW(minimalTep().validate());
+  EXPECT_NO_THROW(bigTep().validate());
+}
+
+TEST(ArchConfig, ValidateRejectsBadValues) {
+  ArchConfig c;
+  c.dataWidth = 12;
+  EXPECT_THROW(c.validate(), Error);
+  c = ArchConfig{};
+  c.numTeps = 0;
+  EXPECT_THROW(c.validate(), Error);
+  c = ArchConfig{};
+  c.registerFileSize = 99;
+  EXPECT_THROW(c.validate(), Error);
+  c = ArchConfig{};
+  CustomInstr slow;
+  slow.name = "too_slow";
+  slow.delayNs = 1000.0;  // 15 MHz clock -> 66.7 ns period
+  c.customInstructions.push_back(slow);
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(ArchConfig, ChunkArithmetic) {
+  ArchConfig c8 = minimalTep();
+  EXPECT_EQ(c8.chunksFor(8), 1);
+  EXPECT_EQ(c8.chunksFor(16), 2);
+  EXPECT_EQ(c8.chunksFor(32), 4);
+  ArchConfig c16 = bigTep();
+  EXPECT_EQ(c16.chunksFor(8), 1);
+  EXPECT_EQ(c16.chunksFor(16), 1);
+  EXPECT_EQ(c16.chunksFor(32), 2);
+}
+
+TEST(ArchConfig, Describe) {
+  EXPECT_EQ(minimalTep().describe(), "8bit TEP");
+  ArchConfig c = bigTep();
+  c.numTeps = 2;
+  EXPECT_EQ(c.describe(), "16bit M/D TEP x2, 4 regs");
+}
+
+TEST(AreaModel, MulDivUnitDominatesUpgrade) {
+  // Adding the M/D unit must cost meaningfully more area (Table 4 jumps
+  // from 224 to 421 CLBs when upgrading minimal -> 16-bit M/D).
+  const double minimal = tepArea(minimalTep(), 200);
+  const double upgraded = tepArea(bigTep(), 260);
+  EXPECT_GT(upgraded, minimal * 1.5);
+}
+
+TEST(AreaModel, TwoTepsShareTheChartFrontEnd) {
+  ChartHardwareStats stats{60, 40, 10, 20};
+  ArchConfig one = bigTep();
+  ArchConfig two = bigTep();
+  two.numTeps = 2;
+  const double a1 = systemArea(one, stats, 260);
+  const double a2 = systemArea(two, stats, 260);
+  // Doubling TEPs must NOT double the system: SLA/CR/ports are shared.
+  EXPECT_LT(a2, 2.0 * a1);
+  EXPECT_GT(a2, 1.7 * a1);
+}
+
+TEST(AreaModel, MonotoneInEveryFeature) {
+  const ArchConfig base = minimalTep();
+  const double baseArea = tepArea(base, 100);
+  ArchConfig c = base;
+  c.hasMulDiv = true;
+  EXPECT_GT(tepArea(c, 100), baseArea);
+  c = base;
+  c.hasBarrelShifter = true;
+  EXPECT_GT(tepArea(c, 100), baseArea);
+  c = base;
+  c.hasComparator = true;
+  EXPECT_GT(tepArea(c, 100), baseArea);
+  c = base;
+  c.registerFileSize = 4;
+  EXPECT_GT(tepArea(c, 100), baseArea);
+  c = base;
+  c.internalRamBytes = base.internalRamBytes + 64;
+  EXPECT_GT(tepArea(c, 100), baseArea);
+  EXPECT_GT(tepArea(base, 200), baseArea);  // larger microcode ROM
+}
+
+TEST(AreaModel, AluStyleTradeoff) {
+  ArchConfig ripple = bigTep();
+  ArchConfig sel = bigTep();
+  sel.aluStyle = AluStyle::CarrySelect;
+  EXPECT_GT(tepArea(sel, 100), tepArea(ripple, 100));
+  EXPECT_LT(calcUnitCriticalPathNs(sel), calcUnitCriticalPathNs(ripple));
+}
+
+TEST(DelayModel, WiderIsSlower) {
+  EXPECT_GT(componentDelayNs(ComponentId::CalcUnitCore, 16),
+            componentDelayNs(ComponentId::CalcUnitCore, 8));
+}
+
+TEST(DelayModel, CriticalPathIncludesCustomInstructions) {
+  ArchConfig c = bigTep();
+  const double before = calcUnitCriticalPathNs(c);
+  CustomInstr ci;
+  ci.name = "deep";
+  ci.delayNs = before + 10.0;
+  c.customInstructions.push_back(ci);
+  EXPECT_DOUBLE_EQ(calcUnitCriticalPathNs(c), before + 10.0);
+}
+
+}  // namespace
+}  // namespace pscp::hwlib

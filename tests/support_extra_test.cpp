@@ -1,0 +1,95 @@
+// Coverage for the remaining support/reporting utilities and small
+// behaviours not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "actionlang/parser.hpp"
+#include "statechart/parser.hpp"
+#include "support/text.hpp"
+#include "pscp/machine.hpp"
+#include "tep/machine.hpp"
+
+namespace pscp {
+namespace {
+
+TEST(TextTables, RenderAlignsColumns) {
+  const std::string t = renderTable({"Event", "Cycles"},
+                                    {{"DATA_VALID", "1500"}, {"X", "300"}});
+  // Header, separator, two rows.
+  const auto lines = splitOn(t, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  EXPECT_EQ(lines[0].find("| Event"), 0u);
+}
+
+TEST(TextTables, PadHelpers) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(SimpleHostBounds, UnmappedAccessFaults) {
+  tep::SimpleHost host;
+  EXPECT_THROW(host.readByte(-1), Error);
+  EXPECT_THROW(host.readByte(tep::kExternalBase + tep::kExternalSize), Error);
+  EXPECT_THROW(host.writeByte(0x9000'000, 1), Error);
+}
+
+TEST(ChartDump, OutlineShowsHierarchyAndTransitions) {
+  auto chart = statechart::parseChart(R"chart(
+    chart Demo;
+    orstate Top {
+      default A;
+      basicstate A { transition { target B; label "E/Go()"; } }
+      basicstate B { }
+    }
+  )chart");
+  const std::string dump = chart.dump();
+  EXPECT_NE(dump.find("orstate Top (default A)"), std::string::npos);
+  EXPECT_NE(dump.find("-> B on \"E/Go()\""), std::string::npos);
+}
+
+TEST(ReferenceSystemPorts, WriteLogAndUnknownPortErrors) {
+  auto chart = statechart::parseChart(R"chart(
+    event E;
+    port Out data out width 8 address 0x11;
+    basicstate S { transition { target S2; label "E/Emit()"; } }
+    basicstate S2 { }
+  )chart");
+  auto actions = actionlang::parseActionSource(
+      "uint:8 n;\nvoid Emit() { n = n + 1; write_port(Out, n); }\n");
+  core::ReferenceSystem sys(chart, actions);
+  sys.step({"E"});
+  ASSERT_EQ(sys.portWriteLog().size(), 1u);
+  EXPECT_EQ(sys.portWriteLog()[0].first, "Out");
+  EXPECT_EQ(sys.outputPort("Out"), 1u);
+  EXPECT_THROW(sys.setInputPort("Nope", 1), Error);
+}
+
+TEST(RunToQuiescence, ChainsOfRaisedEventsSettle) {
+  auto chart = statechart::parseChart(R"chart(
+    event A; event B; event C;
+    orstate T {
+      default S1;
+      basicstate S1 { transition { target S2; label "A/RaiseB()"; } }
+      basicstate S2 { transition { target S3; label "B/RaiseC()"; } }
+      basicstate S3 { transition { target S4; label "C"; } }
+      basicstate S4 { }
+    }
+  )chart");
+  auto actions = actionlang::parseActionSource(
+      "void RaiseB() { raise(B); }\nvoid RaiseC() { raise(C); }\n");
+  core::ReferenceSystem sys(chart, actions);
+  const auto steps = sys.runToQuiescence({"A"});
+  EXPECT_TRUE(sys.isActive("S4"));
+  EXPECT_GE(steps.size(), 3u);
+
+  machine::PscpMachine mach(chart, actions, hwlib::ArchConfig{});
+  const auto cycles = mach.runToQuiescence({"A"});
+  EXPECT_TRUE(mach.isActive("S4"));
+  EXPECT_GE(cycles.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pscp

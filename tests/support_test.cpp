@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace pscp {
+namespace {
+
+TEST(Bits, MaskBits) {
+  EXPECT_EQ(maskBits(0), 0u);
+  EXPECT_EQ(maskBits(1), 1u);
+  EXPECT_EQ(maskBits(8), 0xFFu);
+  EXPECT_EQ(maskBits(32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0x80, 8), -128);
+  EXPECT_EQ(signExtend(1, 1), -1);
+}
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bitsFor(1), 1);
+  EXPECT_EQ(bitsFor(2), 1);
+  EXPECT_EQ(bitsFor(3), 2);
+  EXPECT_EQ(bitsFor(256), 8);
+  EXPECT_EQ(bitsFor(257), 9);
+}
+
+TEST(Word, RoundTrip) {
+  Word w(0x2B, 6);
+  EXPECT_EQ(w.binary(), "101011");
+  EXPECT_EQ(w.raw(), 0x2Bu);
+  EXPECT_EQ(w.resized(4).raw(), 0xBu);
+}
+
+TEST(Text, TrimSplitJoin) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  auto parts = splitOn("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(joinWith({"a", "b"}, ", "), "a, b");
+}
+
+TEST(Text, Identifier) {
+  EXPECT_TRUE(isIdentifier("X_PULSE"));
+  EXPECT_FALSE(isIdentifier("9x"));
+  EXPECT_FALSE(isIdentifier(""));
+}
+
+TEST(Diag, ErrorCarriesLocation) {
+  try {
+    failAt({"m.chart", 3, 7}, "boom %d", 42);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "m.chart:3:7: boom 42");
+    EXPECT_EQ(e.where().line, 3);
+  }
+}
+
+}  // namespace
+}  // namespace pscp

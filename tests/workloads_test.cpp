@@ -1,0 +1,201 @@
+// End-to-end tests of the SMD pickup-head workload: the compiled machine
+#include <algorithm>
+// against the physical environment model, plus machine-vs-reference
+// equivalence on the full industrial application.
+#include <gtest/gtest.h>
+
+#include "actionlang/parser.hpp"
+#include "core/system.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+#include "workloads/smd.hpp"
+#include "workloads/smd_testbench.hpp"
+
+namespace pscp::workloads {
+namespace {
+
+hwlib::ArchConfig finalArch() {
+  hwlib::ArchConfig c;
+  c.dataWidth = 16;
+  c.hasMulDiv = true;
+  c.numTeps = 2;
+  c.registerFileSize = 12;
+  c.hasComparator = true;
+  c.hasTwosComplement = true;
+  return c;
+}
+
+TEST(SmdWorkload, ChartAndActionsParse) {
+  auto chart = statechart::parseChart(smdChartText(), "smd.chart");
+  EXPECT_EQ(chart.name(), "SmdPickupHead");
+  EXPECT_EQ(chart.event("DATA_VALID").period, SmdTiming::kDataValidPeriod);
+  EXPECT_EQ(chart.event("X_PULSE").period, SmdTiming::kXyPulsePeriod);
+  EXPECT_EQ(chart.event("PHI_PULSE").period, SmdTiming::kPhiPulsePeriod);
+  EXPECT_NE(chart.findState("RunX"), statechart::kNoState);
+  EXPECT_NE(chart.findState("OpcodeReady"), statechart::kNoState);
+
+  auto actions = actionlang::parseActionSource(smdActionText(), "smd.c");
+  EXPECT_NE(actions.findFunction("DeltaT"), nullptr);
+  EXPECT_NE(actions.findFunction("StartMotor"), nullptr);
+  EXPECT_EQ(actions.enumConstants.at("MPHI"), 2);
+}
+
+TEST(SmdWorkload, EnvironmentCountersPulseAtCommandedRate) {
+  SmdEnvironment env;
+  env.commandMotors(5, 0, 0);
+  // Counter loads 600 (controller-commanded), pulses every 600 cycles.
+  int pulses = 0;
+  bool finished = false;
+  for (int i = 0; i < 40; ++i) {
+    const auto got = env.advance(100, 600, 0, 0);
+    if (got.count("X_PULSE") != 0) ++pulses;
+    if (got.count("X_STEPS") != 0) finished = true;
+  }
+  // 5 commanded steps: 4 intermediate pulses, then the completion event.
+  EXPECT_EQ(pulses, 4);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(env.motorX().stepsDone, 5);
+}
+
+TEST(SmdWorkload, EnvironmentEnforcesPhysicalRateFloor) {
+  SmdEnvironment env;
+  env.commandMotors(100, 0, 0);
+  // Controller asks for an impossible 10-cycle interval: the motor's
+  // physical floor (50 kHz = 300 cycles) clamps it.
+  (void)env.advance(1, 10, 0, 0);
+  EXPECT_GE(env.motorX().counter, SmdTiming::kXyPulsePeriod - 1);
+}
+
+TEST(SmdWorkload, EnvironmentCountsMissedDeadlines) {
+  SmdEnvironment env;
+  env.commandMotors(50, 0, 0);
+  (void)env.advance(1, 300, 0, 0);
+  // Jump far past several pulse deadlines in one advance.
+  (void)env.advance(300 * 5, 300, 0, 0);
+  EXPECT_GT(env.motorX().missedPulses, 0);
+}
+
+TEST(SmdWorkload, StepsCompleteAndFinishEventFires) {
+  SmdEnvironment env;
+  env.commandMotors(3, 0, 0);
+  std::set<std::string> events;
+  bool finished = false;
+  for (int i = 0; i < 100 && !finished; ++i) {
+    events = env.advance(300, 300, 0, 0);
+    finished = events.count("X_STEPS") != 0;
+  }
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(env.motorX().running);
+}
+
+TEST(SmdClosedLoop, CompletesCommandsOnTheFinalArchitecture) {
+  SmdTestbench tb(finalArch());
+  const SmdRunResult r = tb.run(4, 40000);
+  EXPECT_TRUE(r.completedAll);
+  EXPECT_EQ(r.commandsCompleted, 4);
+  EXPECT_GT(r.xPulses, 0);
+  EXPECT_EQ(r.missedDeadlines, 0);  // final architecture keeps up
+  // The controller accelerates: the fastest commanded interval must be
+  // faster than the initial one (12000 / 5 = 2400).
+  EXPECT_LT(r.minXInterval, 2400);
+  EXPECT_GE(r.minXInterval, SmdTiming::kXyPulsePeriod);
+}
+
+TEST(SmdClosedLoop, MinimalTepIsSlowerThanFinalArchitecture) {
+  hwlib::ArchConfig minimal;
+  minimal.dataWidth = 8;
+  SmdTestbench slow(minimal, compiler::CompileOptions::unoptimized());
+  SmdTestbench fast(finalArch());
+  const auto rs = slow.run(2, 60000);
+  const auto rf = fast.run(2, 60000);
+  ASSERT_TRUE(rs.completedAll);
+  ASSERT_TRUE(rf.completedAll);
+  // Table 4 dynamics: the minimal TEP burns far more cycles per command.
+  EXPECT_GT(rs.totalCycles, rf.totalCycles);
+}
+
+TEST(SmdEquivalence, MachineMatchesReferenceOnCommandSequence) {
+  // Drive the full SMD app through both systems with an identical
+  // configuration-cycle event script.
+  auto chart = statechart::parseChart(smdChartText(), "smd.chart");
+  auto actions = actionlang::parseActionSource(smdActionText(), "smd.c");
+  core::ReferenceSystem ref(chart, actions);
+  machine::PscpMachine mach(chart, actions, finalArch());
+
+  auto feedByte = [&](uint32_t b) {
+    ref.setInputPort("Buffer", b);
+    mach.setInputPort("Buffer", b);
+  };
+  auto stepBoth = [&](const std::set<std::string>& events) {
+    ref.step(events);
+    mach.configurationCycle(events);
+    ASSERT_EQ(ref.activeNames(), mach.activeNames());
+    for (const char* g : {"pendingX", "pendingY", "pendingPhi", "cmdPhase",
+                          "commandsDone", "NewPhi", "OldPhi"})
+      ASSERT_EQ(ref.globalValue(g), mach.globalValue(g)) << g;
+    for (const auto& [name, decl] : chart.conditions())
+      ASSERT_EQ(ref.conditionValue(name), mach.conditionValue(name)) << name;
+  };
+
+  stepBoth({"POWER"});
+  // One full command: opcode, X, Y, PHI bytes.
+  for (uint32_t byte : {0x01u, 4u, 2u, 3u}) {
+    feedByte(byte);
+    stepBoth({"DATA_VALID"});
+  }
+  stepBoth({});  // PrepareMove fires (no pulses pending)
+  stepBoth({});  // Idle2 -> Moving
+  stepBoth({});  // StartMotor on all three axes
+  stepBoth({"X_PULSE"});
+  stepBoth({"X_PULSE", "Y_PULSE"});
+  stepBoth({"PHI_PULSE"});
+  stepBoth({"X_STEPS"});
+  stepBoth({"Y_STEPS", "PHI_STEPS"});
+  stepBoth({});  // FinishMove
+  ASSERT_EQ(ref.isActive("Idle2"), mach.isActive("Idle2"));
+}
+
+TEST(SmdPhysics, TrapezoidalProfileAcceleratesAndDecelerates) {
+  // Watch the commanded interval over a long move: it must fall
+  // (acceleration), flatten at the 300-cycle floor region, then rise again
+  // (deceleration) before the move completes.
+  SmdTestbench tb(finalArch());
+  auto& m = tb.machine();
+  auto& env = tb.environment();
+  env.queueMove(3200, 0, 0);  // long X-only move: long enough to hit vmax
+
+  std::vector<uint32_t> intervals;
+  std::set<std::string> events = {"POWER"};
+  bool wasMoving = false;
+  uint32_t lastSeen = 0;
+  for (int i = 0; i < 80000; ++i) {
+    auto c = m.configurationCycle(events);
+    const bool moving = m.isActive("Moving");
+    if (moving && !wasMoving)
+      env.commandMotors(static_cast<int>(m.globalValue("pendingX")),
+                        static_cast<int>(m.globalValue("pendingY")),
+                        static_cast<int>(m.globalValue("pendingPhi")));
+    wasMoving = moving;
+    const bool ready = m.isActive("Idle1") || m.isActive("OpcodeReady") ||
+                       m.isActive("EmptyBuf") || m.isActive("Bounds");
+    int64_t dt = c.quiescent ? 50 : c.cycles;
+    events = env.advance(dt, m.outputPort("CounterX"), m.outputPort("CounterY"),
+                         m.outputPort("CounterPhi"), ready);
+    if (events.count("DATA_VALID") != 0 && env.hasPendingByte())
+      m.setInputPort("Buffer", env.nextByte());
+    const uint32_t now = m.outputPort("CounterX");
+    if (now != lastSeen && now != 0) {
+      intervals.push_back(now);
+      lastSeen = now;
+    }
+    if (m.globalValue("commandsDone") >= 1) break;
+  }
+  ASSERT_GT(intervals.size(), 4u);
+  const uint32_t fastest = *std::min_element(intervals.begin(), intervals.end());
+  EXPECT_EQ(fastest, 300u);                 // reached vmax = 50 kHz
+  EXPECT_GT(intervals.front(), fastest);    // started slower
+  EXPECT_GT(intervals.back(), fastest);     // decelerated at the end
+}
+
+}  // namespace
+}  // namespace pscp::workloads
