@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimizations.dir/bench/ablation_optimizations.cpp.o"
+  "CMakeFiles/bench_ablation_optimizations.dir/bench/ablation_optimizations.cpp.o.d"
+  "bench/ablation_optimizations"
+  "bench/ablation_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

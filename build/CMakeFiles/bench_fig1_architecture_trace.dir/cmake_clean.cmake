@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_architecture_trace.dir/bench/fig1_architecture_trace.cpp.o"
+  "CMakeFiles/bench_fig1_architecture_trace.dir/bench/fig1_architecture_trace.cpp.o.d"
+  "bench/fig1_architecture_trace"
+  "bench/fig1_architecture_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_architecture_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

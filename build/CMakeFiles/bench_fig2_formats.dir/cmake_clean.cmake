@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_formats.dir/bench/fig2_formats.cpp.o"
+  "CMakeFiles/bench_fig2_formats.dir/bench/fig2_formats.cpp.o.d"
+  "bench/fig2_formats"
+  "bench/fig2_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

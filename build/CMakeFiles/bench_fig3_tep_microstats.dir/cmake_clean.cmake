@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tep_microstats.dir/bench/fig3_tep_microstats.cpp.o"
+  "CMakeFiles/bench_fig3_tep_microstats.dir/bench/fig3_tep_microstats.cpp.o.d"
+  "bench/fig3_tep_microstats"
+  "bench/fig3_tep_microstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tep_microstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bounds.dir/bench/fig4_bounds.cpp.o"
+  "CMakeFiles/bench_fig4_bounds.dir/bench/fig4_bounds.cpp.o.d"
+  "bench/fig4_bounds"
+  "bench/fig4_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_smd_simulation.dir/bench/fig5_6_smd_simulation.cpp.o"
+  "CMakeFiles/bench_fig5_6_smd_simulation.dir/bench/fig5_6_smd_simulation.cpp.o.d"
+  "bench/fig5_6_smd_simulation"
+  "bench/fig5_6_smd_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_smd_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

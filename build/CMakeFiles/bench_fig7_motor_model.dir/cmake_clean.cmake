@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_motor_model.dir/bench/fig7_motor_model.cpp.o"
+  "CMakeFiles/bench_fig7_motor_model.dir/bench/fig7_motor_model.cpp.o.d"
+  "bench/fig7_motor_model"
+  "bench/fig7_motor_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_motor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_floorplan.dir/bench/fig8_floorplan.cpp.o"
+  "CMakeFiles/bench_fig8_floorplan.dir/bench/fig8_floorplan.cpp.o.d"
+  "bench/fig8_floorplan"
+  "bench/fig8_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

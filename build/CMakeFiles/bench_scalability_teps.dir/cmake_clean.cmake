@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_teps.dir/bench/scalability_teps.cpp.o"
+  "CMakeFiles/bench_scalability_teps.dir/bench/scalability_teps.cpp.o.d"
+  "bench/scalability_teps"
+  "bench/scalability_teps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_teps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

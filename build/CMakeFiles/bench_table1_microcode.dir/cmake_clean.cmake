@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_microcode.dir/bench/table1_microcode.cpp.o"
+  "CMakeFiles/bench_table1_microcode.dir/bench/table1_microcode.cpp.o.d"
+  "bench/table1_microcode"
+  "bench/table1_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_constraints.dir/bench/table2_constraints.cpp.o"
+  "CMakeFiles/bench_table2_constraints.dir/bench/table2_constraints.cpp.o.d"
+  "bench/table2_constraints"
+  "bench/table2_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

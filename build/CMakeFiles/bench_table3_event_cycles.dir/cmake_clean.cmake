@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_event_cycles.dir/bench/table3_event_cycles.cpp.o"
+  "CMakeFiles/bench_table3_event_cycles.dir/bench/table3_event_cycles.cpp.o.d"
+  "bench/table3_event_cycles"
+  "bench/table3_event_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_event_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_area_timing.dir/bench/table4_area_timing.cpp.o"
+  "CMakeFiles/bench_table4_area_timing.dir/bench/table4_area_timing.cpp.o.d"
+  "bench/table4_area_timing"
+  "bench/table4_area_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_area_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

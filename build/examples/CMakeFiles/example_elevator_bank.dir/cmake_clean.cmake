@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elevator_bank.dir/elevator_bank.cpp.o"
+  "CMakeFiles/example_elevator_bank.dir/elevator_bank.cpp.o.d"
+  "example_elevator_bank"
+  "example_elevator_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elevator_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

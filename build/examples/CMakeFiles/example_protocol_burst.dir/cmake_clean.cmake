@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_burst.dir/protocol_burst.cpp.o"
+  "CMakeFiles/example_protocol_burst.dir/protocol_burst.cpp.o.d"
+  "example_protocol_burst"
+  "example_protocol_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

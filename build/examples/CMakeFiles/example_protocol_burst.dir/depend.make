@@ -1,0 +1,2 @@
+# Empty dependencies file for example_protocol_burst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smd_pickup_head.dir/smd_pickup_head.cpp.o"
+  "CMakeFiles/example_smd_pickup_head.dir/smd_pickup_head.cpp.o.d"
+  "example_smd_pickup_head"
+  "example_smd_pickup_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smd_pickup_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

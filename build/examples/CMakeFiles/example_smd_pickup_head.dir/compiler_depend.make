@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_smd_pickup_head.
+# This may be replaced when dependencies are built.

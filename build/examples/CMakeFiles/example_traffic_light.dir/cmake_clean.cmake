@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_light.dir/traffic_light.cpp.o"
+  "CMakeFiles/example_traffic_light.dir/traffic_light.cpp.o.d"
+  "example_traffic_light"
+  "example_traffic_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actionlang/ast.cpp" "src/CMakeFiles/pscp.dir/actionlang/ast.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/ast.cpp.o.d"
+  "/root/repo/src/actionlang/interp.cpp" "src/CMakeFiles/pscp.dir/actionlang/interp.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/interp.cpp.o.d"
+  "/root/repo/src/actionlang/lexer.cpp" "src/CMakeFiles/pscp.dir/actionlang/lexer.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/lexer.cpp.o.d"
+  "/root/repo/src/actionlang/parser.cpp" "src/CMakeFiles/pscp.dir/actionlang/parser.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/parser.cpp.o.d"
+  "/root/repo/src/actionlang/typecheck.cpp" "src/CMakeFiles/pscp.dir/actionlang/typecheck.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/typecheck.cpp.o.d"
+  "/root/repo/src/actionlang/types.cpp" "src/CMakeFiles/pscp.dir/actionlang/types.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/actionlang/types.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/CMakeFiles/pscp.dir/compiler/codegen.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/compiler/codegen.cpp.o.d"
+  "/root/repo/src/compiler/layout.cpp" "src/CMakeFiles/pscp.dir/compiler/layout.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/compiler/layout.cpp.o.d"
+  "/root/repo/src/compiler/optimize.cpp" "src/CMakeFiles/pscp.dir/compiler/optimize.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/compiler/optimize.cpp.o.d"
+  "/root/repo/src/compiler/patterns.cpp" "src/CMakeFiles/pscp.dir/compiler/patterns.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/compiler/patterns.cpp.o.d"
+  "/root/repo/src/core/codesign.cpp" "src/CMakeFiles/pscp.dir/core/codesign.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/core/codesign.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/pscp.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/core/system.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "src/CMakeFiles/pscp.dir/explore/explorer.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/explore/explorer.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/CMakeFiles/pscp.dir/fpga/device.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/fpga/device.cpp.o.d"
+  "/root/repo/src/hwlib/arch_config.cpp" "src/CMakeFiles/pscp.dir/hwlib/arch_config.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/hwlib/arch_config.cpp.o.d"
+  "/root/repo/src/hwlib/components.cpp" "src/CMakeFiles/pscp.dir/hwlib/components.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/hwlib/components.cpp.o.d"
+  "/root/repo/src/pscp/machine.cpp" "src/CMakeFiles/pscp.dir/pscp/machine.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/pscp/machine.cpp.o.d"
+  "/root/repo/src/sla/encoding.cpp" "src/CMakeFiles/pscp.dir/sla/encoding.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/sla/encoding.cpp.o.d"
+  "/root/repo/src/sla/sla.cpp" "src/CMakeFiles/pscp.dir/sla/sla.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/sla/sla.cpp.o.d"
+  "/root/repo/src/statechart/chart.cpp" "src/CMakeFiles/pscp.dir/statechart/chart.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/statechart/chart.cpp.o.d"
+  "/root/repo/src/statechart/expr.cpp" "src/CMakeFiles/pscp.dir/statechart/expr.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/statechart/expr.cpp.o.d"
+  "/root/repo/src/statechart/label_parser.cpp" "src/CMakeFiles/pscp.dir/statechart/label_parser.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/statechart/label_parser.cpp.o.d"
+  "/root/repo/src/statechart/parser.cpp" "src/CMakeFiles/pscp.dir/statechart/parser.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/statechart/parser.cpp.o.d"
+  "/root/repo/src/statechart/semantics.cpp" "src/CMakeFiles/pscp.dir/statechart/semantics.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/statechart/semantics.cpp.o.d"
+  "/root/repo/src/support/bits.cpp" "src/CMakeFiles/pscp.dir/support/bits.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/support/bits.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/CMakeFiles/pscp.dir/support/diag.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/support/diag.cpp.o.d"
+  "/root/repo/src/support/text.cpp" "src/CMakeFiles/pscp.dir/support/text.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/support/text.cpp.o.d"
+  "/root/repo/src/tep/assembler.cpp" "src/CMakeFiles/pscp.dir/tep/assembler.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/tep/assembler.cpp.o.d"
+  "/root/repo/src/tep/isa.cpp" "src/CMakeFiles/pscp.dir/tep/isa.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/tep/isa.cpp.o.d"
+  "/root/repo/src/tep/machine.cpp" "src/CMakeFiles/pscp.dir/tep/machine.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/tep/machine.cpp.o.d"
+  "/root/repo/src/tep/microcode.cpp" "src/CMakeFiles/pscp.dir/tep/microcode.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/tep/microcode.cpp.o.d"
+  "/root/repo/src/timing/event_cycles.cpp" "src/CMakeFiles/pscp.dir/timing/event_cycles.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/timing/event_cycles.cpp.o.d"
+  "/root/repo/src/timing/wcet.cpp" "src/CMakeFiles/pscp.dir/timing/wcet.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/timing/wcet.cpp.o.d"
+  "/root/repo/src/workloads/smd.cpp" "src/CMakeFiles/pscp.dir/workloads/smd.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/workloads/smd.cpp.o.d"
+  "/root/repo/src/workloads/smd_testbench.cpp" "src/CMakeFiles/pscp.dir/workloads/smd_testbench.cpp.o" "gcc" "src/CMakeFiles/pscp.dir/workloads/smd_testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actionlang_test.cpp" "tests/CMakeFiles/pscp_tests.dir/actionlang_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/actionlang_test.cpp.o.d"
+  "/root/repo/tests/compiler_test.cpp" "tests/CMakeFiles/pscp_tests.dir/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/explore_fpga_test.cpp" "tests/CMakeFiles/pscp_tests.dir/explore_fpga_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/explore_fpga_test.cpp.o.d"
+  "/root/repo/tests/futurework_test.cpp" "tests/CMakeFiles/pscp_tests.dir/futurework_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/futurework_test.cpp.o.d"
+  "/root/repo/tests/hwlib_test.cpp" "tests/CMakeFiles/pscp_tests.dir/hwlib_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/hwlib_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/pscp_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/pscp_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/pscp_machine_test.cpp" "tests/CMakeFiles/pscp_tests.dir/pscp_machine_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/pscp_machine_test.cpp.o.d"
+  "/root/repo/tests/sla_test.cpp" "tests/CMakeFiles/pscp_tests.dir/sla_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/sla_test.cpp.o.d"
+  "/root/repo/tests/statechart_test.cpp" "tests/CMakeFiles/pscp_tests.dir/statechart_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/statechart_test.cpp.o.d"
+  "/root/repo/tests/support_extra_test.cpp" "tests/CMakeFiles/pscp_tests.dir/support_extra_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/support_extra_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/pscp_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tep_test.cpp" "tests/CMakeFiles/pscp_tests.dir/tep_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/tep_test.cpp.o.d"
+  "/root/repo/tests/timing_test.cpp" "tests/CMakeFiles/pscp_tests.dir/timing_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/timing_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/pscp_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/pscp_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pscp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
