@@ -1,11 +1,15 @@
 // Fig. 1 reproduction: a visible walk through the PSCP architecture —
 // SLA selection, scheduler dispatch to the TEPs, condition-cache
 // write-back, CR update — traced cycle by cycle on the SMD application.
+// All numbers come from the observability layer (src/obs): a TraceRecorder
+// watches the machine and the report is read back from its MetricsRegistry
+// and cycle records.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "actionlang/parser.hpp"
+#include "obs/recorder.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
 #include "workloads/smd.hpp"
@@ -21,6 +25,8 @@ int main() {
   arch.numTeps = 2;
   arch.registerFileSize = 12;
   machine::PscpMachine m(chart, actions, arch);
+  obs::TraceRecorder recorder;
+  m.setObsOptions({&recorder});
 
   std::printf("=== Fig. 1: PSCP architecture in motion (2 TEPs) ===\n");
   std::printf("CR layout: %s\n", m.crLayout().describe(chart).c_str());
@@ -28,11 +34,13 @@ int main() {
               m.slaModel().productTermCount(), m.slaModel().literalCount());
 
   auto trace = [&](const char* stimulus, const std::set<std::string>& events) {
-    const auto c = m.configurationCycle(events);
-    std::printf("%-28s -> SLA selected %zu transition(s), cycle took %4lld "
-                "clocks (%lld bus stalls); config:",
-                stimulus, c.fired.size(), static_cast<long long>(c.cycles),
-                static_cast<long long>(c.busStallCycles));
+    m.configurationCycle(events);
+    const auto& c = recorder.cycles().back();  // the cycle just recorded
+    std::printf("%-28s -> SLA selected %d transition(s), cycle took %4lld "
+                "clocks (%lld bus stalls, %lld SLA terms); config:",
+                stimulus, c.selected, static_cast<long long>(c.cycles),
+                static_cast<long long>(c.busStalls),
+                static_cast<long long>(c.termsEvaluated));
     int shown = 0;
     for (const auto& n : m.activeNames()) {
       const auto& st = chart.state(chart.stateByName(n));
@@ -60,10 +68,24 @@ int main() {
         {"X_STEPS", "Y_STEPS", "PHI_STEPS"});
   trace("(spontaneous) FinishMove", {});
 
-  std::printf("\ntotals: %lld machine cycles over %lld configuration cycles, "
-              "%lld external-bus stalls\n",
-              static_cast<long long>(m.totalCycles()),
-              static_cast<long long>(m.configurationCycles()),
-              static_cast<long long>(m.totalBusStalls()));
+  const obs::MetricsRegistry& metrics = recorder.metrics();
+  std::printf("\ntotals (from the MetricsRegistry): %lld machine cycles over "
+              "%lld configuration cycles, %lld external-bus stalls, "
+              "%lld transitions fired, %lld instructions retired\n",
+              static_cast<long long>(metrics.value("machine.cycles")),
+              static_cast<long long>(metrics.value("machine.config_cycles")),
+              static_cast<long long>(metrics.value("machine.bus_stalls")),
+              static_cast<long long>(metrics.value("machine.transitions_fired")),
+              static_cast<long long>(recorder.tepInstructions(0) +
+                                     recorder.tepInstructions(1)));
+  for (int i = 0; i < arch.numTeps; ++i)
+    std::printf("TEP %d: %5.1f%% utilised (busy %lld / stall %lld / idle %lld "
+                "cycles, %lld routines)\n",
+                i, 100.0 * recorder.tepUtilisation(i),
+                static_cast<long long>(recorder.tepBusyCycles(i)),
+                static_cast<long long>(recorder.tepStallCycles(i)),
+                static_cast<long long>(recorder.tepIdleCycles(i)),
+                static_cast<long long>(metrics.value(strfmt("tep%d.routines", i))));
+  std::printf("\n--- full metrics dump ---\n%s", metrics.dumpText().c_str());
   return 0;
 }

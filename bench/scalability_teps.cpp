@@ -1,13 +1,17 @@
 // Scalability study (title/abstract claim): configuration-cycle latency
 // versus the number of processing elements, measured on the live machine
 // with a parallel workload (all three SMD motors pulsing in one cycle),
-// plus the static analysis view and the bus-contention cost.
+// plus the static analysis view and the bus-contention cost. Measured
+// columns are read back from the observability layer's MetricsRegistry
+// (src/obs) rather than re-derived ad hoc.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "actionlang/parser.hpp"
 #include "explore/explorer.hpp"
+#include "obs/recorder.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
 #include "workloads/smd.hpp"
@@ -21,10 +25,10 @@ int main() {
   std::printf("=== scalability: TEP count vs parallel reaction latency ===\n");
   std::printf("workload: X_PULSE + Y_PULSE + PHI_PULSE in a single configuration "
               "cycle (three DeltaT routines)\n\n");
-  std::printf("| TEPs | measured cycle | speedup | bus stalls | static worst X/Y | "
-              "area CLB |\n");
-  std::printf("|------|----------------|---------|------------|------------------|"
-              "----------|\n");
+  std::printf("| TEPs | measured cycle | speedup | bus stalls | max TEP util | "
+              "static worst X/Y | area CLB |\n");
+  std::printf("|------|----------------|---------|------------|--------------|"
+              "------------------|----------|\n");
 
   int64_t base = 0;
   for (int teps = 1; teps <= 4; ++teps) {
@@ -35,6 +39,8 @@ int main() {
     arch.registerFileSize = 12;
 
     machine::PscpMachine m(chart, actions, arch);
+    obs::TraceRecorder recorder({.recordEvents = false});  // metrics only
+    m.setObsOptions({&recorder});
     // Reach the Moving state: power, one command, prepare, begin, start.
     m.configurationCycle({"POWER"});
     for (uint32_t b : {0x01u, 6u, 6u, 6u}) {
@@ -44,14 +50,25 @@ int main() {
     m.configurationCycle({});
     m.configurationCycle({});
     m.configurationCycle({});
-    const auto burst = m.configurationCycle({"X_PULSE", "Y_PULSE", "PHI_PULSE"});
-    if (teps == 1) base = burst.cycles;
+
+    // Snapshot the registry, run the parallel burst, and report the deltas.
+    const obs::MetricsRegistry& metrics = recorder.metrics();
+    const int64_t cyclesBefore = metrics.value("machine.cycles");
+    const int64_t stallsBefore = metrics.value("machine.bus_stalls");
+    m.configurationCycle({"X_PULSE", "Y_PULSE", "PHI_PULSE"});
+    const int64_t burstCycles = metrics.value("machine.cycles") - cyclesBefore;
+    const int64_t burstStalls = metrics.value("machine.bus_stalls") - stallsBefore;
+    if (teps == 1) base = burstCycles;
+
+    double maxUtil = 0.0;
+    for (int i = 0; i < teps; ++i)
+      maxUtil = std::max(maxUtil, recorder.tepUtilisation(i));
 
     const auto eval = explore::evaluate(chart, actions, arch, {});
-    std::printf("| %4d | %14lld | %6.2fx | %10lld | %16lld | %8.0f |\n", teps,
-                static_cast<long long>(burst.cycles),
-                static_cast<double>(base) / static_cast<double>(burst.cycles),
-                static_cast<long long>(burst.busStallCycles),
+    std::printf("| %4d | %14lld | %6.2fx | %10lld | %11.1f%% | %16lld | %8.0f |\n",
+                teps, static_cast<long long>(burstCycles),
+                static_cast<double>(base) / static_cast<double>(burstCycles),
+                static_cast<long long>(burstStalls), 100.0 * maxUtil,
                 static_cast<long long>(eval.worstXyLength), eval.areaClb);
   }
   std::printf("\nexpected shape: latency falls with added TEPs (3 parallel "

@@ -10,15 +10,49 @@ ReferenceSystem::ReferenceSystem(const statechart::Chart& chart,
                                  const actionlang::Program& actions)
     : chartModel_(chart), chart_(chart), actions_(actions, *this) {}
 
+void ReferenceSystem::attachObserver(obs::ObsSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  obs::TraceMeta meta;
+  meta.chartName = chartModel_.name();
+  meta.tepCount = 0;  // specification level: no TEPs
+  meta.stateNames.resize(chartModel_.states().size());
+  for (const statechart::State& s : chartModel_.states())
+    meta.stateNames[static_cast<size_t>(s.id)] = s.name;
+  meta.transitionNames.resize(chartModel_.transitions().size());
+  for (const statechart::Transition& t : chartModel_.transitions())
+    meta.transitionNames[static_cast<size_t>(t.id)] =
+        strfmt("T%d %s -> %s", t.id, chartModel_.state(t.source).name.c_str(),
+               chartModel_.state(t.target).name.c_str());
+  for (const auto& [name, port] : chartModel_.ports())
+    meta.portNames.emplace_back(port.address, name);
+  for (statechart::StateId s : chart_.active())
+    meta.initialActive.push_back(static_cast<int>(s));
+  sink_->onAttach(meta);
+}
+
 StepResult ReferenceSystem::step(const std::set<std::string>& externalEvents) {
   snapshot_ = chart_.active();
+  const int64_t step = stepIndex_++;
+  if (sink_ != nullptr) sink_->onCycleBegin(step, step);
   statechart::ActionHandler handler = [this](const statechart::ActionCall& call,
                                              statechart::StepEffects& fx) {
     effects_ = &fx;
     actions_.callFromLabel(call.function, call.args);
     effects_ = nullptr;
   };
-  return chart_.step(externalEvents, handler);
+  StepResult result = chart_.step(externalEvents, handler);
+  if (sink_ != nullptr) {
+    std::vector<int> fired(result.fired.begin(), result.fired.end());
+    sink_->onSlaSelect(fired, fired, 0, step);
+    std::vector<int> activeIds;
+    for (statechart::StateId s : chart_.active())
+      activeIds.push_back(static_cast<int>(s));
+    sink_->onConfigUpdate(activeIds, step + 1);
+    sink_->onCycleEnd(step, 1, 0, static_cast<int>(result.fired.size()),
+                      result.quiescent, step + 1);
+  }
+  return result;
 }
 
 std::vector<StepResult> ReferenceSystem::runToQuiescence(
@@ -95,6 +129,11 @@ uint32_t ReferenceSystem::readPort(const std::string& name) { return ports_[name
 void ReferenceSystem::writePort(const std::string& name, uint32_t value) {
   ports_[name] = value;
   portWrites_.emplace_back(name, value);
+  if (sink_ != nullptr) {
+    const auto it = chartModel_.ports().find(name);
+    const int address = it == chartModel_.ports().end() ? -1 : it->second.address;
+    sink_->onPortWrite(address, value, stepIndex_ - 1, stepIndex_ - 1);
+  }
 }
 
 bool ReferenceSystem::inState(const std::string& name) {

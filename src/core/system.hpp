@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "actionlang/interp.hpp"
+#include "obs/sink.hpp"
 #include "statechart/semantics.hpp"
 
 namespace pscp::core {
@@ -53,6 +54,12 @@ class ReferenceSystem : public actionlang::HardwareEnv {
   [[nodiscard]] const statechart::Interpreter& chartInterp() const { return chart_; }
   [[nodiscard]] actionlang::Interp& actionInterp() { return actions_; }
 
+  /// Attach a specification-level observability sink. The reference system
+  /// has no machine clock: timestamps are configuration-step indices, which
+  /// makes its traces directly comparable (step-for-step) with the
+  /// cycle-accurate machine's cycle records.
+  void attachObserver(obs::ObsSink* sink);
+
   // -------------------------------------------------- HardwareEnv (actions)
   void raiseEvent(const std::string& name) override;
   void setCondition(const std::string& name, bool value) override;
@@ -72,6 +79,9 @@ class ReferenceSystem : public actionlang::HardwareEnv {
 
   std::map<std::string, uint32_t> ports_;
   std::vector<std::pair<std::string, uint32_t>> portWrites_;
+
+  obs::ObsSink* sink_ = nullptr;
+  int64_t stepIndex_ = 0;
 };
 
 }  // namespace pscp::core

@@ -1,0 +1,142 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "support/diag.hpp"
+
+namespace pscp::obs {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strfmt("\\u%04x", static_cast<unsigned>(c));
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+constexpr int kPid = 1;
+constexpr int kSchedulerTid = 0;
+
+int tepTid(int tep) { return tep + 1; }
+
+std::string nameOf(const std::vector<std::string>& names, size_t index,
+                   const char* prefix) {
+  if (index < names.size()) return names[index];
+  return strfmt("%s%zu", prefix, index);
+}
+
+}  // namespace
+
+std::string chromeTraceJson(const TraceRecorder& recorder) {
+  const TraceMeta& meta = recorder.meta();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  // Lane metadata: process + thread names, TEP lanes sorted below the
+  // scheduler.
+  emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+              "\"args\":{\"name\":\"PSCP %s\"}}",
+              kPid, jsonEscape(meta.chartName).c_str()));
+  emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+              "\"args\":{\"name\":\"scheduler/SLA\"}}",
+              kPid, kSchedulerTid));
+  for (int i = 0; i < meta.tepCount; ++i)
+    emit(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                "\"args\":{\"name\":\"TEP %d\"}}",
+                kPid, tepTid(i), i));
+
+  // Scheduler lane: one slice per configuration cycle.
+  for (const auto& c : recorder.cycles()) {
+    emit(strfmt(
+        "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"dur\":%lld,"
+        "\"name\":\"cycle %lld%s\",\"args\":{\"selected\":%d,\"chosen\":%d,"
+        "\"fired\":%d,\"busStalls\":%lld,\"slaTerms\":%lld}}",
+        kPid, kSchedulerTid, static_cast<long long>(c.beginTime),
+        static_cast<long long>(c.cycles), static_cast<long long>(c.index),
+        c.quiescent ? " (quiescent)" : "", c.selected, c.chosen, c.fired,
+        static_cast<long long>(c.busStalls),
+        static_cast<long long>(c.termsEvaluated)));
+    if (c.selected > 0)
+      emit(strfmt("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"s\":\"t\","
+                  "\"name\":\"SLA select\",\"args\":{\"selected\":%d,\"chosen\":%d}}",
+                  kPid, kSchedulerTid, static_cast<long long>(c.beginTime),
+                  c.selected, c.chosen));
+  }
+
+  // TEP lanes: one slice per routine execution.
+  for (const auto& s : recorder.slices()) {
+    const std::string name =
+        nameOf(meta.transitionNames, static_cast<size_t>(s.transition), "t");
+    emit(strfmt("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"dur\":%lld,"
+                "\"name\":\"%s\",\"args\":{\"instructions\":%lld,\"busStalls\":%lld,"
+                "\"tepCycles\":%lld}}",
+                kPid, tepTid(s.tep), static_cast<long long>(s.dispatchTime),
+                static_cast<long long>(s.retireTime - s.dispatchTime),
+                jsonEscape(name).c_str(), static_cast<long long>(s.stats.instructions),
+                static_cast<long long>(s.stats.busStalls),
+                static_cast<long long>(s.stats.cycles)));
+  }
+
+  // Instants: timer fires and port writes on the scheduler lane.
+  for (const auto& [time, bit] : recorder.timerFires())
+    emit(strfmt("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"s\":\"p\","
+                "\"name\":\"timer %s\"}",
+                kPid, kSchedulerTid, static_cast<long long>(time),
+                jsonEscape(nameOf(meta.eventNames, static_cast<size_t>(bit), "ev"))
+                    .c_str()));
+  for (const auto& w : recorder.portWrites()) {
+    std::string portName = strfmt("port 0x%X", w.port);
+    for (const auto& [addr, name] : meta.portNames)
+      if (addr == w.port) portName = name;
+    emit(strfmt("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"s\":\"t\","
+                "\"name\":\"%s <- %u\",\"args\":{\"port\":%d,\"value\":%u}}",
+                kPid, kSchedulerTid, static_cast<long long>(w.time),
+                jsonEscape(portName).c_str(), w.value, w.port, w.value));
+  }
+
+  // Counter tracks: TAT depth at each grant, cumulative bus stalls per
+  // configuration cycle.
+  for (const auto& [time, depth] : recorder.tatDepth())
+    emit(strfmt("{\"ph\":\"C\",\"pid\":%d,\"ts\":%lld,\"name\":\"TAT depth\","
+                "\"args\":{\"pending\":%d}}",
+                kPid, static_cast<long long>(time), depth));
+  int64_t stallAccum = 0;
+  for (const auto& c : recorder.cycles()) {
+    stallAccum += c.busStalls;
+    emit(strfmt("{\"ph\":\"C\",\"pid\":%d,\"ts\":%lld,\"name\":\"bus stalls\","
+                "\"args\":{\"total\":%lld}}",
+                kPid, static_cast<long long>(c.endTime),
+                static_cast<long long>(stallAccum)));
+  }
+
+  out += "]}";
+  return out;
+}
+
+void writeChromeTrace(const TraceRecorder& recorder, const std::string& path) {
+  const std::string json = chromeTraceJson(recorder);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) fail("cannot open '%s' for writing", path.c_str());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace pscp::obs

@@ -1,0 +1,29 @@
+// Chrome trace-event JSON exporter (chrome://tracing / Perfetto).
+//
+// Lane model: one process ("PSCP"), thread 0 is the scheduler/SLA lane,
+// threads 1..N are the TEPs. Machine time (reference-clock cycles) is
+// mapped 1:1 onto trace microseconds — at the paper's 15 MHz a displayed
+// "microsecond" is one 66.7 ns machine cycle.
+//
+//   - scheduler lane: one complete ("X") slice per configuration cycle,
+//     instant events for SLA selections, timer fires and port writes;
+//   - TEP lanes: one "X" slice per dispatched routine (transition name,
+//     instruction/stall counts in args);
+//   - counter ("C") tracks: Transition Address Table depth and cumulative
+//     external-bus stalls.
+#pragma once
+
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace pscp::obs {
+
+/// Serialize a recorded run as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}). The result is valid standalone JSON.
+[[nodiscard]] std::string chromeTraceJson(const TraceRecorder& recorder);
+
+/// Convenience: write chromeTraceJson() to `path`.
+void writeChromeTrace(const TraceRecorder& recorder, const std::string& path);
+
+}  // namespace pscp::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+#include "support/text.hpp"
+
+namespace pscp::obs {
+
+Histogram::Histogram(std::vector<int64_t> bucketBounds)
+    : bounds_(std::move(bucketBounds)), counts_(bounds_.size() + 1, 0) {
+  PSCP_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::record(int64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+}
+
+int64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<int64_t> bucketBounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram(std::move(bucketBounds))).first;
+  return it->second;
+}
+
+int64_t MetricsRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::dumpText() const {
+  size_t nameWidth = 0;
+  for (const auto& [name, value] : counters_) nameWidth = std::max(nameWidth, name.size());
+  std::string out;
+  for (const auto& [name, value] : counters_)
+    out += padRight(name, nameWidth) + " " +
+           padLeft(strfmt("%lld", static_cast<long long>(value)), 12) + "\n";
+  for (const auto& [name, h] : histograms_) {
+    out += strfmt("%s  count=%lld min=%lld max=%lld mean=%.2f\n", name.c_str(),
+                  static_cast<long long>(h.count()), static_cast<long long>(h.min()),
+                  static_cast<long long>(h.max()), h.mean());
+    for (size_t i = 0; i < h.counts().size(); ++i) {
+      if (h.counts()[i] == 0) continue;
+      const std::string label =
+          i < h.bounds().size()
+              ? strfmt("<= %lld", static_cast<long long>(h.bounds()[i]))
+              : std::string("> last");
+      out += strfmt("  %-10s %lld\n", label.c_str(),
+                    static_cast<long long>(h.counts()[i]));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += strfmt("\"%s\":%lld", name.c_str(), static_cast<long long>(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += strfmt("\"%s\":{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,",
+                  name.c_str(), static_cast<long long>(h.count()),
+                  static_cast<long long>(h.sum()), static_cast<long long>(h.min()),
+                  static_cast<long long>(h.max()));
+    out += "\"bounds\":[";
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i != 0) out += ",";
+      out += strfmt("%lld", static_cast<long long>(h.bounds()[i]));
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h.counts().size(); ++i) {
+      if (i != 0) out += ",";
+      out += strfmt("%lld", static_cast<long long>(h.counts()[i]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pscp::obs

@@ -1,0 +1,78 @@
+// MetricsRegistry: named counters and bucketed histograms with plain-text
+// and JSON dumps. The TraceRecorder populates one from machine events; the
+// benches and reports read their numbers from here instead of re-deriving
+// them ad hoc (Tables 3/4 discipline: one source of measured truth).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pscp::obs {
+
+/// Bucketed histogram over int64 samples. Bucket i counts samples with
+/// value <= bounds[i]; one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<int64_t> bucketBounds);
+
+  void record(int64_t value);
+
+  [[nodiscard]] int64_t count() const { return count_; }
+  [[nodiscard]] int64_t sum() const { return sum_; }
+  [[nodiscard]] int64_t min() const { return min_; }
+  [[nodiscard]] int64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// counts().size() == bounds().size() + 1 (last entry = overflow bucket).
+  [[nodiscard]] const std::vector<int64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Mutable reference to a counter, created at zero on first use.
+  int64_t& counter(const std::string& name);
+  void add(const std::string& name, int64_t delta) { counter(name) += delta; }
+
+  /// Histogram with the given bucket bounds, created on first use (bounds
+  /// of an existing histogram are kept).
+  Histogram& histogram(const std::string& name, std::vector<int64_t> bucketBounds);
+
+  /// Read-only lookup; missing counters read as 0, missing histograms as
+  /// an empty histogram.
+  [[nodiscard]] int64_t value(const std::string& name) const;
+  [[nodiscard]] bool hasCounter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  [[nodiscard]] const Histogram* findHistogram(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Aligned plain-text report (counters first, then histograms).
+  [[nodiscard]] std::string dumpText() const;
+  /// Machine-readable dump: {"counters": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string dumpJson() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace pscp::obs

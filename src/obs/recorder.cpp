@@ -1,0 +1,203 @@
+#include "obs/recorder.hpp"
+
+#include "support/diag.hpp"
+
+namespace pscp::obs {
+
+namespace {
+// Bucket ladders for the standard histograms (powers of two: the metrics
+// are cycle counts and queue depths, both heavy-tailed).
+const std::vector<int64_t> kCycleBuckets = {4,    8,    16,   32,   64,  128,
+                                            256,  512,  1024, 2048, 4096};
+const std::vector<int64_t> kCountBuckets = {0, 1, 2, 3, 4, 6, 8, 12, 16, 32};
+}  // namespace
+
+TraceRecorder::TraceRecorder(RecorderOptions options) : options_(options) {}
+
+std::string TraceRecorder::tepKey(int tep, const char* what) const {
+  return strfmt("tep%d.%s", tep, what);
+}
+
+int64_t TraceRecorder::tepBusyCycles(int tep) const {
+  return metrics_.value(tepKey(tep, "busy_cycles"));
+}
+int64_t TraceRecorder::tepStallCycles(int tep) const {
+  return metrics_.value(tepKey(tep, "stall_cycles"));
+}
+int64_t TraceRecorder::tepIdleCycles(int tep) const {
+  return metrics_.value(tepKey(tep, "idle_cycles"));
+}
+int64_t TraceRecorder::tepInstructions(int tep) const {
+  return metrics_.value(tepKey(tep, "instr_retired"));
+}
+double TraceRecorder::tepUtilisation(int tep) const {
+  const int64_t total = metrics_.value("machine.cycles");
+  if (total == 0) return 0.0;
+  return static_cast<double>(tepBusyCycles(tep)) / static_cast<double>(total);
+}
+
+void TraceRecorder::onAttach(const TraceMeta& meta) {
+  meta_ = meta;
+  dispatchTime_.assign(static_cast<size_t>(meta.tepCount), -1);
+  dispatchedTransition_.assign(static_cast<size_t>(meta.tepCount), -1);
+  activeCyclesThisCycle_.assign(static_cast<size_t>(meta.tepCount), 0);
+  // Materialise every counter up front so dumps list all lanes even for
+  // short runs that never touch some of them.
+  for (const char* name :
+       {"machine.cycles", "machine.config_cycles", "machine.quiescent_cycles",
+        "machine.transitions_fired", "machine.bus_stalls", "machine.timer_fires",
+        "machine.events_sampled", "machine.port_writes", "sla.terms_evaluated",
+        "sla.selections", "sched.dispatches", "sched.conflict_drops",
+        "sched.cond_writebacks", "sched.cond_bits_written"})
+    metrics_.counter(name);
+  for (int i = 0; i < meta.tepCount; ++i)
+    for (const char* what : {"busy_cycles", "stall_cycles", "idle_cycles",
+                             "instr_retired", "routines", "bus_waits"})
+      metrics_.counter(tepKey(i, what));
+  metrics_.histogram("machine.cycles_per_configuration", kCycleBuckets);
+  metrics_.histogram("machine.transitions_per_cycle", kCountBuckets);
+  metrics_.histogram("sched.tat_queue_depth", kCountBuckets);
+  metrics_.histogram("tep.routine_cycles", kCycleBuckets);
+  if (options_.recordEvents && !meta.initialActive.empty())
+    configSamples_.push_back(ConfigSample{0, meta.initialActive});
+}
+
+void TraceRecorder::onCycleBegin(int64_t configCycle, int64_t time) {
+  current_ = CycleRecord{};
+  current_.index = configCycle;
+  current_.beginTime = time;
+  inCycle_ = true;
+  for (auto& c : activeCyclesThisCycle_) c = 0;
+  metrics_.counter("machine.config_cycles") += 1;
+}
+
+void TraceRecorder::onTimerFire(int eventBit, int64_t time) {
+  metrics_.counter("machine.timer_fires") += 1;
+  if (options_.recordEvents) timerFires_.emplace_back(time, eventBit);
+}
+
+void TraceRecorder::onCrSampled(const std::vector<bool>& crBits, int64_t time) {
+  int64_t sampled = 0;
+  const size_t eventCount = meta_.eventNames.size();
+  for (size_t i = 0; i < eventCount && i < crBits.size(); ++i)
+    if (crBits[i]) ++sampled;
+  metrics_.counter("machine.events_sampled") += sampled;
+  if (options_.recordEvents) {
+    current_.crSample = static_cast<int>(crSamples_.size());
+    crSamples_.push_back(CrSample{time, crBits});
+  }
+}
+
+void TraceRecorder::onSlaSelect(const std::vector<int>& selected,
+                                const std::vector<int>& chosen,
+                                int64_t termsEvaluated, int64_t time) {
+  (void)time;
+  current_.selected = static_cast<int>(selected.size());
+  current_.chosen = static_cast<int>(chosen.size());
+  current_.termsEvaluated = termsEvaluated;
+  metrics_.counter("sla.selections") += static_cast<int64_t>(selected.size());
+  metrics_.counter("sla.terms_evaluated") += termsEvaluated;
+  metrics_.counter("sched.conflict_drops") +=
+      static_cast<int64_t>(selected.size() - chosen.size());
+}
+
+void TraceRecorder::onDispatch(int tep, int transition, int tatDepth, int64_t time) {
+  metrics_.counter("sched.dispatches") += 1;
+  metrics_.histogram("sched.tat_queue_depth", kCountBuckets).record(tatDepth);
+  if (tep >= 0 && tep < static_cast<int>(dispatchTime_.size())) {
+    dispatchTime_[static_cast<size_t>(tep)] = time;
+    dispatchedTransition_[static_cast<size_t>(tep)] = transition;
+  }
+  if (options_.recordEvents) tatDepth_.emplace_back(time, tatDepth);
+}
+
+void TraceRecorder::onCondWriteBack(int tep,
+                                    const std::vector<std::pair<int, bool>>& writes,
+                                    int64_t time) {
+  (void)tep;
+  (void)time;
+  metrics_.counter("sched.cond_writebacks") += 1;
+  metrics_.counter("sched.cond_bits_written") += static_cast<int64_t>(writes.size());
+}
+
+void TraceRecorder::onRetire(int tep, int transition, const RoutineStats& stats,
+                             int64_t time) {
+  metrics_.counter(tepKey(tep, "routines")) += 1;
+  metrics_.counter(tepKey(tep, "busy_cycles")) += stats.cycles - stats.busStalls;
+  metrics_.counter(tepKey(tep, "stall_cycles")) += stats.busStalls;
+  metrics_.histogram("tep.routine_cycles", kCycleBuckets).record(stats.cycles);
+  if (tep >= 0 && tep < static_cast<int>(activeCyclesThisCycle_.size()))
+    activeCyclesThisCycle_[static_cast<size_t>(tep)] += stats.cycles;
+  if (options_.recordEvents) {
+    RoutineSlice slice;
+    slice.tep = tep;
+    slice.transition = transition;
+    slice.dispatchTime =
+        tep >= 0 && tep < static_cast<int>(dispatchTime_.size()) &&
+                dispatchTime_[static_cast<size_t>(tep)] >= 0
+            ? dispatchTime_[static_cast<size_t>(tep)]
+            : time - stats.cycles;
+    slice.retireTime = time;
+    slice.stats = stats;
+    slices_.push_back(slice);
+  }
+  if (tep >= 0 && tep < static_cast<int>(dispatchTime_.size())) {
+    dispatchTime_[static_cast<size_t>(tep)] = -1;
+    dispatchedTransition_[static_cast<size_t>(tep)] = -1;
+  }
+}
+
+void TraceRecorder::onConfigUpdate(const std::vector<int>& activeStates,
+                                   int64_t time) {
+  if (options_.recordEvents) configSamples_.push_back(ConfigSample{time, activeStates});
+}
+
+void TraceRecorder::onCycleEnd(int64_t configCycle, int64_t cycles,
+                               int64_t busStalls, int firedCount, bool quiescent,
+                               int64_t time) {
+  PSCP_ASSERT(inCycle_ && configCycle == current_.index);
+  current_.endTime = time;
+  current_.cycles = cycles;
+  current_.busStalls = busStalls;
+  current_.fired = firedCount;
+  current_.quiescent = quiescent;
+  metrics_.counter("machine.cycles") += cycles;
+  metrics_.counter("machine.bus_stalls") += busStalls;
+  metrics_.counter("machine.transitions_fired") += firedCount;
+  if (quiescent) metrics_.counter("machine.quiescent_cycles") += 1;
+  metrics_.histogram("machine.cycles_per_configuration", kCycleBuckets).record(cycles);
+  metrics_.histogram("machine.transitions_per_cycle", kCountBuckets).record(firedCount);
+  // Idle = machine cycles this configuration minus the cycles each TEP
+  // actually clocked (busy + stalled); scheduler overhead lands here.
+  for (size_t i = 0; i < activeCyclesThisCycle_.size(); ++i)
+    metrics_.counter(tepKey(static_cast<int>(i), "idle_cycles")) +=
+        cycles - activeCyclesThisCycle_[i];
+  if (options_.recordEvents) cycles_.push_back(current_);
+  inCycle_ = false;
+}
+
+void TraceRecorder::onInstrRetire(int tep, int64_t time) {
+  (void)time;
+  metrics_.counter(tepKey(tep, "instr_retired")) += 1;
+}
+
+void TraceRecorder::onBusStall(int tep, int64_t time) {
+  // Stall cycles are accounted per routine at retire (from RoutineStats);
+  // nothing extra to count here — kept as a hook for custom sinks.
+  (void)tep;
+  (void)time;
+}
+
+void TraceRecorder::onBusWait(int tep, int64_t time) {
+  (void)time;
+  metrics_.counter(tepKey(tep, "bus_waits")) += 1;
+}
+
+void TraceRecorder::onPortWrite(int port, uint32_t value, int64_t configCycle,
+                                int64_t time) {
+  metrics_.counter("machine.port_writes") += 1;
+  if (options_.recordEvents)
+    portWriteRecords_.push_back(PortWriteRecord{port, value, configCycle, time});
+}
+
+}  // namespace pscp::obs

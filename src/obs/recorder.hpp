@@ -1,0 +1,143 @@
+// TraceRecorder: the standard ObsSink. Records the structured event
+// stream of a run (cycle records, per-TEP routine slices, CR snapshots,
+// configuration updates, port writes, timer fires) and maintains a
+// MetricsRegistry over it. The Chrome-trace and VCD exporters consume a
+// recorder; the benches read its metrics.
+//
+// Per-TEP cycle accounting invariant (property-tested): for every TEP,
+//   busy_cycles + stall_cycles + idle_cycles == machine totalCycles().
+// A TEP is *busy* in a machine cycle when it advanced a microinstruction,
+// *stalled* when it lost external-bus arbitration, and *idle* otherwise
+// (no routine in flight, or scheduler overhead cycles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace pscp::obs {
+
+struct RecorderOptions {
+  /// Keep the full structured event stream (needed by the exporters).
+  /// With this off the recorder is metrics-only — O(1) memory, suitable
+  /// for very long runs.
+  bool recordEvents = true;
+};
+
+class TraceRecorder : public ObsSink {
+ public:
+  explicit TraceRecorder(RecorderOptions options = {});
+
+  // ------------------------------------------------------- recorded data
+  struct CycleRecord {
+    int64_t index = 0;      ///< configuration-cycle index (0-based)
+    int64_t beginTime = 0;  ///< machine time at cycle start
+    int64_t endTime = 0;
+    int64_t cycles = 0;
+    int64_t busStalls = 0;
+    int selected = 0;       ///< SLA hits before conflict resolution
+    int chosen = 0;         ///< after conflict resolution
+    int fired = 0;
+    int64_t termsEvaluated = 0;
+    bool quiescent = false;
+    int crSample = -1;      ///< index into crSamples(), -1 if none
+  };
+  struct RoutineSlice {
+    int tep = 0;
+    int transition = 0;
+    int64_t dispatchTime = 0;
+    int64_t retireTime = 0;
+    RoutineStats stats;
+  };
+  struct CrSample {
+    int64_t time = 0;
+    std::vector<bool> bits;
+  };
+  struct ConfigSample {
+    int64_t time = 0;
+    std::vector<int> active;  ///< StateIds
+  };
+  struct PortWriteRecord {
+    int port = 0;
+    uint32_t value = 0;
+    int64_t configCycle = 0;
+    int64_t time = 0;
+  };
+
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+  [[nodiscard]] const std::vector<CycleRecord>& cycles() const { return cycles_; }
+  [[nodiscard]] const std::vector<RoutineSlice>& slices() const { return slices_; }
+  [[nodiscard]] const std::vector<CrSample>& crSamples() const { return crSamples_; }
+  [[nodiscard]] const std::vector<ConfigSample>& configSamples() const {
+    return configSamples_;
+  }
+  [[nodiscard]] const std::vector<PortWriteRecord>& portWrites() const {
+    return portWriteRecords_;
+  }
+  [[nodiscard]] const std::vector<std::pair<int64_t, int>>& timerFires() const {
+    return timerFires_;  ///< (time, event bit)
+  }
+  [[nodiscard]] const std::vector<std::pair<int64_t, int>>& tatDepth() const {
+    return tatDepth_;  ///< (time, pending transitions after a grant)
+  }
+
+  // ------------------------------------------------------------- metrics
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  [[nodiscard]] int64_t tepBusyCycles(int tep) const;
+  [[nodiscard]] int64_t tepStallCycles(int tep) const;
+  [[nodiscard]] int64_t tepIdleCycles(int tep) const;
+  [[nodiscard]] int64_t tepInstructions(int tep) const;
+  /// busy / total machine cycles, in [0, 1].
+  [[nodiscard]] double tepUtilisation(int tep) const;
+
+  // ---------------------------------------------------- ObsSink overrides
+  void onAttach(const TraceMeta& meta) override;
+  void onCycleBegin(int64_t configCycle, int64_t time) override;
+  void onTimerFire(int eventBit, int64_t time) override;
+  void onCrSampled(const std::vector<bool>& crBits, int64_t time) override;
+  void onSlaSelect(const std::vector<int>& selected, const std::vector<int>& chosen,
+                   int64_t termsEvaluated, int64_t time) override;
+  void onDispatch(int tep, int transition, int tatDepth, int64_t time) override;
+  void onCondWriteBack(int tep, const std::vector<std::pair<int, bool>>& writes,
+                       int64_t time) override;
+  void onRetire(int tep, int transition, const RoutineStats& stats,
+                int64_t time) override;
+  void onConfigUpdate(const std::vector<int>& activeStates, int64_t time) override;
+  void onCycleEnd(int64_t configCycle, int64_t cycles, int64_t busStalls,
+                  int firedCount, bool quiescent, int64_t time) override;
+  void onInstrRetire(int tep, int64_t time) override;
+  void onBusStall(int tep, int64_t time) override;
+  void onBusWait(int tep, int64_t time) override;
+  void onPortWrite(int port, uint32_t value, int64_t configCycle,
+                   int64_t time) override;
+
+ private:
+  [[nodiscard]] std::string tepKey(int tep, const char* what) const;
+
+  RecorderOptions options_;
+  TraceMeta meta_;
+  MetricsRegistry metrics_;
+
+  std::vector<CycleRecord> cycles_;
+  std::vector<RoutineSlice> slices_;
+  std::vector<CrSample> crSamples_;
+  std::vector<ConfigSample> configSamples_;
+  std::vector<PortWriteRecord> portWriteRecords_;
+  std::vector<std::pair<int64_t, int>> timerFires_;
+  std::vector<std::pair<int64_t, int>> tatDepth_;
+
+  // In-flight state for the current configuration cycle.
+  CycleRecord current_;
+  bool inCycle_ = false;
+  std::vector<int64_t> dispatchTime_;          ///< per TEP, -1 when idle
+  std::vector<int> dispatchedTransition_;      ///< per TEP
+  std::vector<int64_t> activeCyclesThisCycle_; ///< per TEP, from retires
+};
+
+}  // namespace pscp::obs

@@ -1,0 +1,153 @@
+// Observability sink interface (the machine-facing half of src/obs).
+//
+// The PSCP machine, the TEP cores, and the reference system emit structured
+// events — configuration-cycle boundaries, event sampling, SLA selection,
+// round-robin dispatch, instruction retirement, bus arbitration, condition
+// write-back, timer fires, port writes — through an ObsSink pointer. A null
+// sink costs one pointer test per emission site; the simulated cycle
+// accounting is never touched by observation, so a run with any sink
+// attached produces bit-identical CycleStats to a run without one (the
+// observer-effect regression test in tests/obs_test.cpp enforces this).
+//
+// This header is deliberately dependency-light (no statechart/sla/compiler
+// includes) so that src/pscp and src/tep can depend on it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pscp::obs {
+
+/// Static naming context handed to a sink when it is attached: everything
+/// an exporter needs to label lanes and waveforms without reaching back
+/// into chart/layout objects.
+struct TraceMeta {
+  std::string chartName;
+  int tepCount = 0;
+  std::vector<std::string> eventNames;       ///< by CR event bit
+  std::vector<std::string> conditionNames;   ///< by condition index
+  std::vector<std::string> stateNames;       ///< by StateId
+  std::vector<std::string> transitionNames;  ///< by TransitionId
+  std::vector<std::pair<int, std::string>> portNames;  ///< (address, name)
+  std::vector<int> initialActive;            ///< StateIds active at attach
+};
+
+/// Per-routine execution statistics, measured as deltas over one dispatch →
+/// retire interval of a single TEP.
+struct RoutineStats {
+  int64_t cycles = 0;        ///< TEP clock cycles (incl. stalls and waits)
+  int64_t instructions = 0;  ///< instructions retired
+  int64_t busStalls = 0;     ///< external-bus arbitration losses
+};
+
+/// Receiver for machine events. All methods default to no-ops so sinks
+/// override only what they need. `time` is absolute machine time in
+/// reference-clock cycles (the ReferenceSystem, which has no clock, passes
+/// its configuration-step index instead).
+class ObsSink {
+ public:
+  virtual ~ObsSink() = default;
+
+  virtual void onAttach(const TraceMeta& meta) { (void)meta; }
+
+  // ---------------------------------------------------- scheduler / SLA
+  virtual void onCycleBegin(int64_t configCycle, int64_t time) {
+    (void)configCycle;
+    (void)time;
+  }
+  virtual void onTimerFire(int eventBit, int64_t time) {
+    (void)eventBit;
+    (void)time;
+  }
+  /// Full CR image right after external/internal/timer events were sampled.
+  virtual void onCrSampled(const std::vector<bool>& crBits, int64_t time) {
+    (void)crBits;
+    (void)time;
+  }
+  /// SLA selection outcome: `selected` before and `chosen` after the
+  /// scheduler's conflict resolution; `termsEvaluated` is the number of
+  /// SLA product terms tested this cycle.
+  virtual void onSlaSelect(const std::vector<int>& selected,
+                           const std::vector<int>& chosen, int64_t termsEvaluated,
+                           int64_t time) {
+    (void)selected;
+    (void)chosen;
+    (void)termsEvaluated;
+    (void)time;
+  }
+  /// Transition handed to a TEP; `tatDepth` is the number of transitions
+  /// still pending in the Transition Address Table after this grant.
+  virtual void onDispatch(int tep, int transition, int tatDepth, int64_t time) {
+    (void)tep;
+    (void)transition;
+    (void)tatDepth;
+    (void)time;
+  }
+  /// Condition-cache write-back of one TEP: the (index, value) pairs copied
+  /// into the CR at routine end.
+  virtual void onCondWriteBack(int tep,
+                               const std::vector<std::pair<int, bool>>& writes,
+                               int64_t time) {
+    (void)tep;
+    (void)writes;
+    (void)time;
+  }
+  /// Routine finished on a TEP (after write-back was charged).
+  virtual void onRetire(int tep, int transition, const RoutineStats& stats,
+                        int64_t time) {
+    (void)tep;
+    (void)transition;
+    (void)stats;
+    (void)time;
+  }
+  /// Configuration update at cycle end (the new active state set).
+  virtual void onConfigUpdate(const std::vector<int>& activeStates, int64_t time) {
+    (void)activeStates;
+    (void)time;
+  }
+  virtual void onCycleEnd(int64_t configCycle, int64_t cycles, int64_t busStalls,
+                          int firedCount, bool quiescent, int64_t time) {
+    (void)configCycle;
+    (void)cycles;
+    (void)busStalls;
+    (void)firedCount;
+    (void)quiescent;
+    (void)time;
+  }
+
+  // ------------------------------------------------------------ TEP core
+  virtual void onInstrRetire(int tep, int64_t time) {
+    (void)tep;
+    (void)time;
+  }
+  /// External-bus arbitration lost for this cycle (TEP retries next cycle).
+  virtual void onBusStall(int tep, int64_t time) {
+    (void)tep;
+    (void)time;
+  }
+  /// External-memory wait state entered (bus won, extra cycle charged).
+  virtual void onBusWait(int tep, int64_t time) {
+    (void)tep;
+    (void)time;
+  }
+
+  // --------------------------------------------------------------- ports
+  virtual void onPortWrite(int port, uint32_t value, int64_t configCycle,
+                           int64_t time) {
+    (void)port;
+    (void)value;
+    (void)configCycle;
+    (void)time;
+  }
+};
+
+/// Opt-in observability configuration for PscpMachine / ReferenceSystem.
+/// Default-constructed options (null sink) keep behaviour and timing
+/// bit-identical to an unobserved machine.
+struct ObsOptions {
+  ObsSink* sink = nullptr;
+};
+
+}  // namespace pscp::obs

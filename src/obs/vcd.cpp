@@ -1,0 +1,185 @@
+#include "obs/vcd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "support/diag.hpp"
+
+namespace pscp::obs {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII '!'..'~', base 94, shortest-first.
+std::string idCode(int index) {
+  std::string code;
+  int n = index;
+  do {
+    code += static_cast<char>('!' + n % 94);
+    n = n / 94 - 1;
+  } while (n >= 0);
+  return code;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == ' ' || c == '$' || c == ':') c = '_';
+  return out;
+}
+
+struct Signal {
+  std::string name;
+  std::string id;
+  int width = 1;
+};
+
+}  // namespace
+
+std::string vcdDump(const TraceRecorder& recorder) {
+  const TraceMeta& meta = recorder.meta();
+  const int eventCount = static_cast<int>(meta.eventNames.size());
+  const int conditionCount = static_cast<int>(meta.conditionNames.size());
+
+  // --------------------------------------------------- signal declaration
+  int nextId = 0;
+  auto makeSignal = [&](const std::string& name, int width) {
+    return Signal{sanitize(name), idCode(nextId++), width};
+  };
+  std::vector<Signal> eventSig, condSig, stateSig, tepSig, portSig;
+  for (const std::string& n : meta.eventNames) eventSig.push_back(makeSignal("ev_" + n, 1));
+  for (const std::string& n : meta.conditionNames)
+    condSig.push_back(makeSignal("cond_" + n, 1));
+  for (const std::string& n : meta.stateNames)
+    stateSig.push_back(makeSignal("st_" + n, 1));
+  for (int i = 0; i < meta.tepCount; ++i)
+    tepSig.push_back(makeSignal(strfmt("tep%d_busy", i), 1));
+  std::map<int, size_t> portIndex;  ///< port address -> portSig index
+  for (const auto& [addr, name] : meta.portNames) {
+    portIndex[addr] = portSig.size();
+    portSig.push_back(makeSignal(name, 32));
+  }
+
+  std::string out;
+  out += "$date\n  (machine run)\n$end\n";
+  out += strfmt("$version\n  PSCP observability exporter (chart %s)\n$end\n",
+                meta.chartName.c_str());
+  out += "$timescale 1 ns $end\n";
+  out += "$scope module pscp $end\n";
+  auto declare = [&](const char* module, const std::vector<Signal>& sigs) {
+    if (sigs.empty()) return;
+    out += strfmt("$scope module %s $end\n", module);
+    for (const Signal& s : sigs)
+      out += strfmt("$var wire %d %s %s $end\n", s.width, s.id.c_str(),
+                    s.name.c_str());
+    out += "$upscope $end\n";
+  };
+  declare("cr", eventSig);
+  declare("cr_cond", condSig);
+  declare("sched", stateSig);
+  declare("teps", tepSig);
+  declare("ports", portSig);
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  // -------------------------------------------------------- value changes
+  // Collect (time, change-line) pairs, then emit grouped and time-sorted.
+  std::vector<std::pair<int64_t, std::string>> changes;
+  auto scalar = [&](int64_t time, const Signal& s, bool value) {
+    changes.emplace_back(time, strfmt("%c%s", value ? '1' : '0', s.id.c_str()));
+  };
+  auto vector32 = [&](int64_t time, const Signal& s, uint32_t value) {
+    std::string bits;
+    for (int b = 31; b >= 0; --b) {
+      const bool bit = ((value >> b) & 1u) != 0;
+      if (bit || !bits.empty()) bits.push_back(bit ? '1' : '0');
+    }
+    if (bits.empty()) bits.push_back('0');
+    changes.emplace_back(time, strfmt("b%s %s", bits.c_str(), s.id.c_str()));
+  };
+
+  // Event bits pulse: high from the sampling instant to the end of the
+  // configuration cycle that consumed them.
+  std::vector<bool> condLast(static_cast<size_t>(conditionCount), false);
+  bool condSeeded = false;
+  for (const auto& c : recorder.cycles()) {
+    if (c.crSample < 0 ||
+        c.crSample >= static_cast<int>(recorder.crSamples().size()))
+      continue;
+    const auto& sample = recorder.crSamples()[static_cast<size_t>(c.crSample)];
+    for (int b = 0; b < eventCount && b < static_cast<int>(sample.bits.size()); ++b) {
+      if (sample.bits[static_cast<size_t>(b)]) {
+        scalar(sample.time, eventSig[static_cast<size_t>(b)], true);
+        scalar(c.endTime, eventSig[static_cast<size_t>(b)], false);
+      }
+    }
+    for (int i = 0; i < conditionCount; ++i) {
+      const size_t bit = static_cast<size_t>(eventCount + i);
+      if (bit >= sample.bits.size()) continue;
+      const bool v = sample.bits[bit];
+      if (!condSeeded || v != condLast[static_cast<size_t>(i)])
+        scalar(sample.time, condSig[static_cast<size_t>(i)], v);
+      condLast[static_cast<size_t>(i)] = v;
+    }
+    condSeeded = true;
+  }
+
+  // Configuration (active-state bits), edge-triggered.
+  std::vector<bool> stateLast(meta.stateNames.size(), false);
+  bool stateSeeded = false;
+  for (const auto& cfg : recorder.configSamples()) {
+    std::vector<bool> now(meta.stateNames.size(), false);
+    for (const int s : cfg.active)
+      if (s >= 0 && s < static_cast<int>(now.size())) now[static_cast<size_t>(s)] = true;
+    for (size_t s = 0; s < now.size(); ++s)
+      if (!stateSeeded || now[s] != stateLast[s])
+        scalar(cfg.time, stateSig[s], now[s]);
+    stateLast = now;
+    stateSeeded = true;
+  }
+
+  // TEP busy wires from the routine slices.
+  for (const auto& s : recorder.slices()) {
+    if (s.tep < 0 || s.tep >= static_cast<int>(tepSig.size())) continue;
+    scalar(s.dispatchTime, tepSig[static_cast<size_t>(s.tep)], true);
+    scalar(s.retireTime, tepSig[static_cast<size_t>(s.tep)], false);
+  }
+
+  // Port values.
+  for (const auto& w : recorder.portWrites()) {
+    const auto it = portIndex.find(w.port);
+    if (it == portIndex.end()) continue;
+    vector32(w.time, portSig[it->second], w.value);
+  }
+
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Initial snapshot: everything idle/zero, conditions and ports unknown.
+  out += "$dumpvars\n";
+  for (const Signal& s : eventSig) out += strfmt("0%s\n", s.id.c_str());
+  for (const Signal& s : condSig) out += strfmt("x%s\n", s.id.c_str());
+  for (const Signal& s : stateSig) out += strfmt("0%s\n", s.id.c_str());
+  for (const Signal& s : tepSig) out += strfmt("0%s\n", s.id.c_str());
+  for (const Signal& s : portSig) out += strfmt("bx %s\n", s.id.c_str());
+  out += "$end\n";
+
+  int64_t lastTime = -1;
+  for (const auto& [time, line] : changes) {
+    if (time != lastTime) {
+      out += strfmt("#%lld\n", static_cast<long long>(time));
+      lastTime = time;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+void writeVcd(const TraceRecorder& recorder, const std::string& path) {
+  const std::string dump = vcdDump(recorder);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) fail("cannot open '%s' for writing", path.c_str());
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace pscp::obs

@@ -1,0 +1,29 @@
+// VCD (IEEE 1364 value-change dump) waveform exporter, viewable in
+// GTKWave — the observability view that matches the paper's FPGA framing:
+// the CR as wires over machine time.
+//
+// Signal map (module pscp):
+//   cr.ev_<name>     — event bits: pulse high from sampling to cycle end
+//   cr.cond_<name>   — condition bits, updated at cycle boundaries
+//   sched.st_<name>  — one active-bit per chart state (configuration)
+//   teps.tep<i>_busy — routine in flight on TEP i
+//   ports.<name>     — 32-bit port value at each write
+//
+// Timescale is 1 ns with one VCD tick per reference-clock machine cycle
+// (the 15 MHz clock of the paper makes a real tick 66.7 ns; viewers only
+// care about relative time).
+#pragma once
+
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace pscp::obs {
+
+/// Serialize a recorded run as a VCD document.
+[[nodiscard]] std::string vcdDump(const TraceRecorder& recorder);
+
+/// Convenience: write vcdDump() to `path`.
+void writeVcd(const TraceRecorder& recorder, const std::string& path);
+
+}  // namespace pscp::obs

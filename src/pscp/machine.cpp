@@ -37,6 +37,42 @@ PscpMachine::PscpMachine(const statechart::Chart& chart,
     condCache_.emplace_back();
     condDirty_.emplace_back();
   }
+  dispatchCycles_.assign(static_cast<size_t>(arch_.numTeps), 0);
+  dispatchInstrs_.assign(static_cast<size_t>(arch_.numTeps), 0);
+  dispatchStalls_.assign(static_cast<size_t>(arch_.numTeps), 0);
+}
+
+obs::TraceMeta PscpMachine::traceMeta() const {
+  obs::TraceMeta meta;
+  meta.chartName = chart_.name();
+  meta.tepCount = arch_.numTeps;
+  meta.eventNames.resize(static_cast<size_t>(layout_.eventCount()));
+  for (const auto& [name, bit] : layout_.eventBits())
+    meta.eventNames[static_cast<size_t>(bit)] = name;
+  meta.conditionNames.resize(static_cast<size_t>(layout_.conditionCount()));
+  for (const auto& [name, bit] : layout_.conditionBits())
+    meta.conditionNames[static_cast<size_t>(bit)] = name;
+  meta.stateNames.resize(chart_.states().size());
+  for (const statechart::State& s : chart_.states())
+    meta.stateNames[static_cast<size_t>(s.id)] = s.name;
+  meta.transitionNames.resize(chart_.transitions().size());
+  for (const statechart::Transition& t : chart_.transitions())
+    meta.transitionNames[static_cast<size_t>(t.id)] =
+        strfmt("T%d %s -> %s", t.id, chart_.state(t.source).name.c_str(),
+               chart_.state(t.target).name.c_str());
+  for (const auto& [name, port] : chart_.ports())
+    meta.portNames.emplace_back(port.address, name);
+  for (StateId s : active_) meta.initialActive.push_back(static_cast<int>(s));
+  return meta;
+}
+
+void PscpMachine::setObsOptions(const obs::ObsOptions& options) {
+  obs_ = options;
+  for (auto& tep : teps_) tep->attachObserver(obs_.sink, &machineTimeNow_);
+  if (obs_.sink != nullptr) {
+    obs_.sink->onAttach(traceMeta());
+    machineTimeNow_ = totalCycles_;
+  }
 }
 
 PscpMachine::~PscpMachine() = default;
@@ -90,7 +126,10 @@ uint32_t PscpMachine::readPort(int address) { return ports_[address]; }
 
 void PscpMachine::writePort(int address, uint32_t value) {
   ports_[address] = value;
-  portWrites_.emplace_back(address, value);
+  const int64_t cycleIndex = configCycles_ > 0 ? configCycles_ - 1 : 0;
+  portWrites_.push_back(PortWrite{address, value, cycleIndex, machineTimeNow_});
+  if (obs_.sink != nullptr)
+    obs_.sink->onPortWrite(address, value, cycleIndex, machineTimeNow_);
 }
 
 void PscpMachine::raiseEvent(int index) { pendingInternalEvents_.insert(index); }
@@ -270,6 +309,12 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
   activeSnapshot_ = active_;
   busStallsThisCycle_ = 0;
 
+  const int64_t cycleIndex = configCycles_ - 1;  // 0-based, for observers
+  const int64_t base = totalCycles_;             // machine time at cycle start
+  machineTimeNow_ = base;
+  obs::ObsSink* const sink = obs_.sink;
+  if (sink != nullptr) sink->onCycleBegin(cycleIndex, base);
+
   // 1. Sample events into the CR: external + those the TEPs raised last
   //    cycle + matured hardware timers. Events live for exactly this cycle.
   std::set<int> eventBits = pendingInternalEvents_;
@@ -279,6 +324,7 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
   for (Timer& t : timers_) {
     if (totalCycles_ >= t.nextFire) {
       eventBits.insert(t.eventBit);
+      if (sink != nullptr) sink->onTimerFire(t.eventBit, base);
       // Catch up without bursting: one event per cycle boundary.
       while (t.nextFire <= totalCycles_) t.nextFire += t.period;
     }
@@ -286,11 +332,23 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
 
   // 2. SLA selects enabled transitions; scheduler resolves conflicts.
   const std::vector<bool> cr = buildCrBits(eventBits);
-  const std::vector<TransitionId> chosen = resolveConflicts(sla_.select(cr));
+  if (sink != nullptr) sink->onCrSampled(cr, base);
+  sla::SelectStats selectStats;
+  const std::vector<TransitionId> selected =
+      sla_.select(cr, sink != nullptr ? &selectStats : nullptr);
+  const std::vector<TransitionId> chosen = resolveConflicts(selected);
+  if (sink != nullptr) {
+    std::vector<int> selectedIds(selected.begin(), selected.end());
+    std::vector<int> chosenIds(chosen.begin(), chosen.end());
+    sink->onSlaSelect(selectedIds, chosenIds, selectStats.termsEvaluated, base);
+  }
   if (chosen.empty()) {
     stats.quiescent = true;
     stats.cycles = kSlaEvaluateCycles;
     totalCycles_ += stats.cycles;
+    machineTimeNow_ = totalCycles_;
+    if (sink != nullptr)
+      sink->onCycleEnd(cycleIndex, stats.cycles, 0, 0, true, totalCycles_);
     return stats;
   }
 
@@ -327,6 +385,13 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
       const std::string& routine = app_.transitionRoutine.at(t);
       teps_[tepIndex]->startRoutine(app_.program.entryOf(routine));
       cycles += kDispatchCyclesPerTransition;
+      if (sink != nullptr) {
+        dispatchCycles_[tepIndex] = teps_[tepIndex]->cyclesExecuted();
+        dispatchInstrs_[tepIndex] = teps_[tepIndex]->instructionsExecuted();
+        dispatchStalls_[tepIndex] = teps_[tepIndex]->stallCycles();
+        sink->onDispatch(static_cast<int>(tepIndex), t,
+                         static_cast<int>(table.size()), base + cycles);
+      }
       break;
     }
   };
@@ -354,6 +419,7 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
     // One machine cycle: every busy TEP advances one microinstruction;
     // the external bus has a single owner per cycle (rotating priority).
     busOwner_ = -1;
+    machineTimeNow_ = base + cycles;
     for (size_t k = 0; k < teps_.size(); ++k) {
       const size_t i = (static_cast<size_t>(cycles) + k) % teps_.size();
       if (!teps_[i]->busy()) continue;
@@ -365,6 +431,12 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
         // its exclusion group, then hand it the next transition.
         const TransitionId done = running[i];
         running[i] = -1;
+        if (sink != nullptr && !condDirty_[i].empty()) {
+          std::vector<std::pair<int, bool>> writes;
+          writes.reserve(condDirty_[i].size());
+          for (int c : condDirty_[i]) writes.emplace_back(c, condCache_[i][c]);
+          sink->onCondWriteBack(static_cast<int>(i), writes, base + cycles);
+        }
         for (int c : condDirty_[i])
           crConditions_[static_cast<size_t>(c)] = condCache_[i][c];
         condDirty_[i].clear();
@@ -372,6 +444,13 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
         if (!tr.exclusionGroup.empty()) groupsInFlight.erase(tr.exclusionGroup);
         cycles += conditionCopyCycles(arch_, layout_.conditionCount());
         stats.fired.push_back(done);
+        if (sink != nullptr) {
+          obs::RoutineStats rs;
+          rs.cycles = teps_[i]->cyclesExecuted() - dispatchCycles_[i];
+          rs.instructions = teps_[i]->instructionsExecuted() - dispatchInstrs_[i];
+          rs.busStalls = teps_[i]->stallCycles() - dispatchStalls_[i];
+          sink->onRetire(static_cast<int>(i), done, rs, base + cycles);
+        }
         tryDispatch(i);
       }
     }
@@ -393,6 +472,15 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
   stats.busStallCycles = busStallsThisCycle_;
   totalCycles_ += cycles;
   totalBusStalls_ += busStallsThisCycle_;
+  machineTimeNow_ = totalCycles_;
+  if (sink != nullptr) {
+    std::vector<int> activeIds;
+    activeIds.reserve(active_.size());
+    for (StateId s : active_) activeIds.push_back(static_cast<int>(s));
+    sink->onConfigUpdate(activeIds, totalCycles_);
+    sink->onCycleEnd(cycleIndex, stats.cycles, stats.busStallCycles,
+                     static_cast<int>(stats.fired.size()), false, totalCycles_);
+  }
   return stats;
 }
 

@@ -30,11 +30,22 @@
 #include <vector>
 
 #include "compiler/codegen.hpp"
+#include "obs/sink.hpp"
 #include "sla/sla.hpp"
 #include "statechart/semantics.hpp"
 #include "tep/machine.hpp"
 
 namespace pscp::machine {
+
+/// One entry of the machine's port-write log, ordered and timestamped so
+/// the observability layer (and environment models) can correlate writes
+/// with configuration cycles and machine time.
+struct PortWrite {
+  int port = 0;             ///< bus address
+  uint32_t value = 0;
+  int64_t configCycle = 0;  ///< 0-based configuration-cycle index
+  int64_t time = 0;         ///< absolute machine time (reference cycles)
+};
 
 struct CycleStats {
   std::vector<statechart::TransitionId> fired;  ///< in dispatch order
@@ -76,9 +87,27 @@ class PscpMachine : public tep::TepHost {
   /// Environment-facing ports (by chart port name).
   void setInputPort(const std::string& portName, uint32_t value);
   [[nodiscard]] uint32_t outputPort(const std::string& portName) const;
-  [[nodiscard]] const std::vector<std::pair<int, uint32_t>>& portWriteLog() const {
+  /// Ordered, timestamped port writes (configuration-cycle index + machine
+  /// time per entry).
+  [[nodiscard]] const std::vector<PortWrite>& portWrites() const {
     return portWrites_;
   }
+  /// Compatibility view of portWrites(): bare (port, value) pairs.
+  [[nodiscard]] std::vector<std::pair<int, uint32_t>> portWriteLog() const {
+    std::vector<std::pair<int, uint32_t>> out;
+    out.reserve(portWrites_.size());
+    for (const PortWrite& w : portWrites_) out.emplace_back(w.port, w.value);
+    return out;
+  }
+
+  /// Attach/detach observability (opt-in; see src/obs). With the default
+  /// (null sink) options the machine's behaviour and timing are
+  /// bit-identical to an unobserved machine, and a non-null sink only
+  /// observes — it never changes CycleStats.
+  void setObsOptions(const obs::ObsOptions& options);
+  [[nodiscard]] const obs::ObsOptions& obsOptions() const { return obs_; }
+  /// The naming context a sink receives at attach (also usable directly).
+  [[nodiscard]] obs::TraceMeta traceMeta() const;
 
   /// Read a compiled global (for assertions / environment models).
   [[nodiscard]] int64_t globalValue(const std::string& name) const;
@@ -140,7 +169,7 @@ class PscpMachine : public tep::TepHost {
   /// register files"): the compiler's register windows hold call frames.
   std::vector<std::vector<uint32_t>> regBanks_;
   std::map<int, uint32_t> ports_;
-  std::vector<std::pair<int, uint32_t>> portWrites_;
+  std::vector<PortWrite> portWrites_;
 
   // TEP cores and their condition caches.
   std::vector<std::unique_ptr<tep::Tep>> teps_;
@@ -156,6 +185,18 @@ class PscpMachine : public tep::TepHost {
   int64_t totalCycles_ = 0;
   int64_t totalBusStalls_ = 0;
   int64_t configCycles_ = 0;
+
+  // Observability. machineTimeNow_ tracks absolute machine time inside a
+  // configuration cycle (cycle base + local cycles) so TepHost callbacks
+  // (port writes, bus events) can be timestamped; it is pure bookkeeping
+  // and never feeds back into the cycle accounting.
+  obs::ObsOptions obs_;
+  int64_t machineTimeNow_ = 0;
+
+  // Per-TEP counter snapshots at dispatch, for RoutineStats deltas.
+  std::vector<int64_t> dispatchCycles_;
+  std::vector<int64_t> dispatchInstrs_;
+  std::vector<int64_t> dispatchStalls_;
 };
 
 }  // namespace pscp::machine

@@ -119,11 +119,21 @@ Sla::Sla(const Chart& chart, const CrLayout& layout) : chart_(chart), layout_(la
   }
 }
 
-std::vector<TransitionId> Sla::select(const std::vector<bool>& crBits) const {
+std::vector<TransitionId> Sla::select(const std::vector<bool>& crBits,
+                                      SelectStats* stats) const {
   std::vector<TransitionId> out;
   for (size_t t = 0; t < terms_.size(); ++t) {
-    const bool hit = std::any_of(terms_[t].begin(), terms_[t].end(),
-                                 [&](const ProductTerm& pt) { return pt.matches(crBits); });
+    bool hit = false;
+    for (const ProductTerm& pt : terms_[t]) {
+      if (stats != nullptr) {
+        ++stats->termsEvaluated;
+        stats->literalsEvaluated += static_cast<int64_t>(pt.literals.size());
+      }
+      if (pt.matches(crBits)) {
+        hit = true;
+        break;
+      }
+    }
     if (hit) out.push_back(static_cast<TransitionId>(t));
   }
   return out;

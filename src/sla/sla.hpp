@@ -36,15 +36,23 @@ struct ProductTerm {
   [[nodiscard]] bool matches(const std::vector<bool>& crBits) const;
 };
 
+/// Per-selection evaluation statistics (observability): how much of the
+/// array a CR decode exercised. Filled by select() when requested; the
+/// selection result is identical with or without stats.
+struct SelectStats {
+  int64_t termsEvaluated = 0;     ///< product terms tested
+  int64_t literalsEvaluated = 0;  ///< literals of those terms
+};
+
 /// The synthesized logic array.
 class Sla {
  public:
   Sla(const statechart::Chart& chart, const CrLayout& layout);
 
   /// Enabled transitions for a CR value (no conflict resolution — that is
-  /// the scheduler's job).
+  /// the scheduler's job). Pass `stats` to collect evaluation counts.
   [[nodiscard]] std::vector<statechart::TransitionId> select(
-      const std::vector<bool>& crBits) const;
+      const std::vector<bool>& crBits, SelectStats* stats = nullptr) const;
 
   [[nodiscard]] int productTermCount() const;
   [[nodiscard]] int literalCount() const;

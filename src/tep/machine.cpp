@@ -122,10 +122,12 @@ void Tep::stepCycle() {
   if (needsExternalBus(mi, mar_)) {
     if (!host_.acquireExternalBus(id_)) {
       ++stalls_;
+      if (sink_ != nullptr) sink_->onBusStall(id_, obsNow());
       return;  // arbitration lost: retry next cycle
     }
     if (extPhase_ == 0) {
       extPhase_ = 1;  // external wait state
+      if (sink_ != nullptr) sink_->onBusWait(id_, obsNow());
       return;
     }
     extPhase_ = 0;
@@ -134,6 +136,7 @@ void Tep::stepCycle() {
   ++microPc_;
   if (microPc_ >= microProgram_->size()) {
     ++instructions_;
+    if (sink_ != nullptr) sink_->onInstrRetire(id_, obsNow());
     if (busy_) beginInstruction();
   }
 }

@@ -1,0 +1,405 @@
+// Observability subsystem tests (src/obs): metrics accumulation, exporter
+// well-formedness (the Chrome trace JSON is parsed back by a small
+// recursive-descent JSON reader, the VCD is structurally checked), and the
+// observer-effect regression — attaching a recorder must not change a
+// single cycle of the simulated machine.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "actionlang/parser.hpp"
+#include "core/system.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/vcd.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+#include "workloads/smd.hpp"
+
+namespace pscp::obs {
+namespace {
+
+// ------------------------------------------------------------ JSON reader
+// Minimal validating JSON parser: accepts objects, arrays, strings,
+// numbers, booleans and null; rejects trailing garbage. Enough to prove
+// the exporters emit well-formed documents.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return at_ == text_.size();
+  }
+
+  [[nodiscard]] int arrayItems() const { return arrayItems_; }
+  [[nodiscard]] int objects() const { return objects_; }
+
+ private:
+  void skipWs() {
+    while (at_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[at_])))
+      ++at_;
+  }
+  bool literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(at_, n, word) != 0) return false;
+    at_ += n;
+    return true;
+  }
+  bool string() {
+    if (at_ >= text_.size() || text_[at_] != '"') return false;
+    ++at_;
+    while (at_ < text_.size() && text_[at_] != '"') {
+      if (text_[at_] == '\\') ++at_;
+      ++at_;
+    }
+    if (at_ >= text_.size()) return false;
+    ++at_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const size_t start = at_;
+    if (at_ < text_.size() && (text_[at_] == '-' || text_[at_] == '+')) ++at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+            text_[at_] == '.' || text_[at_] == 'e' || text_[at_] == 'E' ||
+            text_[at_] == '-' || text_[at_] == '+'))
+      ++at_;
+    return at_ > start;
+  }
+  bool value() {
+    skipWs();
+    if (at_ >= text_.size()) return false;
+    const char c = text_[at_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+  bool object() {
+    ++at_;  // '{'
+    ++objects_;
+    skipWs();
+    if (at_ < text_.size() && text_[at_] == '}') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (at_ >= text_.size() || text_[at_] != ':') return false;
+      ++at_;
+      if (!value()) return false;
+      skipWs();
+      if (at_ < text_.size() && text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (at_ >= text_.size() || text_[at_] != '}') return false;
+    ++at_;
+    return true;
+  }
+  bool array() {
+    ++at_;  // '['
+    skipWs();
+    if (at_ < text_.size() && text_[at_] == ']') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      ++arrayItems_;
+      skipWs();
+      if (at_ < text_.size() && text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (at_ >= text_.size() || text_[at_] != ']') return false;
+    ++at_;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t at_ = 0;
+  int arrayItems_ = 0;
+  int objects_ = 0;
+};
+
+int countOccurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+// --------------------------------------------------------------- fixtures
+
+struct SmdRun {
+  statechart::Chart chart;
+  actionlang::Program actions;
+  machine::PscpMachine machine;
+  TraceRecorder recorder;
+
+  explicit SmdRun(int teps)
+      : chart(statechart::parseChart(workloads::smdChartText())),
+        actions(actionlang::parseActionSource(workloads::smdActionText())),
+        machine(chart, actions, arch(teps)) {
+    machine.setObsOptions({&recorder});
+  }
+
+  static hwlib::ArchConfig arch(int teps) {
+    hwlib::ArchConfig a;
+    a.dataWidth = 16;
+    a.hasMulDiv = true;
+    a.numTeps = teps;
+    a.registerFileSize = 12;
+    return a;
+  }
+
+  void drive() {
+    machine.configurationCycle({"POWER"});
+    for (uint32_t b : {0x01u, 6u, 4u, 2u}) {
+      machine.setInputPort("Buffer", b);
+      machine.configurationCycle({"DATA_VALID"});
+    }
+    machine.configurationCycle({});
+    machine.configurationCycle({});
+    machine.configurationCycle({});
+    machine.configurationCycle({"X_PULSE", "Y_PULSE", "PHI_PULSE"});
+    machine.configurationCycle({"X_STEPS", "Y_STEPS", "PHI_STEPS"});
+    machine.runToQuiescence({});
+  }
+};
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.counter("a") += 3;
+  reg.add("a", 4);
+  reg.counter("b");  // materialise at zero
+  EXPECT_EQ(reg.value("a"), 7);
+  EXPECT_EQ(reg.value("b"), 0);
+  EXPECT_EQ(reg.value("missing"), 0);
+  EXPECT_TRUE(reg.hasCounter("b"));
+  EXPECT_FALSE(reg.hasCounter("missing"));
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {10, 100, 1000});
+  for (int64_t v : {5, 10, 11, 99, 100, 5000}) h.record(v);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  EXPECT_EQ(h.sum(), 5 + 10 + 11 + 99 + 100 + 5000);
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2);  // <= 10
+  EXPECT_EQ(h.counts()[1], 3);  // <= 100
+  EXPECT_EQ(h.counts()[2], 0);  // <= 1000
+  EXPECT_EQ(h.counts()[3], 1);  // overflow
+  // Re-requesting keeps the same histogram (bounds ignored on lookup).
+  EXPECT_EQ(&reg.histogram("lat", {1}), &h);
+}
+
+TEST(Metrics, DumpsAreWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("x.y") = 42;
+  reg.histogram("h", {1, 2}).record(1);
+  const std::string text = reg.dumpText();
+  EXPECT_NE(text.find("x.y"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  const std::string json = reg.dumpJson();
+  JsonReader reader(json);
+  EXPECT_TRUE(reader.valid()) << json;
+}
+
+// ------------------------------------------------------- recorder metrics
+
+TEST(Recorder, MetricsMatchMachineCounters) {
+  SmdRun run(2);
+  run.drive();
+  const MetricsRegistry& m = run.recorder.metrics();
+  EXPECT_EQ(m.value("machine.cycles"), run.machine.totalCycles());
+  EXPECT_EQ(m.value("machine.config_cycles"), run.machine.configurationCycles());
+  EXPECT_EQ(m.value("machine.bus_stalls"), run.machine.totalBusStalls());
+  EXPECT_EQ(m.value("machine.port_writes"),
+            static_cast<int64_t>(run.machine.portWrites().size()));
+  EXPECT_GT(m.value("machine.transitions_fired"), 0);
+  EXPECT_GT(m.value("sla.terms_evaluated"), 0);
+  // Dispatches == routines == transitions fired.
+  EXPECT_EQ(m.value("sched.dispatches"), m.value("machine.transitions_fired"));
+  EXPECT_EQ(m.value("tep0.routines") + m.value("tep1.routines"),
+            m.value("machine.transitions_fired"));
+}
+
+TEST(Recorder, PerTepCycleAccountingSumsToTotal) {
+  for (int teps : {1, 2, 3}) {
+    SmdRun run(teps);
+    run.drive();
+    for (int i = 0; i < teps; ++i)
+      EXPECT_EQ(run.recorder.tepBusyCycles(i) + run.recorder.tepStallCycles(i) +
+                    run.recorder.tepIdleCycles(i),
+                run.machine.totalCycles())
+          << "TEP " << i << " of " << teps;
+  }
+}
+
+TEST(Recorder, PortWritesCarryCycleIndexAndTime) {
+  SmdRun run(2);
+  run.drive();
+  const auto& writes = run.machine.portWrites();
+  ASSERT_FALSE(writes.empty());
+  int64_t lastTime = 0;
+  for (const auto& w : writes) {
+    EXPECT_GE(w.configCycle, 0);
+    EXPECT_LT(w.configCycle, run.machine.configurationCycles());
+    EXPECT_GE(w.time, lastTime);  // ordered in machine time
+    lastTime = w.time;
+  }
+  // Compat accessor: same writes, bare pairs.
+  const auto compat = run.machine.portWriteLog();
+  ASSERT_EQ(compat.size(), writes.size());
+  for (size_t i = 0; i < compat.size(); ++i) {
+    EXPECT_EQ(compat[i].first, writes[i].port);
+    EXPECT_EQ(compat[i].second, writes[i].value);
+  }
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(ChromeTrace, JsonParsesBackAndHasOneLanePerTep) {
+  SmdRun run(2);
+  run.drive();
+  const std::string json = chromeTraceJson(run.recorder);
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.valid());
+  EXPECT_GT(reader.arrayItems(), 20);  // metadata + slices + instants
+  // One metadata lane per configured TEP plus the scheduler lane.
+  EXPECT_NE(json.find("\"scheduler/SLA\""), std::string::npos);
+  EXPECT_NE(json.find("\"TEP 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"TEP 1\""), std::string::npos);
+  EXPECT_EQ(json.find("\"TEP 2\""), std::string::npos);
+  // Every routine slice surfaces as a complete event on a TEP lane.
+  EXPECT_GE(countOccurrences(json, "\"ph\":\"X\""),
+            static_cast<int>(run.recorder.slices().size()));
+}
+
+TEST(Vcd, HeaderTimescaleAndEdgesAreValid) {
+  SmdRun run(2);
+  run.drive();
+  const std::string vcd = vcdDump(run.recorder);
+  // Header structure.
+  EXPECT_NE(vcd.find("$timescale 1 ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  EXPECT_EQ(countOccurrences(vcd, "$scope"), countOccurrences(vcd, "$upscope"));
+  // One wire per event, condition, state and TEP.
+  const auto meta = run.machine.traceMeta();
+  const int expectedVars = static_cast<int>(meta.eventNames.size()) +
+                           static_cast<int>(meta.conditionNames.size()) +
+                           static_cast<int>(meta.stateNames.size()) +
+                           meta.tepCount +
+                           static_cast<int>(meta.portNames.size());
+  EXPECT_EQ(countOccurrences(vcd, "$var wire"), expectedVars);
+  // The POWER pulse must appear as a rising then falling edge, and time
+  // must advance past zero.
+  EXPECT_NE(vcd.find("ev_POWER"), std::string::npos);
+  EXPECT_NE(vcd.find("st_Moving"), std::string::npos);
+  EXPECT_GE(countOccurrences(vcd, "\n#"), 2);
+  // Every value-change line after $enddefinitions uses a declared id.
+  const size_t defsEnd = vcd.find("$enddefinitions $end");
+  const std::string body = vcd.substr(defsEnd);
+  EXPECT_NE(body.find("#0"), std::string::npos);
+}
+
+// ------------------------------------------------- observer-effect checks
+
+TEST(ObserverEffect, TracingDoesNotChangeCycleStats) {
+  auto chart = statechart::parseChart(workloads::smdChartText());
+  auto actions = actionlang::parseActionSource(workloads::smdActionText());
+  const auto arch = SmdRun::arch(2);
+
+  auto drive = [](machine::PscpMachine& m) {
+    std::vector<machine::CycleStats> out;
+    out.push_back(m.configurationCycle({"POWER"}));
+    for (uint32_t b : {0x01u, 6u, 4u, 2u}) {
+      m.setInputPort("Buffer", b);
+      out.push_back(m.configurationCycle({"DATA_VALID"}));
+    }
+    out.push_back(m.configurationCycle({}));
+    out.push_back(m.configurationCycle({}));
+    out.push_back(m.configurationCycle({}));
+    out.push_back(m.configurationCycle({"X_PULSE", "Y_PULSE", "PHI_PULSE"}));
+    out.push_back(m.configurationCycle({"X_STEPS", "Y_STEPS", "PHI_STEPS"}));
+    return out;
+  };
+
+  machine::PscpMachine bare(chart, actions, arch);
+  const auto bareStats = drive(bare);
+
+  machine::PscpMachine traced(chart, actions, arch);
+  TraceRecorder recorder;
+  traced.setObsOptions({&recorder});
+  const auto tracedStats = drive(traced);
+
+  ASSERT_EQ(bareStats.size(), tracedStats.size());
+  for (size_t i = 0; i < bareStats.size(); ++i) {
+    EXPECT_EQ(bareStats[i].cycles, tracedStats[i].cycles) << "cycle " << i;
+    EXPECT_EQ(bareStats[i].busStallCycles, tracedStats[i].busStallCycles)
+        << "cycle " << i;
+    EXPECT_EQ(bareStats[i].quiescent, tracedStats[i].quiescent) << "cycle " << i;
+    EXPECT_EQ(bareStats[i].fired, tracedStats[i].fired) << "cycle " << i;
+  }
+  EXPECT_EQ(bare.totalCycles(), traced.totalCycles());
+  EXPECT_EQ(bare.totalBusStalls(), traced.totalBusStalls());
+  EXPECT_EQ(bare.activeNames(), traced.activeNames());
+  EXPECT_EQ(bare.portWriteLog(), traced.portWriteLog());
+}
+
+TEST(ObserverEffect, NullSinkOptionsAreInert) {
+  auto chart = statechart::parseChart(workloads::smdChartText());
+  auto actions = actionlang::parseActionSource(workloads::smdActionText());
+  const auto arch = SmdRun::arch(2);
+  machine::PscpMachine bare(chart, actions, arch);
+  machine::PscpMachine nulled(chart, actions, arch);
+  nulled.setObsOptions({});  // explicit null sink
+  const auto a = bare.configurationCycle({"POWER"});
+  const auto b = nulled.configurationCycle({"POWER"});
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.fired, b.fired);
+}
+
+// ----------------------------------------------- reference-system observer
+
+TEST(ReferenceObserver, SpecLevelTraceRecordsStepsAndPorts) {
+  auto chart = statechart::parseChart(workloads::smdChartText());
+  auto actions = actionlang::parseActionSource(workloads::smdActionText());
+  core::ReferenceSystem ref(chart, actions);
+  TraceRecorder recorder;
+  ref.attachObserver(&recorder);
+  ref.step({"POWER"});
+  ref.setInputPort("Buffer", 0x01);
+  ref.step({"DATA_VALID"});
+  EXPECT_EQ(recorder.metrics().value("machine.config_cycles"), 2);
+  EXPECT_EQ(recorder.cycles().size(), 2u);
+  EXPECT_FALSE(recorder.configSamples().empty());
+  EXPECT_GT(recorder.metrics().value("machine.transitions_fired"), 0);
+}
+
+}  // namespace
+}  // namespace pscp::obs

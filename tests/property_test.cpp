@@ -13,6 +13,9 @@
 #include "actionlang/interp.hpp"
 #include "actionlang/parser.hpp"
 #include "compiler/codegen.hpp"
+#include "obs/recorder.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
 #include "support/bits.hpp"
 #include "tep/machine.hpp"
 
@@ -235,6 +238,66 @@ TEST(ProgramEncoding, CompiledProgramsRoundTripThroughBinary) {
         EXPECT_EQ(decoded.width, original.width) << original.str();
     }
     EXPECT_EQ(index, app.program.code.size());
+  }
+}
+
+// ------------------------------------------- cycle-accounting property
+
+// Wrap a generated action program in a chart with three parallel regions
+// that all run go() on the same event, so the scheduler has real work to
+// distribute (and, with fewer TEPs than regions, real queueing).
+std::string accountingChart() {
+  return R"chart(
+chart Accounting;
+event KICK;
+orstate Root {
+  contains Par;
+  default Par;
+}
+andstate Par {
+  orstate R0 { default A0;
+    basicstate A0 { transition { target A0; label "KICK/go()"; } }
+  }
+  orstate R1 { default A1;
+    basicstate A1 { transition { target A1; label "KICK/go()"; } }
+  }
+  orstate R2 { default A2;
+    basicstate A2 { transition { target A2; label "KICK/go()"; } }
+  }
+}
+)chart";
+}
+
+TEST(CycleAccounting, BusyStallIdleSumToTotalCyclesAcrossRandomCharts) {
+  // Invariant of the observability layer: for every TEP, the busy, stall
+  // and idle cycle counters partition the machine's total cycle count —
+  // no cycle is lost or double-counted, for any program and TEP count.
+  const auto chart = statechart::parseChart(accountingChart());
+  for (uint32_t seed : {11u, 42u, 77u, 123u, 2024u}) {
+    const GeneratedProgram gp = generate(seed);
+    SCOPED_TRACE(gp.source);
+    actionlang::Program program = actionlang::parseActionSource(gp.source);
+    for (int teps : {1, 2, 3}) {
+      hwlib::ArchConfig arch;
+      arch.dataWidth = 16;
+      arch.hasMulDiv = true;
+      arch.numTeps = teps;
+      arch.registerFileSize = 12;
+      machine::PscpMachine m(chart, program, arch);
+      obs::TraceRecorder recorder;
+      m.setObsOptions({&recorder});
+      for (int i = 0; i < 4; ++i) m.configurationCycle({"KICK"});
+      for (int i = 0; i < teps; ++i) {
+        EXPECT_EQ(recorder.tepBusyCycles(i) + recorder.tepStallCycles(i) +
+                      recorder.tepIdleCycles(i),
+                  m.totalCycles())
+            << "seed " << seed << " TEP " << i << " of " << teps;
+        EXPECT_GE(recorder.tepBusyCycles(i), 0);
+        EXPECT_GE(recorder.tepStallCycles(i), 0);
+        EXPECT_GE(recorder.tepIdleCycles(i), 0);
+      }
+      EXPECT_EQ(recorder.metrics().value("machine.cycles"), m.totalCycles());
+    }
   }
 }
 
