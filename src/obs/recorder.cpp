@@ -76,11 +76,11 @@ void TraceRecorder::onTimerFire(int eventBit, int64_t time) {
   if (options_.recordEvents) timerFires_.emplace_back(time, eventBit);
 }
 
-void TraceRecorder::onCrSampled(const std::vector<bool>& crBits, int64_t time) {
+void TraceRecorder::onCrSampled(const BitVec& crBits, int64_t time) {
   int64_t sampled = 0;
-  const size_t eventCount = meta_.eventNames.size();
-  for (size_t i = 0; i < eventCount && i < crBits.size(); ++i)
-    if (crBits[i]) ++sampled;
+  const int eventCount = static_cast<int>(meta_.eventNames.size());
+  for (int i = 0; i < eventCount && i < crBits.size(); ++i)
+    if (crBits.test(i)) ++sampled;
   metrics_.counter("machine.events_sampled") += sampled;
   if (options_.recordEvents) {
     current_.crSample = static_cast<int>(crSamples_.size());

@@ -55,7 +55,7 @@ class TraceRecorder : public ObsSink {
   };
   struct CrSample {
     int64_t time = 0;
-    std::vector<bool> bits;
+    BitVec bits;
   };
   struct ConfigSample {
     int64_t time = 0;
@@ -100,7 +100,7 @@ class TraceRecorder : public ObsSink {
   void onAttach(const TraceMeta& meta) override;
   void onCycleBegin(int64_t configCycle, int64_t time) override;
   void onTimerFire(int eventBit, int64_t time) override;
-  void onCrSampled(const std::vector<bool>& crBits, int64_t time) override;
+  void onCrSampled(const BitVec& crBits, int64_t time) override;
   void onSlaSelect(const std::vector<int>& selected, const std::vector<int>& chosen,
                    int64_t termsEvaluated, int64_t time) override;
   void onDispatch(int tep, int transition, int tatDepth, int64_t time) override;

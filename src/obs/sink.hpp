@@ -10,13 +10,16 @@
 // observer-effect regression test in tests/obs_test.cpp enforces this).
 //
 // This header is deliberately dependency-light (no statechart/sla/compiler
-// includes) so that src/pscp and src/tep can depend on it without cycles.
+// includes; support/bits only, for the packed CR snapshot type) so that
+// src/pscp and src/tep can depend on it without cycles.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/bits.hpp"
 
 namespace pscp::obs {
 
@@ -61,14 +64,19 @@ class ObsSink {
     (void)eventBit;
     (void)time;
   }
-  /// Full CR image right after external/internal/timer events were sampled.
-  virtual void onCrSampled(const std::vector<bool>& crBits, int64_t time) {
+  /// Full CR image right after external/internal/timer events were sampled,
+  /// in the machine's packed word form (the same object the SLA decodes —
+  /// sinks must not mutate or retain it past the call).
+  virtual void onCrSampled(const BitVec& crBits, int64_t time) {
     (void)crBits;
     (void)time;
   }
   /// SLA selection outcome: `selected` before and `chosen` after the
-  /// scheduler's conflict resolution; `termsEvaluated` is the number of
-  /// SLA product terms tested this cycle.
+  /// scheduler's conflict resolution. `termsEvaluated` models the hardware
+  /// PLA decode: the *full* AND-plane size (every product term of the
+  /// array), charged once per SLA access — not the subset the pruned
+  /// software path visited. This keeps the metric hardware-meaningful and
+  /// independent of software-side short-circuiting.
   virtual void onSlaSelect(const std::vector<int>& selected,
                            const std::vector<int>& chosen, int64_t termsEvaluated,
                            int64_t time) {

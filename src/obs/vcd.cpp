@@ -106,16 +106,16 @@ std::string vcdDump(const TraceRecorder& recorder) {
         c.crSample >= static_cast<int>(recorder.crSamples().size()))
       continue;
     const auto& sample = recorder.crSamples()[static_cast<size_t>(c.crSample)];
-    for (int b = 0; b < eventCount && b < static_cast<int>(sample.bits.size()); ++b) {
-      if (sample.bits[static_cast<size_t>(b)]) {
+    for (int b = 0; b < eventCount && b < sample.bits.size(); ++b) {
+      if (sample.bits.test(b)) {
         scalar(sample.time, eventSig[static_cast<size_t>(b)], true);
         scalar(c.endTime, eventSig[static_cast<size_t>(b)], false);
       }
     }
     for (int i = 0; i < conditionCount; ++i) {
-      const size_t bit = static_cast<size_t>(eventCount + i);
+      const int bit = eventCount + i;
       if (bit >= sample.bits.size()) continue;
-      const bool v = sample.bits[bit];
+      const bool v = sample.bits.test(bit);
       if (!condSeeded || v != condLast[static_cast<size_t>(i)])
         scalar(sample.time, condSig[static_cast<size_t>(i)], v);
       condLast[static_cast<size_t>(i)] = v;

@@ -27,15 +27,35 @@ PscpMachine::PscpMachine(const statechart::Chart& chart,
   internalBanks_.assign(static_cast<size_t>(arch_.numTeps),
                         std::vector<uint8_t>(tep::kExternalBase, 0));
   regBanks_.assign(static_cast<size_t>(arch_.numTeps), std::vector<uint32_t>(16, 0));
-  crConditions_.assign(static_cast<size_t>(layout_.conditionCount()), false);
-  for (StateId s : chart_.defaultCompletion(chart_.root())) active_.insert(s);
-  activeSnapshot_ = active_;
+  crConditions_.assign(static_cast<size_t>(layout_.conditionCount()), 0);
+  cr_ = BitVec(layout_.totalBits());
+  fieldCode_.assign(layout_.stateFields().size(), 0);
+  activeBits_ = BitVec(static_cast<int>(chart_.stateCount()));
+  for (StateId s : chart_.defaultCompletion(chart_.root())) applyActive(s, true);
+  activeSnapshotBits_ = activeBits_;
+
+  // Precompute the structural data resolveConflicts and the configuration
+  // update need per transition, as packed bitsets over StateIds.
+  const int stateCount = static_cast<int>(chart_.stateCount());
+  exitSets_.reserve(chart_.transitions().size());
+  enterSets_.reserve(chart_.transitions().size());
+  scopeDepth_.reserve(chart_.transitions().size());
+  for (const statechart::Transition& t : chart_.transitions()) {
+    BitVec exits(stateCount);
+    for (StateId s : structure_.exitSet(t.id)) exits.set(static_cast<int>(s));
+    exitSets_.push_back(std::move(exits));
+    BitVec enters(stateCount);
+    for (StateId s : structure_.enterSet(t.id)) enters.set(static_cast<int>(s));
+    enterSets_.push_back(std::move(enters));
+    scopeDepth_.push_back(chart_.depth(structure_.scopeOf(t.id)));
+  }
+
   app_.loadImage(*this);
   for (int i = 0; i < arch_.numTeps; ++i) {
     teps_.push_back(std::make_unique<tep::Tep>(arch_, *this, i));
     teps_.back()->setProgram(&app_.program);
-    condCache_.emplace_back();
-    condDirty_.emplace_back();
+    condCache_.emplace_back(static_cast<size_t>(layout_.conditionCount()), 0);
+    condDirty_.emplace_back(layout_.conditionCount());
   }
   dispatchCycles_.assign(static_cast<size_t>(arch_.numTeps), 0);
   dispatchInstrs_.assign(static_cast<size_t>(arch_.numTeps), 0);
@@ -76,6 +96,37 @@ void PscpMachine::setObsOptions(const obs::ObsOptions& options) {
 }
 
 PscpMachine::~PscpMachine() = default;
+
+// --------------------------------------------------- incremental CR upkeep
+
+void PscpMachine::applyActive(StateId s, bool active) {
+  if (active) {
+    if (!active_.insert(s).second) return;
+    activeBits_.set(static_cast<int>(s));
+  } else {
+    if (active_.erase(s) == 0) return;
+    activeBits_.reset(static_cast<int>(s));
+  }
+  if (s == chart_.root()) return;  // the root has no CR code
+  const auto [fieldIndex, code] = layout_.stateCode(s);
+  int& current = fieldCode_[static_cast<size_t>(fieldIndex)];
+  if (active)
+    current = code;
+  else if (current == code)
+    current = 0;
+  else
+    return;  // another member owns the field; its bits are already correct
+  const sla::StateField& field =
+      layout_.stateFields()[static_cast<size_t>(fieldIndex)];
+  const int base = layout_.stateBase() + field.baseBit;
+  for (int i = 0; i < field.width; ++i) cr_.set(base + i, ((current >> i) & 1) != 0);
+}
+
+void PscpMachine::setCrCondition(int index, bool value) {
+  PSCP_ASSERT(index >= 0 && index < static_cast<int>(crConditions_.size()));
+  crConditions_[static_cast<size_t>(index)] = value ? 1 : 0;
+  cr_.set(layout_.conditionBase() + index, value);
+}
 
 // ----------------------------------------------------------------- TepHost
 
@@ -122,10 +173,17 @@ void PscpMachine::writeReg(int index, uint32_t value) {
   for (auto& bank : regBanks_) bank[static_cast<size_t>(index)] = value;  // loader
 }
 
-uint32_t PscpMachine::readPort(int address) { return ports_[address]; }
+uint32_t PscpMachine::readPort(int address) {
+  PSCP_ASSERT(address >= 0);
+  if (address >= static_cast<int>(ports_.size())) return 0;
+  return ports_[static_cast<size_t>(address)];
+}
 
 void PscpMachine::writePort(int address, uint32_t value) {
-  ports_[address] = value;
+  PSCP_ASSERT(address >= 0);
+  if (address >= static_cast<int>(ports_.size()))
+    ports_.resize(static_cast<size_t>(address) + 1, 0);
+  ports_[static_cast<size_t>(address)] = value;
   const int64_t cycleIndex = configCycles_ > 0 ? configCycles_ - 1 : 0;
   portWrites_.push_back(PortWrite{address, value, cycleIndex, machineTimeNow_});
   if (obs_.sink != nullptr)
@@ -138,28 +196,30 @@ void PscpMachine::setCondition(int index, bool value) {
   // TEPs write their local condition cache; the write-back at routine end
   // moves it to the CR. Writes from outside any TEP hit the CR directly.
   if (currentTep_ >= 0) {
-    condCache_[static_cast<size_t>(currentTep_)][index] = value;
-    condDirty_[static_cast<size_t>(currentTep_)].insert(index);
+    PSCP_ASSERT(index >= 0 &&
+                index < static_cast<int>(condCache_[static_cast<size_t>(currentTep_)].size()));
+    condCache_[static_cast<size_t>(currentTep_)][static_cast<size_t>(index)] =
+        value ? 1 : 0;
+    condDirty_[static_cast<size_t>(currentTep_)].set(index);
     return;
   }
-  PSCP_ASSERT(index >= 0 && index < static_cast<int>(crConditions_.size()));
-  crConditions_[static_cast<size_t>(index)] = value;
+  setCrCondition(index, value);
 }
 
 bool PscpMachine::testCondition(int index) {
   if (currentTep_ >= 0) {
-    auto& cache = condCache_[static_cast<size_t>(currentTep_)];
-    auto it = cache.find(index);
-    if (it != cache.end()) return it->second;
+    PSCP_ASSERT(index >= 0 &&
+                index < static_cast<int>(condCache_[static_cast<size_t>(currentTep_)].size()));
+    return condCache_[static_cast<size_t>(currentTep_)][static_cast<size_t>(index)] != 0;
   }
   PSCP_ASSERT(index >= 0 && index < static_cast<int>(crConditions_.size()));
-  return crConditions_[static_cast<size_t>(index)];
+  return crConditions_[static_cast<size_t>(index)] != 0;
 }
 
 bool PscpMachine::testState(int index) {
   // STST reads the state part of the CR, which holds the configuration the
   // cycle started with (updates are applied at cycle end).
-  return activeSnapshot_.count(static_cast<StateId>(index)) != 0;
+  return activeSnapshotBits_.test(index);
 }
 
 bool PscpMachine::acquireExternalBus(int tepId) {
@@ -186,26 +246,42 @@ std::vector<std::string> PscpMachine::activeNames() const {
 }
 
 bool PscpMachine::conditionValue(const std::string& name) const {
-  return crConditions_[static_cast<size_t>(layout_.conditionBit(name))];
+  return crConditions_[static_cast<size_t>(layout_.conditionBit(name))] != 0;
 }
 
 void PscpMachine::setCondition(const std::string& name, bool value) {
-  crConditions_[static_cast<size_t>(layout_.conditionBit(name))] = value;
+  setCrCondition(layout_.conditionBit(name), value);
+}
+
+int PscpMachine::eventId(const std::string& eventName) const {
+  return layout_.eventBit(eventName);
+}
+
+int PscpMachine::portId(const std::string& portName) const {
+  const auto& ports = chart_.ports();
+  auto it = ports.find(portName);
+  if (it == ports.end()) fail("no port named '%s'", portName.c_str());
+  return it->second.address;
 }
 
 void PscpMachine::setInputPort(const std::string& portName, uint32_t value) {
-  const auto& ports = chart_.ports();
-  auto it = ports.find(portName);
-  if (it == ports.end()) fail("no port named '%s'", portName.c_str());
-  ports_[it->second.address] = value;
+  setInputPort(portId(portName), value);
+}
+
+void PscpMachine::setInputPort(int portAddress, uint32_t value) {
+  PSCP_ASSERT(portAddress >= 0);
+  if (portAddress >= static_cast<int>(ports_.size()))
+    ports_.resize(static_cast<size_t>(portAddress) + 1, 0);
+  ports_[static_cast<size_t>(portAddress)] = value;
 }
 
 uint32_t PscpMachine::outputPort(const std::string& portName) const {
-  const auto& ports = chart_.ports();
-  auto it = ports.find(portName);
-  if (it == ports.end()) fail("no port named '%s'", portName.c_str());
-  auto vit = ports_.find(it->second.address);
-  return vit == ports_.end() ? 0 : vit->second;
+  return outputPort(portId(portName));
+}
+
+uint32_t PscpMachine::outputPort(int portAddress) const {
+  if (portAddress < 0 || portAddress >= static_cast<int>(ports_.size())) return 0;
+  return ports_[static_cast<size_t>(portAddress)];
 }
 
 int64_t PscpMachine::globalValue(const std::string& name) const {
@@ -255,58 +331,45 @@ void PscpMachine::addTimer(const std::string& event, int64_t period) {
   timers_.push_back(t);
 }
 
-std::vector<bool> PscpMachine::buildCrBits(const std::set<int>& eventBits) const {
-  std::vector<bool> bits(static_cast<size_t>(layout_.totalBits()), false);
-  for (int b : eventBits) bits[static_cast<size_t>(b)] = true;
-  for (int c = 0; c < layout_.conditionCount(); ++c)
-    bits[static_cast<size_t>(layout_.conditionBase() + c)] =
-        crConditions_[static_cast<size_t>(c)];
-  for (const sla::StateField& field : layout_.stateFields()) {
-    int code = 0;
-    for (size_t i = 0; i < field.states.size(); ++i)
-      if (active_.count(field.states[i]) != 0) code = static_cast<int>(i) + 1;
-    for (int i = 0; i < field.width; ++i)
-      bits[static_cast<size_t>(layout_.stateBase() + field.baseBit + i)] =
-          ((code >> i) & 1) != 0;
-  }
-  return bits;
-}
-
 std::vector<TransitionId> PscpMachine::resolveConflicts(
     const std::vector<TransitionId>& selected) const {
   // Identical policy to statechart::Interpreter::step — outer scope first,
-  // then declaration order; drop transitions whose exit sets overlap.
+  // then declaration order; drop transitions whose exit sets overlap. The
+  // exit sets are the bitsets precomputed at construction, so this runs
+  // without allocating per transition.
   std::vector<TransitionId> order = selected;
   std::stable_sort(order.begin(), order.end(), [&](TransitionId a, TransitionId b) {
-    const int da = chart_.depth(structure_.scopeOf(a));
-    const int db = chart_.depth(structure_.scopeOf(b));
+    const int da = scopeDepth_[static_cast<size_t>(a)];
+    const int db = scopeDepth_[static_cast<size_t>(b)];
     if (da != db) return da < db;
     return a < b;
   });
   std::vector<TransitionId> chosen;
-  std::set<StateId> exited;
+  BitVec exited(static_cast<int>(chart_.stateCount()));
   for (TransitionId t : order) {
     const statechart::Transition& tr = chart_.transition(t);
-    if (exited.count(tr.source) != 0) continue;
-    std::set<StateId> exits = structure_.exitSet(t);
-    bool conflict = false;
-    for (StateId s : exits)
-      if (exited.count(s) != 0) {
-        conflict = true;
-        break;
-      }
-    if (conflict) continue;
-    for (StateId s : exits)
-      if (active_.count(s) != 0) exited.insert(s);
+    if (exited.test(static_cast<int>(tr.source))) continue;
+    const BitVec& exits = exitSets_[static_cast<size_t>(t)];
+    if (exits.intersects(exited)) continue;
+    exited.orWithAnd(exits, activeBits_);  // mark only actually-active exits
     chosen.push_back(t);
   }
   return chosen;
 }
 
-CycleStats PscpMachine::configurationCycle(const std::set<std::string>& externalEvents) {
+CycleStats PscpMachine::configurationCycle(
+    const std::set<std::string>& externalEvents) {
+  std::vector<int> ids;
+  ids.reserve(externalEvents.size());
+  for (const std::string& name : externalEvents) ids.push_back(layout_.eventBit(name));
+  return configurationCycleIds(ids);
+}
+
+CycleStats PscpMachine::configurationCycleIds(
+    const std::vector<int>& externalEventIds) {
   ++configCycles_;
   CycleStats stats;
-  activeSnapshot_ = active_;
+  activeSnapshotBits_ = activeBits_;
   busStallsThisCycle_ = 0;
 
   const int64_t cycleIndex = configCycles_ - 1;  // 0-based, for observers
@@ -316,26 +379,28 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
   if (sink != nullptr) sink->onCycleBegin(cycleIndex, base);
 
   // 1. Sample events into the CR: external + those the TEPs raised last
-  //    cycle + matured hardware timers. Events live for exactly this cycle.
-  std::set<int> eventBits = pendingInternalEvents_;
+  //    cycle + matured hardware timers. Events live for exactly this cycle
+  //    (their CR bits are cleared again right after the SLA decode).
+  std::vector<int> eventBits(pendingInternalEvents_.begin(),
+                             pendingInternalEvents_.end());
   pendingInternalEvents_.clear();
-  for (const std::string& name : externalEvents)
-    eventBits.insert(layout_.eventBit(name));
+  eventBits.insert(eventBits.end(), externalEventIds.begin(), externalEventIds.end());
   for (Timer& t : timers_) {
     if (totalCycles_ >= t.nextFire) {
-      eventBits.insert(t.eventBit);
+      eventBits.push_back(t.eventBit);
       if (sink != nullptr) sink->onTimerFire(t.eventBit, base);
       // Catch up without bursting: one event per cycle boundary.
       while (t.nextFire <= totalCycles_) t.nextFire += t.period;
     }
   }
+  for (int b : eventBits) cr_.set(b);
 
   // 2. SLA selects enabled transitions; scheduler resolves conflicts.
-  const std::vector<bool> cr = buildCrBits(eventBits);
-  if (sink != nullptr) sink->onCrSampled(cr, base);
+  if (sink != nullptr) sink->onCrSampled(cr_, base);
   sla::SelectStats selectStats;
   const std::vector<TransitionId> selected =
-      sla_.select(cr, sink != nullptr ? &selectStats : nullptr);
+      sla_.select(cr_, sink != nullptr ? &selectStats : nullptr);
+  for (int b : eventBits) cr_.reset(b);  // events are consumed by the decode
   const std::vector<TransitionId> chosen = resolveConflicts(selected);
   if (sink != nullptr) {
     std::vector<int> selectedIds(selected.begin(), selected.end());
@@ -352,12 +417,10 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
     return stats;
   }
 
-  // 3. Fill the TEP condition caches from the CR.
+  // 3. Fill the TEP condition caches from the CR (flat byte copy).
   for (size_t i = 0; i < teps_.size(); ++i) {
-    condCache_[i].clear();
+    condCache_[i] = crConditions_;
     condDirty_[i].clear();
-    for (int c = 0; c < layout_.conditionCount(); ++c)
-      condCache_[i][c] = crConditions_[static_cast<size_t>(c)];
   }
 
   // 4. Dispatch from the Transition Address Table round-robin; execute the
@@ -431,14 +494,14 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
         // its exclusion group, then hand it the next transition.
         const TransitionId done = running[i];
         running[i] = -1;
-        if (sink != nullptr && !condDirty_[i].empty()) {
+        if (sink != nullptr && condDirty_[i].any()) {
           std::vector<std::pair<int, bool>> writes;
-          writes.reserve(condDirty_[i].size());
-          for (int c : condDirty_[i]) writes.emplace_back(c, condCache_[i][c]);
+          condDirty_[i].forEachSetBit(
+              [&](int c) { writes.emplace_back(c, condCache_[i][static_cast<size_t>(c)] != 0); });
           sink->onCondWriteBack(static_cast<int>(i), writes, base + cycles);
         }
-        for (int c : condDirty_[i])
-          crConditions_[static_cast<size_t>(c)] = condCache_[i][c];
+        condDirty_[i].forEachSetBit(
+            [&](int c) { setCrCondition(c, condCache_[i][static_cast<size_t>(c)] != 0); });
         condDirty_[i].clear();
         const statechart::Transition& tr = chart_.transition(done);
         if (!tr.exclusionGroup.empty()) groupsInFlight.erase(tr.exclusionGroup);
@@ -461,12 +524,13 @@ CycleStats PscpMachine::configurationCycle(const std::set<std::string>& external
   }
 
   // 5. Configuration update: apply exits/enters of all fired transitions.
-  for (TransitionId t : chosen) {
-    for (StateId s : structure_.exitSet(t)) active_.erase(s);
-  }
-  for (TransitionId t : chosen) {
-    for (StateId s : structure_.enterSet(t)) active_.insert(s);
-  }
+  //    applyActive keeps the packed CR state fields in sync incrementally.
+  for (TransitionId t : chosen)
+    exitSets_[static_cast<size_t>(t)].forEachSetBit(
+        [&](int s) { applyActive(static_cast<StateId>(s), false); });
+  for (TransitionId t : chosen)
+    enterSets_[static_cast<size_t>(t)].forEachSetBit(
+        [&](int s) { applyActive(static_cast<StateId>(s), true); });
 
   stats.cycles = cycles;
   stats.busStallCycles = busStallsThisCycle_;

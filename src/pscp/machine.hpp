@@ -21,6 +21,16 @@
 // behaviour (configurations, conditions, raised events, fired transitions)
 // must agree with the specification-level statechart::Interpreter +
 // actionlang::Interp pair; property tests enforce this.
+//
+// Hot-path organisation: the CR is a packed BitVec maintained
+// *incrementally* — condition writes, configuration updates and event
+// sampling each touch only their own bits, so a configuration cycle never
+// rebuilds the register from the active-state set. Exit/enter sets and
+// scope depths are precomputed per transition as bitsets at construction
+// (resolveConflicts allocates nothing per call), condition caches are flat
+// byte arrays with dirty bitmasks, and the string-keyed API has interned
+// integer-ID twins (eventId()/portId() + the int overloads) for callers
+// that drive millions of cycles.
 #pragma once
 
 #include <map>
@@ -33,6 +43,7 @@
 #include "obs/sink.hpp"
 #include "sla/sla.hpp"
 #include "statechart/semantics.hpp"
+#include "support/bits.hpp"
 #include "tep/machine.hpp"
 
 namespace pscp::machine {
@@ -64,6 +75,12 @@ class PscpMachine : public tep::TepHost {
   /// Run one configuration cycle with the given external events.
   CycleStats configurationCycle(const std::set<std::string>& externalEvents);
 
+  /// Interned fast path: external events given as CR event bits (from
+  /// eventId()). The string overload resolves names and delegates here;
+  /// environment models that fire the same events millions of times should
+  /// intern once and call this.
+  CycleStats configurationCycleIds(const std::vector<int>& externalEventIds);
+
   /// Hardware timer (paper Sec. 6 future work): raises `event` every
   /// `period` reference-clock cycles of machine time. Timer events are
   /// sampled into the CR at the next configuration-cycle boundary, like
@@ -84,9 +101,18 @@ class PscpMachine : public tep::TepHost {
   [[nodiscard]] int64_t totalBusStalls() const { return totalBusStalls_; }
   [[nodiscard]] int64_t configurationCycles() const { return configCycles_; }
 
-  /// Environment-facing ports (by chart port name).
+  // ---------------------------------------------------------- interned IDs
+  /// CR event bit of a declared event (stable for the machine's lifetime).
+  [[nodiscard]] int eventId(const std::string& eventName) const;
+  /// Bus address of a declared port.
+  [[nodiscard]] int portId(const std::string& portName) const;
+
+  /// Environment-facing ports (by chart port name, or — fast path — by the
+  /// interned bus address from portId()).
   void setInputPort(const std::string& portName, uint32_t value);
+  void setInputPort(int portAddress, uint32_t value);
   [[nodiscard]] uint32_t outputPort(const std::string& portName) const;
+  [[nodiscard]] uint32_t outputPort(int portAddress) const;
   /// Ordered, timestamped port writes (configuration-cycle index + machine
   /// time per entry).
   [[nodiscard]] const std::vector<PortWrite>& portWrites() const {
@@ -132,7 +158,11 @@ class PscpMachine : public tep::TepHost {
   bool acquireExternalBus(int tepId) override;
 
  private:
-  [[nodiscard]] std::vector<bool> buildCrBits(const std::set<int>& eventBits) const;
+  /// Insert/remove `s` from the configuration, keeping active_, the packed
+  /// activity bitset and the CR state field incrementally in sync.
+  void applyActive(statechart::StateId s, bool active);
+  /// Write one condition bit to both the byte array and the packed CR.
+  void setCrCondition(int index, bool value);
   [[nodiscard]] std::vector<statechart::TransitionId> resolveConflicts(
       const std::vector<statechart::TransitionId>& selected) const;
 
@@ -155,9 +185,21 @@ class PscpMachine : public tep::TepHost {
   std::vector<Timer> timers_;
 
   std::set<statechart::StateId> active_;
-  std::set<statechart::StateId> activeSnapshot_;  ///< config at cycle start
-  std::vector<bool> crConditions_;
+  BitVec activeBits_;          ///< active_ as a bitset over StateIds
+  BitVec activeSnapshotBits_;  ///< config at cycle start (STST reads this)
+  /// The packed Configuration Register, maintained incrementally: event
+  /// bits live only between sampling and SLA selection; condition bits
+  /// track crConditions_; state fields track active_.
+  BitVec cr_;
+  std::vector<int> fieldCode_;         ///< current code per state field
+  std::vector<uint8_t> crConditions_;  ///< condition part, byte per bit
   std::set<int> pendingInternalEvents_;
+
+  // Precomputed per transition at construction (resolveConflicts and the
+  // configuration update are allocation-free per cycle).
+  std::vector<BitVec> exitSets_;   ///< states exited when t fires
+  std::vector<BitVec> enterSets_;  ///< states entered when t fires
+  std::vector<int> scopeDepth_;    ///< depth of the transition's scope
 
   // Memory / registers / ports. Internal RAM is the TEP-local memory of
   // Fig. 1 — one bank per TEP (function frames and expression temporaries
@@ -168,13 +210,15 @@ class PscpMachine : public tep::TepHost {
   /// Register files are per TEP too ("units with or without associated
   /// register files"): the compiler's register windows hold call frames.
   std::vector<std::vector<uint32_t>> regBanks_;
-  std::map<int, uint32_t> ports_;
+  std::vector<uint32_t> ports_;  ///< flat by bus address, grown on demand
   std::vector<PortWrite> portWrites_;
 
-  // TEP cores and their condition caches.
+  // TEP cores and their condition caches: flat byte arrays (index = CR
+  // condition index) with a dirty bitmask per TEP; write-back walks the
+  // mask in ascending index order.
   std::vector<std::unique_ptr<tep::Tep>> teps_;
-  std::vector<std::map<int, bool>> condCache_;   ///< full copy per TEP
-  std::vector<std::set<int>> condDirty_;         ///< written entries
+  std::vector<std::vector<uint8_t>> condCache_;  ///< full copy per TEP
+  std::vector<BitVec> condDirty_;                ///< written entries
   int currentTep_ = -1;
 
   // External-bus arbitration (single owner per machine cycle).

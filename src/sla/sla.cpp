@@ -18,6 +18,23 @@ bool ProductTerm::matches(const std::vector<bool>& crBits) const {
   });
 }
 
+void ProductTerm::compileMasks(int totalBits) {
+  masks.clear();
+  for (const Literal& lit : literals) {
+    PSCP_ASSERT(lit.bit >= 0 && lit.bit < totalBits);
+    const uint32_t word = static_cast<uint32_t>(lit.bit) >> 6;
+    const uint64_t bit = uint64_t{1} << (static_cast<uint32_t>(lit.bit) & 63);
+    auto it = std::find_if(masks.begin(), masks.end(),
+                           [&](const WordMask& m) { return m.word == word; });
+    if (it == masks.end()) {
+      masks.push_back(WordMask{word, 0, 0});
+      it = masks.end() - 1;
+    }
+    it->care |= bit;
+    if (lit.polarity) it->value |= bit;
+  }
+}
+
 namespace {
 
 constexpr size_t kMaxTermsPerTransition = 256;
@@ -96,6 +113,10 @@ Sop expand(const BoolExpr& e, bool negated,
 
 Sla::Sla(const Chart& chart, const CrLayout& layout) : chart_(chart), layout_(layout) {
   terms_.resize(chart.transitions().size());
+  gates_.resize(chart.transitions().size());
+  activityIndex_.resize(layout_.stateFields().size());
+  for (size_t f = 0; f < layout_.stateFields().size(); ++f)
+    activityIndex_[f].resize(layout_.stateFields()[f].states.size() + 1);
   for (const statechart::Transition& t : chart.transitions()) {
     // Source-state activity: the state's field must equal its code.
     const auto [fieldIndex, code] = layout_.stateCode(t.source);
@@ -115,20 +136,81 @@ Sla::Sla(const Chart& chart, const CrLayout& layout) : chart_(chart), layout_(la
 
     auto& out = terms_[static_cast<size_t>(t.id)];
     out.reserve(sop.size());
-    for (auto& termLits : sop) out.push_back(ProductTerm{std::move(termLits)});
+    for (auto& termLits : sop) out.push_back(ProductTerm{std::move(termLits), {}});
+    for (ProductTerm& pt : out) pt.compileMasks(layout_.totalBits());
+
+    // Activity index entry. A transition with no terms (statically false
+    // guard) can never fire and is left out of the index entirely.
+    Gate& gate = gates_[static_cast<size_t>(t.id)];
+    gate.field = fieldIndex;
+    gate.code = code;
+    if (!out.empty()) {
+      // Trigger-event gate: an event bit required positive by *every*
+      // product term. The SLA only needs to test such transitions when
+      // that event was sampled this cycle.
+      int required = -1;
+      for (const Literal& lit : out.front().literals)
+        if (lit.polarity && lit.bit < layout_.eventCount()) {
+          const bool inAll = std::all_of(
+              out.begin(), out.end(), [&](const ProductTerm& pt) {
+                return std::find(pt.literals.begin(), pt.literals.end(), lit) !=
+                       pt.literals.end();
+              });
+          if (inAll) {
+            required = lit.bit;
+            break;
+          }
+        }
+      gate.requiredEventBit = required;
+      activityIndex_[static_cast<size_t>(fieldIndex)][static_cast<size_t>(code)]
+          .push_back(t.id);
+    }
   }
+  totalTerms_ = productTermCount();
+  totalLiterals_ = literalCount();
+}
+
+std::vector<TransitionId> Sla::select(const BitVec& cr, SelectStats* stats) const {
+  // Stats model the hardware PLA, which exercises its full AND plane on
+  // every decode — charged once per select, hoisted off the scan path so
+  // observation cannot perturb what it measures.
+  if (stats != nullptr) {
+    stats->termsEvaluated += totalTerms_;
+    stats->literalsEvaluated += totalLiterals_;
+  }
+  std::vector<TransitionId> out;
+  const int stateBase = layout_.stateBase();
+  for (size_t f = 0; f < activityIndex_.size(); ++f) {
+    const StateField& field = layout_.stateFields()[f];
+    const uint64_t code = cr.extract(stateBase + field.baseBit, field.width);
+    if (code >= activityIndex_[f].size()) continue;  // code beyond any member
+    for (const TransitionId t : activityIndex_[f][static_cast<size_t>(code)]) {
+      const Gate& gate = gates_[static_cast<size_t>(t)];
+      if (gate.requiredEventBit >= 0 && !cr.test(gate.requiredEventBit)) continue;
+      for (const ProductTerm& pt : terms_[static_cast<size_t>(t)]) {
+        if (pt.matchesPacked(cr)) {
+          out.push_back(t);
+          break;
+        }
+      }
+    }
+  }
+  // Buckets interleave by field; selection order is by transition id.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<TransitionId> Sla::select(const std::vector<bool>& crBits,
                                       SelectStats* stats) const {
+  return select(BitVec::fromBools(crBits), stats);
+}
+
+std::vector<TransitionId> Sla::selectReference(
+    const std::vector<bool>& crBits) const {
   std::vector<TransitionId> out;
   for (size_t t = 0; t < terms_.size(); ++t) {
     bool hit = false;
     for (const ProductTerm& pt : terms_[t]) {
-      if (stats != nullptr) {
-        ++stats->termsEvaluated;
-        stats->literalsEvaluated += static_cast<int64_t>(pt.literals.size());
-      }
       if (pt.matches(crBits)) {
         hit = true;
         break;

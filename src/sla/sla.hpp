@@ -8,6 +8,16 @@
 // expression over event bits) AND (guard expression over condition bits).
 // The boolean expressions are expanded to sum-of-products over CR
 // literals; product-term and literal counts feed the area model.
+//
+// Mask compilation: the hardware PLA decodes the whole CR in a single
+// array access, so the software model must not be literal-by-literal. At
+// construction each product term is compiled to per-word (careMask,
+// valueMask) pairs over the packed CR (support/bits BitVec) — a term
+// matches when (word & care) == value for every referenced word — and the
+// terms are bucketed by source-state field code and trigger-event bit, so
+// select() only visits transitions that can possibly fire in the current
+// configuration. The literal form is retained: the BLIF/VHDL emitters,
+// the area model, and the retained reference selector all read it.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,7 @@
 #include "hwlib/arch_config.hpp"
 #include "sla/encoding.hpp"
 #include "statechart/chart.hpp"
+#include "support/bits.hpp"
 
 namespace pscp::sla {
 
@@ -29,19 +40,42 @@ struct Literal {
   [[nodiscard]] bool operator==(const Literal&) const = default;
 };
 
-/// AND of literals.
+/// AND of literals. `masks` is the packed compilation of `literals` (one
+/// entry per CR word the term constrains), built by compileMasks().
 struct ProductTerm {
-  std::vector<Literal> literals;
+  struct WordMask {
+    uint32_t word = 0;    ///< CR word index
+    uint64_t care = 0;    ///< bits this term constrains in that word
+    uint64_t value = 0;   ///< required values of the constrained bits
+  };
 
+  std::vector<Literal> literals;
+  std::vector<WordMask> masks;
+
+  /// Reference (literal-by-literal) evaluation — the pre-mask-compilation
+  /// semantics, retained as the oracle for the packed path.
   [[nodiscard]] bool matches(const std::vector<bool>& crBits) const;
+
+  /// Packed evaluation: a handful of AND/compare word ops.
+  [[nodiscard]] bool matchesPacked(const BitVec& cr) const {
+    for (const WordMask& m : masks)
+      if ((cr.word(m.word) & m.care) != m.value) return false;
+    return true;
+  }
+
+  /// Build `masks` from `literals` for a CR of `totalBits` bits.
+  void compileMasks(int totalBits);
 };
 
-/// Per-selection evaluation statistics (observability): how much of the
-/// array a CR decode exercised. Filled by select() when requested; the
-/// selection result is identical with or without stats.
+/// Per-selection evaluation statistics (observability): the work the
+/// hardware PLA performs for one CR decode. The PLA evaluates its entire
+/// AND plane on every access, so these count *all* product terms and
+/// literals of the array per select() call — not the subset the pruned
+/// software path happens to visit. The selection result is identical with
+/// or without stats.
 struct SelectStats {
-  int64_t termsEvaluated = 0;     ///< product terms tested
-  int64_t literalsEvaluated = 0;  ///< literals of those terms
+  int64_t termsEvaluated = 0;     ///< product terms of the full array
+  int64_t literalsEvaluated = 0;  ///< literals of the full array
 };
 
 /// The synthesized logic array.
@@ -50,9 +84,22 @@ class Sla {
   Sla(const statechart::Chart& chart, const CrLayout& layout);
 
   /// Enabled transitions for a CR value (no conflict resolution — that is
-  /// the scheduler's job). Pass `stats` to collect evaluation counts.
+  /// the scheduler's job), ascending by transition id. Pass `stats` to
+  /// collect the full-PLA decode counts. Packed hot path: consults the
+  /// activity index (source-state field code, trigger-event bit) and
+  /// evaluates mask-compiled terms word-parallel.
+  [[nodiscard]] std::vector<statechart::TransitionId> select(
+      const BitVec& cr, SelectStats* stats = nullptr) const;
+
+  /// Convenience overload for callers still holding a std::vector<bool>.
   [[nodiscard]] std::vector<statechart::TransitionId> select(
       const std::vector<bool>& crBits, SelectStats* stats = nullptr) const;
+
+  /// The retained literal-by-literal selector (pre-packing semantics):
+  /// visits every transition and every product term until a hit. Oracle
+  /// for the randomized-CR property test and baseline for the microbench.
+  [[nodiscard]] std::vector<statechart::TransitionId> selectReference(
+      const std::vector<bool>& crBits) const;
 
   [[nodiscard]] int productTermCount() const;
   [[nodiscard]] int literalCount() const;
@@ -72,10 +119,25 @@ class Sla {
       const statechart::Chart& chart) const;
 
  private:
+  /// Dispatch gate of one transition in the activity index.
+  struct Gate {
+    int field = -1;            ///< source-state exclusivity field
+    int code = 0;              ///< required field code (source active)
+    int requiredEventBit = -1; ///< event bit positive in every term, or -1
+  };
+
   const statechart::Chart& chart_;
   CrLayout layout_;
   /// terms_[t] = product terms whose OR is transition t's select signal.
   std::vector<std::vector<ProductTerm>> terms_;
+
+  // Activity index: activityIndex_[field][code] lists the transitions whose
+  // source state encodes as `code` in `field` — the only transitions a CR
+  // holding that code can select.
+  std::vector<Gate> gates_;
+  std::vector<std::vector<std::vector<statechart::TransitionId>>> activityIndex_;
+  int totalTerms_ = 0;     ///< cached productTermCount()
+  int totalLiterals_ = 0;  ///< cached literalCount()
 };
 
 /// Build the compiler-facing name binding from a chart + CR layout:

@@ -1,0 +1,129 @@
+// Property tests for the mask-compiled SLA select path: the packed
+// selector (per-word careMask/valueMask terms + activity index) must
+// agree with the retained literal-by-literal reference selector on
+// *arbitrary* CR bit patterns — including ones no legal machine run
+// produces (several events at once, out-of-range state-field codes,
+// all-zero state part).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sla/sla.hpp"
+#include "statechart/parser.hpp"
+#include "support/text.hpp"
+#include "workloads/smd.hpp"
+
+namespace pscp::sla {
+namespace {
+
+using statechart::Chart;
+using statechart::parseChart;
+
+const char* kDemo = R"chart(
+chart Demo;
+event GO; event STOP; event TICK;
+condition READY;
+
+orstate Top {
+  contains IdleS, Work;
+  default IdleS;
+}
+basicstate IdleS {
+  transition { target Work; label "GO [READY]"; }
+}
+andstate Work {
+  transition { target IdleS; label "STOP or not (GO or TICK)"; }
+  orstate L { default L1;
+    basicstate L1 { transition { target L2; label "TICK"; } }
+    basicstate L2 { }
+  }
+  orstate R { default R1;
+    basicstate R1 { transition { target R2; label "TICK [not R_DONE]"; } }
+    basicstate R2 { }
+  }
+}
+condition R_DONE;
+)chart";
+
+/// Synthetic chart with `n` basic states in one OR ring — one transition
+/// per state, mixed trigger/guard shapes — wide enough (>= 64 transitions)
+/// that the CR state part spans word boundaries and the activity index has
+/// real pruning work to do.
+std::string wideChartText(int n) {
+  std::string text = "chart Wide;\n";
+  for (int e = 0; e < 8; ++e) text += strfmt("event E%d;\n", e);
+  for (int c = 0; c < 4; ++c) text += strfmt("condition C%d;\n", c);
+  text += "orstate Top {\n  contains ";
+  for (int i = 0; i < n; ++i) text += strfmt(i == 0 ? "S%d" : ", S%d", i);
+  text += ";\n  default S0;\n}\n";
+  for (int i = 0; i < n; ++i) {
+    std::string label;
+    switch (i % 4) {
+      case 0: label = strfmt("E%d [C%d]", i % 8, i % 4); break;
+      case 1: label = strfmt("E%d or E%d", i % 8, (i + 3) % 8); break;
+      case 2: label = strfmt("E%d [not C%d]", i % 8, i % 4); break;
+      default: label = strfmt("not E%d [C%d and not C%d]", i % 8, i % 4, (i + 1) % 4);
+    }
+    text += strfmt("basicstate S%d { transition { target S%d; label \"%s\"; } }\n",
+                   i, (i + 1) % n, label.c_str());
+  }
+  return text;
+}
+
+/// 10k seeded random CR vectors: packed select == reference select, and
+/// stats always charge the full PLA (every term, every literal).
+void checkRandomizedAgreement(const Chart& chart, uint32_t seed) {
+  const CrLayout layout(chart);
+  const Sla sla(chart, layout);
+  std::mt19937 rng(seed);
+  const int bits = layout.totalBits();
+  std::vector<bool> cr(static_cast<size_t>(bits), false);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    // Vary the fill density so sparse and dense CRs both get coverage.
+    const uint32_t density = 1 + rng() % 7;  // P(bit) = density/8
+    for (int b = 0; b < bits; ++b) cr[static_cast<size_t>(b)] = rng() % 8 < density;
+
+    const auto reference = sla.selectReference(cr);
+    SelectStats stats;
+    const auto packed = sla.select(BitVec::fromBools(cr), &stats);
+    ASSERT_EQ(packed, reference) << "iteration " << iter;
+    // The vector<bool> convenience overload is the same path.
+    EXPECT_EQ(sla.select(cr), reference);
+    // Full-PLA accounting: the hardware array decodes every term per access.
+    EXPECT_EQ(stats.termsEvaluated, sla.productTermCount());
+    EXPECT_EQ(stats.literalsEvaluated, sla.literalCount());
+  }
+}
+
+TEST(SlaPacked, RandomizedCrMatchesReferenceOnDemoChart) {
+  checkRandomizedAgreement(parseChart(kDemo), /*seed=*/0xC0FFEE);
+}
+
+TEST(SlaPacked, RandomizedCrMatchesReferenceOnWideChart) {
+  const Chart chart = parseChart(wideChartText(72));
+  ASSERT_GE(chart.transitions().size(), 64u);
+  checkRandomizedAgreement(chart, /*seed=*/0xD06F00D);
+}
+
+TEST(SlaPacked, RandomizedCrMatchesReferenceOnSmdChart) {
+  checkRandomizedAgreement(parseChart(workloads::smdChartText()), /*seed=*/42);
+}
+
+TEST(SlaPacked, MaskCompilationFoldsLiteralsPerWord) {
+  ProductTerm term;
+  // Literals in words 0 and 1 of a 70-bit CR.
+  term.literals = {{3, true}, {5, false}, {64, true}, {69, false}};
+  term.compileMasks(70);
+  ASSERT_EQ(term.masks.size(), 2u);
+  EXPECT_EQ(term.masks[0].word, 0u);
+  EXPECT_EQ(term.masks[0].care, (uint64_t{1} << 3) | (uint64_t{1} << 5));
+  EXPECT_EQ(term.masks[0].value, uint64_t{1} << 3);
+  EXPECT_EQ(term.masks[1].word, 1u);
+  EXPECT_EQ(term.masks[1].care, (uint64_t{1} << 0) | (uint64_t{1} << 5));
+  EXPECT_EQ(term.masks[1].value, uint64_t{1} << 0);
+}
+
+}  // namespace
+}  // namespace pscp::sla

@@ -28,6 +28,67 @@ TEST(Bits, BitsFor) {
   EXPECT_EQ(bitsFor(257), 9);
 }
 
+TEST(BitVec, SetTestResetAcrossWordBoundary) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130);
+  EXPECT_EQ(v.wordCount(), 3u);
+  EXPECT_TRUE(v.none());
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.test(0) && v.test(63) && v.test(64) && v.test(129));
+  EXPECT_FALSE(v.test(1) || v.test(65) || v.test(128));
+  EXPECT_TRUE(v.any());
+  v.set(63, false);
+  EXPECT_FALSE(v.test(63));
+  v.reset(129);
+  EXPECT_FALSE(v.test(129));
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ExtractReadsFieldsAcrossWords) {
+  BitVec v(128);
+  // Place 0b1011 at bit 62 — straddles the word 0 / word 1 boundary.
+  v.set(62);
+  v.set(63);
+  v.set(65);
+  EXPECT_EQ(v.extract(62, 4), 0b1011u);
+  EXPECT_EQ(v.extract(0, 8), 0u);
+  EXPECT_EQ(v.extract(62, 1), 1u);
+}
+
+TEST(BitVec, ForEachSetBitAscending) {
+  BitVec v(200);
+  for (int b : {5, 63, 64, 127, 128, 199}) v.set(b);
+  std::vector<int> seen;
+  v.forEachSetBit([&](int b) { seen.push_back(b); });
+  EXPECT_EQ(seen, (std::vector<int>{5, 63, 64, 127, 128, 199}));
+}
+
+TEST(BitVec, IntersectsAndOrWithAnd) {
+  BitVec a(70), b(70), acc(70);
+  a.set(3);
+  a.set(69);
+  b.set(69);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(acc.intersects(a));
+  acc.orWithAnd(a, b);  // acc |= a & b
+  EXPECT_TRUE(acc.test(69));
+  EXPECT_FALSE(acc.test(3));
+}
+
+TEST(BitVec, BoolsRoundTripAndEquality) {
+  const std::vector<bool> bools = {true, false, true, true, false};
+  const BitVec v = BitVec::fromBools(bools);
+  EXPECT_EQ(v.toBools(), bools);
+  EXPECT_EQ(v, BitVec::fromBools(bools));
+  BitVec w = v;
+  w.set(1);
+  EXPECT_FALSE(v == w);
+}
+
 TEST(Word, RoundTrip) {
   Word w(0x2B, 6);
   EXPECT_EQ(w.binary(), "101011");
