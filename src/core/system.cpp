@@ -28,6 +28,13 @@ void ReferenceSystem::attachObserver(obs::ObsSink* sink) {
     meta.portNames.emplace_back(port.address, name);
   for (statechart::StateId s : chart_.active())
     meta.initialActive.push_back(static_cast<int>(s));
+  meta.stateParent.resize(chartModel_.states().size(), -1);
+  for (const statechart::State& s : chartModel_.states())
+    meta.stateParent[static_cast<size_t>(s.id)] = static_cast<int>(s.parent);
+  meta.transitionSource.resize(chartModel_.transitions().size(), -1);
+  for (const statechart::Transition& t : chartModel_.transitions())
+    meta.transitionSource[static_cast<size_t>(t.id)] = static_cast<int>(t.source);
+  // No scheduler cost model at specification level: charges stay 0.
   sink_->onAttach(meta);
 }
 

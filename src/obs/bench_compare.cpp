@@ -1,0 +1,130 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <limits>
+#include <map>
+
+#include "support/diag.hpp"
+#include "support/text.hpp"
+
+namespace pscp::obs {
+
+namespace {
+
+bool containsAny(const std::string& haystack,
+                 std::initializer_list<const char*> needles) {
+  for (const char* n : needles)
+    if (haystack.find(n) != std::string::npos) return true;
+  return false;
+}
+
+const char* directionName(MetricDirection d) {
+  switch (d) {
+    case MetricDirection::kHigherIsBetter: return "higher";
+    case MetricDirection::kLowerIsBetter: return "lower";
+    case MetricDirection::kTwoSided: return "exact";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricDirection metricDirection(const std::string& path) {
+  const std::string p = toLower(path);
+  // Higher-is-better wins ties ("speedup_cycles" is still a speedup).
+  if (containsAny(p, {"speedup", "throughput", "util", "ops_per", "ipc"}))
+    return MetricDirection::kHigherIsBetter;
+  // "_ns"/"ns_per", not bare "ns": "transitions" is a structural count.
+  if (containsAny(p, {"_ns", "ns_per", "cycles", "stall", "wait", "latency",
+                      "time", "depth", "misses"}))
+    return MetricDirection::kLowerIsBetter;
+  return MetricDirection::kTwoSided;
+}
+
+BenchCompareResult compareBenchJson(const JsonValue& baseline,
+                                    const JsonValue& current,
+                                    const BenchCompareOptions& options) {
+  BenchCompareResult result;
+  std::map<std::string, double> base;
+  for (const auto& [path, value] : baseline.numericLeaves()) base[path] = value;
+  std::map<std::string, double> cur;
+  for (const auto& [path, value] : current.numericLeaves()) cur[path] = value;
+
+  for (const auto& [path, baseValue] : base) {
+    const auto it = cur.find(path);
+    if (it == cur.end()) {
+      result.notes.push_back(strfmt("baseline-only metric: %s", path.c_str()));
+      continue;
+    }
+    MetricDelta d;
+    d.path = path;
+    d.baseline = baseValue;
+    d.current = it->second;
+    d.direction = metricDirection(path);
+    d.tolerance = options.tolerance;
+    size_t bestMatch = 0;
+    for (const auto& [pattern, tol] : options.perMetricTolerance)
+      if (pattern.size() >= bestMatch && path.find(pattern) != std::string::npos) {
+        bestMatch = pattern.size();
+        d.tolerance = tol;
+      }
+    for (const std::string& pattern : options.ignore)
+      if (path.find(pattern) != std::string::npos) d.ignored = true;
+
+    if (baseValue == 0.0) {
+      // No relative scale: gate exactly (any change on a zero baseline is
+      // flagged for two-sided/lower-is-better metrics, a drop to nothing
+      // cannot happen, a rise from zero of a lower-is-better metric can).
+      d.change = d.current == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+      d.regression = !d.ignored && d.current != 0.0 &&
+                     d.direction != MetricDirection::kHigherIsBetter;
+    } else {
+      d.change = (d.current - d.baseline) / std::fabs(d.baseline);
+      switch (d.direction) {
+        case MetricDirection::kHigherIsBetter:
+          d.regression = d.change < -d.tolerance;
+          break;
+        case MetricDirection::kLowerIsBetter:
+          d.regression = d.change > d.tolerance;
+          break;
+        case MetricDirection::kTwoSided:
+          d.regression = std::fabs(d.change) > d.tolerance;
+          break;
+      }
+      d.regression = d.regression && !d.ignored;
+    }
+    if (d.regression) ++result.regressions;
+    result.deltas.push_back(std::move(d));
+  }
+
+  for (const auto& [path, value] : cur) {
+    (void)value;
+    if (base.find(path) == base.end())
+      result.notes.push_back(strfmt("new metric (not in baseline): %s", path.c_str()));
+  }
+  return result;
+}
+
+std::string BenchCompareResult::summaryText() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const MetricDelta& d : deltas) {
+    const bool infinite = std::isinf(d.change);
+    rows.push_back(
+        {d.path, strfmt("%.4g", d.baseline), strfmt("%.4g", d.current),
+         infinite ? std::string("inf") : strfmt("%+.1f%%", 100.0 * d.change),
+         directionName(d.direction), strfmt("%.0f%%", 100.0 * d.tolerance),
+         d.ignored ? "ignored" : (d.regression ? "REGRESSION" : "ok")});
+  }
+  std::string out = renderTable(
+      {"metric", "baseline", "current", "change", "dir", "tol", "verdict"}, rows);
+  for (const std::string& note : notes) out += "note: " + note + "\n";
+  out += regressions == 0
+             ? strfmt("PASS: %zu metrics compared, no regressions\n", deltas.size())
+             : strfmt("REGRESSION: %d of %zu metrics regressed\n", regressions,
+                      deltas.size());
+  return out;
+}
+
+}  // namespace pscp::obs

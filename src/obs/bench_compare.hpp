@@ -1,0 +1,69 @@
+// Bench-regression gating: compare two BENCH_*.json (or pscp-profile-v1)
+// documents metric by metric with per-metric tolerances.
+//
+// Both documents are flattened to their numeric leaves (dotted paths,
+// "[i]" for array elements). For every path present in both, the relative
+// change decides pass/regress under a direction heuristic:
+//   higher-is-better  path contains "speedup", "throughput", "util",
+//                     "ops_per" or "ipc" -> regression when current falls
+//                     below baseline * (1 - tolerance)
+//   lower-is-better   path contains "_ns", "ns_per", "cycles", "stall", "wait",
+//                     "latency", "time", "depth", "misses" -> regression
+//                     when current exceeds baseline * (1 + tolerance)
+//   two-sided         anything else (structural counts like transitions,
+//                     cr_bits) -> regression when |change| > tolerance
+// Paths matching an ignore pattern are reported but never gate; per-metric
+// tolerances (substring match, most specific = longest match wins) override
+// the global one. Paths present in only one document are notes, not
+// regressions, so adding a metric does not break the gate against an older
+// baseline.
+//
+// Used by tools/bench_compare (CI gates on its exit status) and unit-tested
+// against injected-regression fixtures in tests/profiler_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace pscp::obs {
+
+enum class MetricDirection { kHigherIsBetter, kLowerIsBetter, kTwoSided };
+
+/// Direction heuristic for a flattened metric path (see header comment).
+[[nodiscard]] MetricDirection metricDirection(const std::string& path);
+
+struct BenchCompareOptions {
+  double tolerance = 0.25;  ///< global relative tolerance
+  /// (path substring, tolerance) overrides; longest matching substring wins.
+  std::vector<std::pair<std::string, double>> perMetricTolerance;
+  /// Path substrings excluded from gating (still listed as notes).
+  std::vector<std::string> ignore;
+};
+
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change = 0.0;  ///< relative: (current - baseline) / |baseline|
+  double tolerance = 0.0;
+  MetricDirection direction = MetricDirection::kTwoSided;
+  bool ignored = false;
+  bool regression = false;
+};
+
+struct BenchCompareResult {
+  std::vector<MetricDelta> deltas;     ///< every shared numeric path
+  std::vector<std::string> notes;      ///< one-sided paths, ignores, zeros
+  int regressions = 0;
+
+  /// Aligned table of deltas plus a PASS/REGRESSION verdict line.
+  [[nodiscard]] std::string summaryText() const;
+};
+
+[[nodiscard]] BenchCompareResult compareBenchJson(const JsonValue& baseline,
+                                                  const JsonValue& current,
+                                                  const BenchCompareOptions& options);
+
+}  // namespace pscp::obs

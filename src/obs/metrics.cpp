@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/diag.hpp"
 #include "support/text.hpp"
@@ -24,6 +25,60 @@ void Histogram::record(int64_t value) {
   sum_ += value;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+}
+
+size_t Histogram::bucketOfRank(int64_t rank, int64_t* cumBefore) const {
+  PSCP_ASSERT(count_ > 0 && rank >= 1 && rank <= count_);
+  int64_t cum = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (cum + counts_[b] >= rank) {
+      *cumBefore = cum;
+      return b;
+    }
+    cum += counts_[b];
+  }
+  PSCP_ASSERT(false && "histogram bucket counts do not sum to count()");
+  return counts_.size() - 1;
+}
+
+Histogram::QuantileBound Histogram::bucketRange(size_t bucket) const {
+  // Samples in bucket b satisfy bounds[b-1] < v <= bounds[b] (overflow
+  // bucket: v > bounds.back()); clip to the recorded [min, max].
+  QuantileBound r;
+  r.lo = bucket == 0 ? min_ : std::max(min_, bounds_[bucket - 1] + 1);
+  r.hi = bucket < bounds_.size() ? std::min(max_, bounds_[bucket]) : max_;
+  if (r.lo > r.hi) r.lo = r.hi;  // single-sided clip on sparse data
+  return r;
+}
+
+Histogram::QuantileBound Histogram::quantileBounds(double q) const {
+  if (count_ == 0) return {0, 0};
+  if (q <= 0.0) return {min_, min_};
+  if (q >= 1.0) return {max_, max_};
+  const int64_t rank = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))), 1, count_);
+  int64_t cumBefore = 0;
+  return bucketRange(bucketOfRank(rank, &cumBefore));
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  const int64_t rank = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))), 1, count_);
+  int64_t cumBefore = 0;
+  const size_t bucket = bucketOfRank(rank, &cumBefore);
+  const QuantileBound range = bucketRange(bucket);
+  const int64_t inBucket = counts_[bucket];
+  // Rank-interpolate inside the bracket; midpoint convention for the rank
+  // position keeps the estimate inside [lo, hi] for every q.
+  const double fraction =
+      inBucket <= 1 ? 0.5
+                    : (static_cast<double>(rank - cumBefore) - 0.5) /
+                          static_cast<double>(inBucket);
+  return static_cast<double>(range.lo) +
+         fraction * static_cast<double>(range.hi - range.lo);
 }
 
 int64_t& MetricsRegistry::counter(const std::string& name) {

@@ -21,9 +21,13 @@ class Histogram {
   void record(int64_t value);
 
   [[nodiscard]] int64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] int64_t sum() const { return sum_; }
-  [[nodiscard]] int64_t min() const { return min_; }
-  [[nodiscard]] int64_t max() const { return max_; }
+  /// Smallest/largest recorded sample. On an empty histogram both report 0
+  /// by contract (check empty() to tell a genuine 0 minimum from "no
+  /// samples"); the internal sentinels never leak out.
+  [[nodiscard]] int64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] int64_t max() const { return count_ == 0 ? 0 : max_; }
   [[nodiscard]] double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
@@ -31,13 +35,32 @@ class Histogram {
   /// counts().size() == bounds().size() + 1 (last entry = overflow bucket).
   [[nodiscard]] const std::vector<int64_t>& counts() const { return counts_; }
 
+  /// Interval guaranteed to contain the exact nearest-rank q-quantile of
+  /// the recorded samples: the bucket holding the rank-ceil(q*count)
+  /// sample, clipped to [min, max]. hi - lo is the bucketing error bound
+  /// (0 on an empty histogram, and whenever the bucket is a single value).
+  struct QuantileBound {
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  [[nodiscard]] QuantileBound quantileBounds(double q) const;
+  /// Point estimate of the q-quantile: rank-interpolated within the
+  /// bracket from quantileBounds(q), so quantile(q) is always inside it.
+  /// Exact-vs-bucketed error is bounded by that bracket's width.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
+  /// Bucket index and cumulative count strictly before it for a 1-based
+  /// sample rank; requires count_ > 0.
+  [[nodiscard]] size_t bucketOfRank(int64_t rank, int64_t* cumBefore) const;
+  [[nodiscard]] QuantileBound bucketRange(size_t bucket) const;
+
   std::vector<int64_t> bounds_;
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  int64_t min_ = 0;  ///< valid only when count_ > 0
+  int64_t max_ = 0;  ///< valid only when count_ > 0
 };
 
 class MetricsRegistry {

@@ -1,0 +1,50 @@
+#include "obs/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pscp::obs {
+
+int64_t quantileOfSorted(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t rank = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(n))), 1, n);
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+void SampleQuantile::record(int64_t value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = samples_.size() <= 1;
+}
+
+const std::vector<int64_t>& SampleQuantile::sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+int64_t SampleQuantile::min() const {
+  return samples_.empty() ? 0 : sorted().front();
+}
+
+int64_t SampleQuantile::max() const {
+  return samples_.empty() ? 0 : sorted().back();
+}
+
+double SampleQuantile::mean() const {
+  return samples_.empty()
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(samples_.size());
+}
+
+int64_t SampleQuantile::quantile(double q) const {
+  return quantileOfSorted(sorted(), q);
+}
+
+}  // namespace pscp::obs

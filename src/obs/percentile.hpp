@@ -1,0 +1,52 @@
+// Exact percentile tracking for the profiler and the report layer.
+//
+// The bucketed Histogram in obs/metrics is O(1) memory but only brackets a
+// quantile to its bucket (Histogram::quantileBounds gives the error bound).
+// The profiler's reports quote p50/p90/p99 latencies as hard numbers, so
+// they come from SampleQuantile, which keeps every sample and computes the
+// exact nearest-rank quantile. Memory is one int64 per sample — fine for
+// tool runs (a million configuration cycles is 8 MB); long-running
+// deployments should stick to the bucketed histograms.
+//
+// quantileOfSorted() is the shared definition of "the q-quantile of a
+// sample set" (nearest-rank, 1-based ceil(q*n)); the unit tests use it as
+// the oracle the bucketed estimates are validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pscp::obs {
+
+/// Exact nearest-rank quantile of an ascending-sorted sample vector:
+/// the ceil(q*n)-th smallest sample (q <= 0 -> first, q >= 1 -> last).
+/// Returns 0 on an empty vector.
+[[nodiscard]] int64_t quantileOfSorted(const std::vector<int64_t>& sorted, double q);
+
+/// Accumulates samples and answers exact quantile queries. Queries sort
+/// lazily (amortised: repeated queries without new samples do not re-sort).
+class SampleQuantile {
+ public:
+  void record(int64_t value);
+
+  [[nodiscard]] int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] int64_t sum() const { return sum_; }
+  /// 0 on empty (same contract as Histogram::min/max).
+  [[nodiscard]] int64_t min() const;
+  [[nodiscard]] int64_t max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Exact nearest-rank q-quantile; 0 on empty.
+  [[nodiscard]] int64_t quantile(double q) const;
+
+  /// The samples in ascending order (sorts on first access after a record).
+  [[nodiscard]] const std::vector<int64_t>& sorted() const;
+
+ private:
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = true;
+  int64_t sum_ = 0;
+};
+
+}  // namespace pscp::obs

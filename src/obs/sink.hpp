@@ -25,7 +25,11 @@ namespace pscp::obs {
 
 /// Static naming context handed to a sink when it is attached: everything
 /// an exporter needs to label lanes and waveforms without reaching back
-/// into chart/layout objects.
+/// into chart/layout objects. The profiler additionally needs the chart's
+/// state hierarchy (to roll transition costs up into state regions) and
+/// the scheduler's fixed per-cycle charges (to attribute overhead cycles
+/// exactly); the machine fills those from the chart and its cost model.
+/// The ReferenceSystem, which has no cycle costs, leaves the charges at 0.
 struct TraceMeta {
   std::string chartName;
   int tepCount = 0;
@@ -35,6 +39,15 @@ struct TraceMeta {
   std::vector<std::string> transitionNames;  ///< by TransitionId
   std::vector<std::pair<int, std::string>> portNames;  ///< (address, name)
   std::vector<int> initialActive;            ///< StateIds active at attach
+
+  // Chart structure (for per-state-region cost roll-up).
+  std::vector<int> stateParent;      ///< by StateId; -1 for the root
+  std::vector<int> transitionSource; ///< source StateId by TransitionId
+
+  // Scheduler cost model (see pscp/sched_cost.hpp; 0 = uncosted source).
+  int slaEvaluateCycles = 0;  ///< SLA settle/latch at cycle start
+  int dispatchCycles = 0;     ///< one round-robin grant
+  int condCopyCycles = 0;     ///< one condition-cache fill or write-back
 };
 
 /// Per-routine execution statistics, measured as deltas over one dispatch →

@@ -1,0 +1,83 @@
+// TeeSink: fan-out ObsSink. ObsOptions deliberately carries a single sink
+// pointer (one branch on the machine's hot path); when a run needs both a
+// recorder and a profiler (or an exporter and a custom check), attach a
+// TeeSink that forwards every callback to each registered sink in
+// registration order. Like every sink, it only observes — fan-out cannot
+// change CycleStats (the observer-effect test covers a tee'd run).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace pscp::obs {
+
+class TeeSink : public ObsSink {
+ public:
+  TeeSink() = default;
+  /// Convenience: tee over an initial set of sinks (nulls are skipped).
+  explicit TeeSink(std::initializer_list<ObsSink*> sinks) {
+    for (ObsSink* s : sinks) add(s);
+  }
+
+  /// Register another receiver (no ownership; null is ignored).
+  void add(ObsSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  [[nodiscard]] const std::vector<ObsSink*>& sinks() const { return sinks_; }
+
+  void onAttach(const TraceMeta& meta) override {
+    for (ObsSink* s : sinks_) s->onAttach(meta);
+  }
+  void onCycleBegin(int64_t configCycle, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onCycleBegin(configCycle, time);
+  }
+  void onTimerFire(int eventBit, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onTimerFire(eventBit, time);
+  }
+  void onCrSampled(const BitVec& crBits, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onCrSampled(crBits, time);
+  }
+  void onSlaSelect(const std::vector<int>& selected, const std::vector<int>& chosen,
+                   int64_t termsEvaluated, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onSlaSelect(selected, chosen, termsEvaluated, time);
+  }
+  void onDispatch(int tep, int transition, int tatDepth, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onDispatch(tep, transition, tatDepth, time);
+  }
+  void onCondWriteBack(int tep, const std::vector<std::pair<int, bool>>& writes,
+                       int64_t time) override {
+    for (ObsSink* s : sinks_) s->onCondWriteBack(tep, writes, time);
+  }
+  void onRetire(int tep, int transition, const RoutineStats& stats,
+                int64_t time) override {
+    for (ObsSink* s : sinks_) s->onRetire(tep, transition, stats, time);
+  }
+  void onConfigUpdate(const std::vector<int>& activeStates, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onConfigUpdate(activeStates, time);
+  }
+  void onCycleEnd(int64_t configCycle, int64_t cycles, int64_t busStalls,
+                  int firedCount, bool quiescent, int64_t time) override {
+    for (ObsSink* s : sinks_)
+      s->onCycleEnd(configCycle, cycles, busStalls, firedCount, quiescent, time);
+  }
+  void onInstrRetire(int tep, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onInstrRetire(tep, time);
+  }
+  void onBusStall(int tep, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onBusStall(tep, time);
+  }
+  void onBusWait(int tep, int64_t time) override {
+    for (ObsSink* s : sinks_) s->onBusWait(tep, time);
+  }
+  void onPortWrite(int port, uint32_t value, int64_t configCycle,
+                   int64_t time) override {
+    for (ObsSink* s : sinks_) s->onPortWrite(port, value, configCycle, time);
+  }
+
+ private:
+  std::vector<ObsSink*> sinks_;
+};
+
+}  // namespace pscp::obs

@@ -83,6 +83,15 @@ obs::TraceMeta PscpMachine::traceMeta() const {
   for (const auto& [name, port] : chart_.ports())
     meta.portNames.emplace_back(port.address, name);
   for (StateId s : active_) meta.initialActive.push_back(static_cast<int>(s));
+  meta.stateParent.resize(chart_.states().size(), -1);
+  for (const statechart::State& s : chart_.states())
+    meta.stateParent[static_cast<size_t>(s.id)] = static_cast<int>(s.parent);
+  meta.transitionSource.resize(chart_.transitions().size(), -1);
+  for (const statechart::Transition& t : chart_.transitions())
+    meta.transitionSource[static_cast<size_t>(t.id)] = static_cast<int>(t.source);
+  meta.slaEvaluateCycles = kSlaEvaluateCycles;
+  meta.dispatchCycles = kDispatchCyclesPerTransition;
+  meta.condCopyCycles = conditionCopyCycles(arch_, layout_.conditionCount());
   return meta;
 }
 

@@ -1,0 +1,264 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diag.hpp"
+#include "support/text.hpp"
+
+namespace pscp {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skipWs();
+    if (!value(out)) return false;
+    skipWs();
+    if (at_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_ != nullptr && error_->empty())
+      *error_ = strfmt("JSON parse error at byte %zu: %s", at_, message);
+    return false;
+  }
+
+  void skipWs() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_])))
+      ++at_;
+  }
+
+  [[nodiscard]] bool atEnd() const { return at_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[at_]; }
+
+  bool literal(const char* word, JsonValue* out, JsonValue::Kind kind, bool b) {
+    const std::string w(word);
+    if (text_.compare(at_, w.size(), w) != 0) return fail("invalid literal");
+    at_ += w.size();
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (atEnd() || peek() != '"') return fail("expected string");
+    ++at_;
+    out->clear();
+    while (!atEnd() && peek() != '"') {
+      char c = text_[at_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (atEnd()) return fail("dangling escape");
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogates land as-is, see header).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    if (atEnd()) return fail("unterminated string");
+    ++at_;  // closing quote
+    return true;
+  }
+
+  bool number(JsonValue* out) {
+    const size_t start = at_;
+    if (!atEnd() && peek() == '-') ++at_;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    if (!atEnd() && peek() == '.') {
+      ++at_;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++at_;
+      if (!atEnd() && (peek() == '-' || peek() == '+')) ++at_;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++at_;
+    }
+    if (at_ == start) return fail("expected value");
+    const std::string token = text_.substr(start, at_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skipWs();
+    if (atEnd()) return fail("unexpected end of document");
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return string(&out->string);
+      case 't': return literal("true", out, JsonValue::Kind::kBool, true);
+      case 'f': return literal("false", out, JsonValue::Kind::kBool, false);
+      case 'n': return literal("null", out, JsonValue::Kind::kNull, false);
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    ++at_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!string(&key)) return false;
+      skipWs();
+      if (atEnd() || peek() != ':') return fail("expected ':' in object");
+      ++at_;
+      JsonValue member;
+      if (!value(&member)) return false;
+      out->object.emplace_back(std::move(key), std::move(member));
+      skipWs();
+      if (!atEnd() && peek() == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (atEnd() || peek() != '}') return fail("expected '}' or ','");
+    ++at_;
+    return true;
+  }
+
+  bool array(JsonValue* out) {
+    ++at_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(&element)) return false;
+      out->array.push_back(std::move(element));
+      skipWs();
+      if (!atEnd() && peek() == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (atEnd() || peek() != ']') return fail("expected ']' or ','");
+    ++at_;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t at_ = 0;
+};
+
+void collectLeaves(const JsonValue& v, const std::string& path,
+                   std::vector<std::pair<std::string, double>>* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNumber:
+      out->emplace_back(path, v.number);
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : v.object)
+        collectLeaves(member, path.empty() ? key : path + "." + key, out);
+      break;
+    case JsonValue::Kind::kArray:
+      for (size_t i = 0; i < v.array.size(); ++i)
+        collectLeaves(v.array[i], strfmt("%s[%zu]", path.c_str(), i), out);
+      break;
+    default:
+      break;  // strings, booleans and nulls are not metrics
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue* JsonValue::findPath(const std::string& dottedPath) const {
+  const JsonValue* at = this;
+  for (const std::string& part : splitOn(dottedPath, '.')) {
+    if (at == nullptr) return nullptr;
+    at = at->find(part);
+  }
+  return at;
+}
+
+std::vector<std::pair<std::string, double>> JsonValue::numericLeaves() const {
+  std::vector<std::pair<std::string, double>> out;
+  collectLeaves(*this, "", &out);
+  return out;
+}
+
+bool parseJson(const std::string& text, JsonValue* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  *out = JsonValue{};
+  return Parser(text, error).parse(out);
+}
+
+bool parseJsonFile(const std::string& path, JsonValue* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = strfmt("cannot open '%s'", path.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parseJson(text, out, error);
+}
+
+}  // namespace pscp

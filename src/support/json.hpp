@@ -1,0 +1,55 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The repo emits JSON in several places (metrics dumps, Chrome traces,
+// BENCH_*.json, profile reports) but until bench_compare nothing needed to
+// *read* it back outside the tests. This is the reading half: a small
+// owning value tree, strict enough for the documents we produce (objects,
+// arrays, strings with the common escapes, numbers, booleans, null;
+// rejects trailing garbage), with object key order preserved so reports
+// can round-trip diffs in emission order. Not a general-purpose JSON
+// library: no comments, no NaN/Infinity, \uXXXX escapes outside the BMP
+// are kept as two literal surrogate code points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pscp {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< in document order
+
+  [[nodiscard]] bool isNumber() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool isObject() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool isString() const { return kind == Kind::kString; }
+
+  /// Object member lookup; null when missing or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// find() chained over a '.'-separated path ("totals.machine_cycles").
+  [[nodiscard]] const JsonValue* findPath(const std::string& dottedPath) const;
+
+  /// Every numeric leaf as (flattened path, value): object members join
+  /// with '.', array elements index as "[i]". Strings/bools are skipped.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> numericLeaves() const;
+};
+
+/// Parse `text` into `out`. On failure returns false and, when `error` is
+/// non-null, stores a one-line message with the byte offset.
+bool parseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Read a whole file and parse it; false with `error` set on I/O or parse
+/// failure.
+bool parseJsonFile(const std::string& path, JsonValue* out, std::string* error);
+
+}  // namespace pscp

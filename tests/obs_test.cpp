@@ -13,7 +13,9 @@
 #include "core/system.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/tee.hpp"
 #include "obs/vcd.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
@@ -357,18 +359,39 @@ TEST(ObserverEffect, TracingDoesNotChangeCycleStats) {
   traced.setObsOptions({&recorder});
   const auto tracedStats = drive(traced);
 
+  // Heavier observation must be just as invisible: a TeeSink fanning out
+  // to a recorder AND the cycle-attribution profiler.
+  machine::PscpMachine profiled(chart, actions, arch);
+  TraceRecorder teeRecorder;
+  Profiler profiler;
+  TeeSink tee{&teeRecorder, &profiler};
+  profiled.setObsOptions({&tee});
+  const auto profiledStats = drive(profiled);
+
   ASSERT_EQ(bareStats.size(), tracedStats.size());
+  ASSERT_EQ(bareStats.size(), profiledStats.size());
   for (size_t i = 0; i < bareStats.size(); ++i) {
     EXPECT_EQ(bareStats[i].cycles, tracedStats[i].cycles) << "cycle " << i;
     EXPECT_EQ(bareStats[i].busStallCycles, tracedStats[i].busStallCycles)
         << "cycle " << i;
     EXPECT_EQ(bareStats[i].quiescent, tracedStats[i].quiescent) << "cycle " << i;
     EXPECT_EQ(bareStats[i].fired, tracedStats[i].fired) << "cycle " << i;
+    EXPECT_EQ(bareStats[i].cycles, profiledStats[i].cycles) << "cycle " << i;
+    EXPECT_EQ(bareStats[i].busStallCycles, profiledStats[i].busStallCycles)
+        << "cycle " << i;
+    EXPECT_EQ(bareStats[i].quiescent, profiledStats[i].quiescent)
+        << "cycle " << i;
+    EXPECT_EQ(bareStats[i].fired, profiledStats[i].fired) << "cycle " << i;
   }
   EXPECT_EQ(bare.totalCycles(), traced.totalCycles());
   EXPECT_EQ(bare.totalBusStalls(), traced.totalBusStalls());
   EXPECT_EQ(bare.activeNames(), traced.activeNames());
   EXPECT_EQ(bare.portWriteLog(), traced.portWriteLog());
+  EXPECT_EQ(bare.totalCycles(), profiled.totalCycles());
+  EXPECT_EQ(bare.totalBusStalls(), profiled.totalBusStalls());
+  EXPECT_EQ(bare.activeNames(), profiled.activeNames());
+  EXPECT_EQ(bare.portWriteLog(), profiled.portWriteLog());
+  EXPECT_EQ(profiler.totalCycles(), bare.totalCycles());
 }
 
 TEST(ObserverEffect, NullSinkOptionsAreInert) {

@@ -1,0 +1,94 @@
+// bench_compare — bench-regression gate over two JSON metric dumps.
+//
+//   bench_compare BASELINE.json CURRENT.json [options]
+//
+//   --tol F             global relative tolerance (default 0.25)
+//   --tol-metric S=F    tolerance F for paths containing substring S
+//                       (repeatable; longest matching substring wins)
+//   --ignore S          never gate on paths containing substring S
+//                       (repeatable; still listed in the table)
+//   --quiet             print only the verdict line
+//
+// Both documents are flattened to numeric leaves and compared under the
+// direction heuristic in obs/bench_compare.hpp. Exit status: 0 when no
+// gated metric regressed, 1 on regression, 2 on usage or parse errors —
+// so `bench_compare baseline.json BENCH_x.json || exit 1` is a CI gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/bench_compare.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--tol F] "
+               "[--tol-metric SUBSTR=F] [--ignore SUBSTR] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pscp;
+
+  std::string baselinePath;
+  std::string currentPath;
+  obs::BenchCompareOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (arg == "--tol" && hasValue) {
+      options.tolerance = std::atof(argv[++i]);
+    } else if (arg == "--tol-metric" && hasValue) {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0]);
+      options.perMetricTolerance.emplace_back(
+          spec.substr(0, eq), std::atof(spec.c_str() + eq + 1));
+    } else if (arg == "--ignore" && hasValue) {
+      options.ignore.push_back(argv[++i]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (baselinePath.empty()) {
+      baselinePath = arg;
+    } else if (currentPath.empty()) {
+      currentPath = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baselinePath.empty() || currentPath.empty()) return usage(argv[0]);
+
+  JsonValue baseline;
+  JsonValue current;
+  std::string error;
+  if (!parseJsonFile(baselinePath, &baseline, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", baselinePath.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!parseJsonFile(currentPath, &current, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", currentPath.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const obs::BenchCompareResult result =
+      obs::compareBenchJson(baseline, current, options);
+  const std::string summary = result.summaryText();
+  if (quiet) {
+    const size_t lastLine = summary.rfind('\n', summary.size() - 2);
+    std::fputs(summary.c_str() + (lastLine == std::string::npos ? 0 : lastLine + 1),
+               stdout);
+  } else {
+    std::fputs(summary.c_str(), stdout);
+  }
+  return result.regressions == 0 ? 0 : 1;
+}
