@@ -1,0 +1,226 @@
+// Fleet throughput bench: aggregate configuration-cycles/sec for N SMD
+// pickup-head instances stepped by a worker pool, swept over instance
+// count x thread count. Every instance is driven into its Moving
+// AND-state (both X and Y axes running a long trapezoidal move) with
+// hardware timers firing the Table-2 pulse streams, so steady state mixes
+// real TEP work (DeltaT on two TEPs per cycle) with quiescent decode
+// cycles — the reactive-system duty cycle the fleet exists to scale.
+//
+// Prints a markdown table (cycles/sec, speedup vs 1 thread, scaling
+// efficiency) and writes BENCH_fleet_throughput.json. `--quick` shrinks
+// the sweep for CI smoke runs (timings indicative only). In full mode on
+// a machine with >= 4 hardware threads, the run fails unless the
+// >= 256-instance sweep reaches >= 3x aggregate throughput at 4 threads.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "actionlang/parser.hpp"
+#include "fleet/fleet.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+#include "support/text.hpp"
+#include "workloads/smd.hpp"
+
+using namespace pscp;
+
+namespace {
+
+struct SweepResult {
+  size_t instances = 0;
+  int threads = 0;
+  int64_t configCycles = 0;
+  int64_t machineCycles = 0;
+  int64_t firedTransitions = 0;
+  double seconds = 0.0;
+  double configCyclesPerSec = 0.0;
+  double machineCyclesPerSec = 0.0;
+  double speedup = 1.0;     ///< vs the 1-thread run at the same instance count
+  double efficiency = 1.0;  ///< speedup / threads
+};
+
+/// Drive one instance from Off into Moving with a long move pending on
+/// both X and Y (command byte 255 -> 4080 steps per axis), then arm the
+/// pulse-stream timers. Returns false if the machine did not land in the
+/// expected configuration.
+bool warmUpInstance(machine::PscpMachine& m, int dataValid) {
+  m.setInputPort("Buffer", 255);
+  machine::CycleStats stats;
+  const std::vector<int> power{m.eventId("POWER")};
+  const std::vector<int> data{dataValid};
+  const std::vector<int> none;
+  m.configurationCycleIds(power, &stats);    // Off -> Idle1
+  for (int i = 0; i < 4; ++i)                // Idle1 -> ... -> NoData
+    m.configurationCycleIds(data, &stats);
+  for (int i = 0; i < 4; ++i)                // PrepareMove, BeginMove, Start*
+    m.configurationCycleIds(none, &stats);
+  m.clearPortWrites();
+  return m.isActive("RunX") && m.isActive("RunY") && m.isActive("RunPhi");
+}
+
+SweepResult runSweep(const fleet::Fleet::ChartImagePtr& image, size_t instances,
+                     int threads, int epochs, int cyclesPerEpoch, bool* ok) {
+  fleet::FleetConfig config;
+  config.workerThreads = threads;
+  fleet::Fleet fleet(image, config);
+  const std::vector<fleet::InstanceId> ids = fleet.spawnMany(instances);
+  const int dataValid = fleet.eventId("DATA_VALID");
+  for (fleet::InstanceId id : ids) {
+    if (!warmUpInstance(fleet.machine(id), dataValid)) {
+      std::fprintf(stderr, "FAIL: instance %llu did not reach Moving\n",
+                   static_cast<unsigned long long>(id));
+      *ok = false;
+    }
+  }
+  // Per epoch every instance receives one X and one Y step pulse through
+  // its SPSC queue (delivered at the epoch's first cycle: both DeltaT
+  // routines run in parallel on the two TEPs, the remaining cycles are
+  // quiescent decode — the reactive duty cycle). 4080 commanded steps per
+  // axis outlast any bench window, so the move never completes.
+  const int xPulse = fleet.eventId("X_PULSE");
+  const int yPulse = fleet.eventId("Y_PULSE");
+  auto injectPulses = [&] {
+    for (fleet::InstanceId id : ids) {
+      fleet.inject(id, xPulse);
+      fleet.inject(id, yPulse);
+    }
+  };
+  injectPulses();
+  fleet.step(cyclesPerEpoch);  // one untimed epoch settles worker wake-up
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int e = 0; e < epochs; ++e) {
+    injectPulses();
+    fleet.step(cyclesPerEpoch);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  const obs::MetricsRegistry metrics = fleet.mergedMetrics();
+  SweepResult r;
+  r.instances = instances;
+  r.threads = threads;
+  // Subtract nothing for the settle epoch: counters cover it too, so scale
+  // by the timed share of epochs instead.
+  const double timedShare =
+      static_cast<double>(epochs) / static_cast<double>(epochs + 1);
+  r.configCycles = static_cast<int64_t>(
+      static_cast<double>(metrics.value("fleet.config_cycles")) * timedShare);
+  r.machineCycles = static_cast<int64_t>(
+      static_cast<double>(metrics.value("fleet.machine_cycles")) * timedShare);
+  r.firedTransitions = metrics.value("fleet.fired_transitions");
+  r.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  if (r.seconds > 0.0) {
+    r.configCyclesPerSec = static_cast<double>(r.configCycles) / r.seconds;
+    r.machineCyclesPerSec = static_cast<double>(r.machineCycles) / r.seconds;
+  }
+  if (r.firedTransitions <= 0) {
+    std::fprintf(stderr, "FAIL: sweep i=%zu t=%d fired no transitions\n",
+                 instances, threads);
+    *ok = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const std::vector<size_t> instanceCounts =
+      quick ? std::vector<size_t>{32, 128} : std::vector<size_t>{64, 256, 1024};
+  const std::vector<int> threadCounts =
+      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const int epochs = quick ? 4 : 12;
+  const int cyclesPerEpoch = quick ? 8 : 16;
+  const unsigned hwThreads = std::thread::hardware_concurrency();
+
+  std::printf("=== Fleet throughput: SMD instances x worker threads ===\n");
+  std::printf("(%s mode, %d epochs x %d cycles, %u hardware threads)\n\n",
+              quick ? "quick" : "full", epochs, cyclesPerEpoch, hwThreads);
+
+  const statechart::Chart chart = statechart::parseChart(workloads::smdChartText());
+  const actionlang::Program actions =
+      actionlang::parseActionSource(workloads::smdActionText());
+  hwlib::ArchConfig arch;
+  arch.dataWidth = 16;
+  arch.numTeps = 2;
+  arch.hasMulDiv = true;
+  arch.hasComparator = true;
+  arch.hasTwosComplement = true;
+  arch.registerFileSize = 12;
+  const auto image =
+      std::make_shared<const machine::ChartImage>(chart, actions, arch);
+
+  bool ok = true;
+  std::vector<SweepResult> results;
+  for (size_t instances : instanceCounts) {
+    double oneThreadRate = 0.0;
+    for (int threads : threadCounts) {
+      SweepResult r = runSweep(image, instances, threads, epochs, cyclesPerEpoch, &ok);
+      if (threads == 1) oneThreadRate = r.configCyclesPerSec;
+      if (oneThreadRate > 0.0 && r.configCyclesPerSec > 0.0) {
+        r.speedup = r.configCyclesPerSec / oneThreadRate;
+        r.efficiency = r.speedup / threads;
+      }
+      results.push_back(r);
+    }
+  }
+
+  std::printf("| instances | threads | cfg cycles/s | mach cycles/s | speedup | efficiency |\n");
+  std::printf("|-----------|---------|--------------|---------------|---------|------------|\n");
+  for (const SweepResult& r : results)
+    std::printf("| %9zu | %7d | %12.0f | %13.0f | %6.2fx | %9.2f%% |\n",
+                r.instances, r.threads, r.configCyclesPerSec, r.machineCyclesPerSec,
+                r.speedup, 100.0 * r.efficiency);
+
+  std::string json = "{\n  \"benchmark\": \"fleet_throughput\",\n";
+  json += strfmt("  \"mode\": \"%s\",\n  \"hardware_threads\": %u,\n  \"sweeps\": [\n",
+                 quick ? "quick" : "full", hwThreads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json += strfmt(
+        "    {\"instances\": %zu, \"threads\": %d, "
+        "\"config_cycles_per_sec\": %.0f, \"machine_cycles_per_sec\": %.0f, "
+        "\"speedup_vs_1t\": %.3f, \"efficiency\": %.3f}%s\n",
+        r.instances, r.threads, r.configCyclesPerSec, r.machineCyclesPerSec,
+        r.speedup, r.efficiency, i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  std::FILE* f = std::fopen("BENCH_fleet_throughput.json", "wb");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fleet_throughput.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_fleet_throughput.json\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  // Acceptance (full runs on parallel hardware only): >= 3x aggregate
+  // throughput at 4 threads for a >= 256-instance fleet.
+  if (!quick && hwThreads >= 4) {
+    double best = 0.0;
+    for (const SweepResult& r : results)
+      if (r.instances >= 256 && r.threads == 4) best = std::max(best, r.speedup);
+    if (best < 3.0) {
+      std::fprintf(stderr, "FAIL: 4-thread speedup %.2fx < 3x (>=256 instances)\n",
+                   best);
+      return 1;
+    }
+    std::printf("4-thread speedup (>=256 instances): %.2fx (target >= 3x)\n", best);
+  } else if (!quick) {
+    std::printf("note: %u hardware thread(s) — 4-thread acceptance check skipped\n",
+                hwThreads);
+  }
+  return 0;
+}

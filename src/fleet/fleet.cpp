@@ -1,0 +1,325 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "support/diag.hpp"
+
+namespace pscp::fleet {
+
+namespace {
+// Static empty event list for every non-first cycle of an epoch, so the
+// per-cycle call passes a reference without building a vector.
+const std::vector<int> kNoEvents;
+
+// Bucket bounds for the per-instance machine-cycles-per-epoch histogram;
+// shared by every worker registry so mergedMetrics() can fold them.
+std::vector<int64_t> epochCycleBounds() {
+  return {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+}
+}  // namespace
+
+// ------------------------------------------------------- internal structs
+
+struct Fleet::Instance {
+  Instance(const ChartImagePtr& image, InstanceId instanceId, size_t queueCapacity)
+      : id(instanceId), machine(image), queue(queueCapacity) {
+    drained.reserve(queue.capacity());
+  }
+
+  InstanceId id;
+  machine::PscpMachine machine;
+  SpscQueue<int32_t> queue;
+  std::atomic<int64_t> dropped{0};  ///< producer-side full-queue rejections
+
+  // Worker-private per-epoch scratch (exactly one worker touches an
+  // instance per epoch; the epoch barrier publishes writes between epochs).
+  std::vector<int> drained;
+  machine::CycleStats stats;  ///< reused; fired kept allocated across cycles
+
+  // Lifetime accounting (read by snapshot() between epochs).
+  int64_t machineCycles = 0;
+  int64_t configCycles = 0;
+  int64_t quiescentCycles = 0;
+  int64_t firedTransitions = 0;
+  int64_t busStallCycles = 0;
+  int64_t eventsDelivered = 0;
+
+  std::vector<machine::PortWrite> portLog;  ///< when capturePortWrites
+};
+
+struct Fleet::Shard {
+  std::vector<Instance*> members;
+  alignas(64) std::atomic<size_t> cursor{0};
+};
+
+/// Per-epoch, per-worker accumulator: plain int64s bumped in the hot loop
+/// and flushed into the worker's MetricsRegistry once per epoch, so the
+/// stepping path touches no map and no string.
+struct Fleet::WorkerLocal {
+  int64_t machineCycles = 0;
+  int64_t configCycles = 0;
+  int64_t quiescentCycles = 0;
+  int64_t firedTransitions = 0;
+  int64_t busStallCycles = 0;
+  int64_t eventsDelivered = 0;
+  int64_t stealChunks = 0;
+  obs::Histogram* cyclesPerEpoch = nullptr;
+};
+
+/// The epoch barrier: workers park on a condition variable and run one
+/// epoch each time the generation counter advances; the caller waits for
+/// the last worker to check in.
+struct Fleet::Pool {
+  std::mutex mu;
+  std::condition_variable start;
+  std::condition_variable done;
+  uint64_t generation = 0;
+  int cyclesThisEpoch = 0;
+  size_t running = 0;
+  bool stop = false;
+  std::vector<std::thread> threads;
+};
+
+// ----------------------------------------------------------------- Fleet
+
+Fleet::Fleet(ChartImagePtr image, FleetConfig config)
+    : image_(std::move(image)), config_(config) {
+  PSCP_ASSERT(image_ != nullptr);
+  if (config_.workerThreads < 1) config_.workerThreads = 1;
+  if (config_.stealChunk < 1) config_.stealChunk = 1;
+  workerCount_ = static_cast<size_t>(config_.workerThreads);
+  workerMetrics_.resize(workerCount_);
+  if (workerCount_ > 1) {
+    pool_ = std::make_unique<Pool>();
+    pool_->threads.reserve(workerCount_);
+    for (size_t w = 0; w < workerCount_; ++w)
+      pool_->threads.emplace_back([this, w] { workerLoop(w); });
+  }
+}
+
+Fleet::~Fleet() {
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(pool_->mu);
+      pool_->stop = true;
+    }
+    pool_->start.notify_all();
+    for (std::thread& t : pool_->threads) t.join();
+  }
+}
+
+// -------------------------------------------------------------- lifecycle
+
+InstanceId Fleet::spawn() {
+  const InstanceId id = static_cast<InstanceId>(instances_.size());
+  instances_.push_back(
+      std::make_unique<Instance>(image_, id, config_.eventQueueCapacity));
+  ++liveCount_;
+  shardsDirty_ = true;
+  return id;
+}
+
+std::vector<InstanceId> Fleet::spawnMany(size_t count) {
+  std::vector<InstanceId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) ids.push_back(spawn());
+  return ids;
+}
+
+void Fleet::retire(InstanceId id) {
+  liveInstance(id);  // asserts liveness
+  instances_[static_cast<size_t>(id)].reset();
+  --liveCount_;
+  shardsDirty_ = true;
+}
+
+bool Fleet::isLive(InstanceId id) const {
+  return id < instances_.size() && instances_[static_cast<size_t>(id)] != nullptr;
+}
+
+Fleet::Instance& Fleet::liveInstance(InstanceId id) {
+  PSCP_ASSERT(isLive(id) && "unknown or retired fleet instance id");
+  return *instances_[static_cast<size_t>(id)];
+}
+
+const Fleet::Instance& Fleet::liveInstance(InstanceId id) const {
+  PSCP_ASSERT(isLive(id) && "unknown or retired fleet instance id");
+  return *instances_[static_cast<size_t>(id)];
+}
+
+// -------------------------------------------------------------- injection
+
+int Fleet::eventId(const std::string& eventName) const {
+  return image_->layout().eventBit(eventName);
+}
+
+bool Fleet::inject(InstanceId id, int eventBit) {
+  if (!isLive(id)) return false;
+  Instance& inst = *instances_[static_cast<size_t>(id)];
+  if (inst.queue.tryPush(eventBit)) return true;
+  inst.dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool Fleet::injectByName(InstanceId id, const std::string& eventName) {
+  return inject(id, eventId(eventName));
+}
+
+// --------------------------------------------------------------- stepping
+
+void Fleet::rebuildShards() {
+  shards_.clear();
+  shards_.reserve(workerCount_);
+  for (size_t w = 0; w < workerCount_; ++w)
+    shards_.push_back(std::make_unique<Shard>());
+  size_t next = 0;  // round-robin by spawn order
+  for (const auto& inst : instances_) {
+    if (inst == nullptr) continue;
+    shards_[next]->members.push_back(inst.get());
+    next = (next + 1) % workerCount_;
+  }
+  shardsDirty_ = false;
+}
+
+void Fleet::stepInstance(Instance& inst, int cycles, WorkerLocal& local) {
+  // Deliver everything injected before this epoch at its first cycle.
+  inst.drained.clear();
+  int32_t event = 0;
+  while (inst.queue.tryPop(&event)) inst.drained.push_back(event);
+  inst.eventsDelivered += static_cast<int64_t>(inst.drained.size());
+  local.eventsDelivered += static_cast<int64_t>(inst.drained.size());
+
+  int64_t epochMachineCycles = 0;
+  for (int c = 0; c < cycles; ++c) {
+    inst.machine.configurationCycleIds(c == 0 ? inst.drained : kNoEvents,
+                                       &inst.stats);
+    epochMachineCycles += inst.stats.cycles;
+    inst.busStallCycles += inst.stats.busStallCycles;
+    inst.firedTransitions += static_cast<int64_t>(inst.stats.fired.size());
+    local.busStallCycles += inst.stats.busStallCycles;
+    local.firedTransitions += static_cast<int64_t>(inst.stats.fired.size());
+    if (inst.stats.quiescent) {
+      ++inst.quiescentCycles;
+      ++local.quiescentCycles;
+    }
+  }
+  inst.machineCycles += epochMachineCycles;
+  inst.configCycles += cycles;
+  local.machineCycles += epochMachineCycles;
+  local.configCycles += cycles;
+  local.cyclesPerEpoch->record(epochMachineCycles);
+
+  if (config_.capturePortWrites) {
+    const std::vector<machine::PortWrite>& writes = inst.machine.portWrites();
+    inst.portLog.insert(inst.portLog.end(), writes.begin(), writes.end());
+  }
+  inst.machine.clearPortWrites();
+}
+
+void Fleet::runWorkerEpoch(size_t worker, int cycles) {
+  WorkerLocal local;
+  local.cyclesPerEpoch = &workerMetrics_[worker].histogram(
+      "fleet.instance_cycles_per_epoch", epochCycleBounds());
+
+  const size_t chunk = config_.stealChunk;
+  const size_t shardCount = shards_.size();
+  // Own shard first, then sweep the others stealing leftover chunks.
+  for (size_t offset = 0; offset < shardCount; ++offset) {
+    Shard& shard = *shards_[(worker + offset) % shardCount];
+    for (;;) {
+      const size_t begin = shard.cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= shard.members.size()) break;
+      const size_t end = std::min(begin + chunk, shard.members.size());
+      for (size_t i = begin; i < end; ++i)
+        stepInstance(*shard.members[i], cycles, local);
+      if (offset != 0) ++local.stealChunks;
+    }
+  }
+
+  obs::MetricsRegistry& reg = workerMetrics_[worker];
+  reg.counter("fleet.machine_cycles") += local.machineCycles;
+  reg.counter("fleet.config_cycles") += local.configCycles;
+  reg.counter("fleet.quiescent_cycles") += local.quiescentCycles;
+  reg.counter("fleet.fired_transitions") += local.firedTransitions;
+  reg.counter("fleet.bus_stall_cycles") += local.busStallCycles;
+  reg.counter("fleet.events_delivered") += local.eventsDelivered;
+  reg.counter("fleet.steal_chunks") += local.stealChunks;
+  reg.counter("fleet.epoch_tasks") += 1;
+}
+
+void Fleet::workerLoop(size_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    int cycles = 0;
+    {
+      std::unique_lock<std::mutex> lk(pool_->mu);
+      pool_->start.wait(lk, [&] { return pool_->stop || pool_->generation != seen; });
+      if (pool_->stop) return;
+      seen = pool_->generation;
+      cycles = pool_->cyclesThisEpoch;
+    }
+    runWorkerEpoch(worker, cycles);
+    {
+      std::lock_guard<std::mutex> lk(pool_->mu);
+      if (--pool_->running == 0) pool_->done.notify_all();
+    }
+  }
+}
+
+void Fleet::step(int cycles) {
+  PSCP_ASSERT(cycles > 0);
+  if (shardsDirty_) rebuildShards();
+  for (auto& shard : shards_) shard->cursor.store(0, std::memory_order_relaxed);
+  ++epochs_;
+  if (pool_ == nullptr) {
+    runWorkerEpoch(0, cycles);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(pool_->mu);
+  pool_->cyclesThisEpoch = cycles;
+  pool_->running = workerCount_;
+  ++pool_->generation;
+  pool_->start.notify_all();
+  pool_->done.wait(lk, [&] { return pool_->running == 0; });
+}
+
+// ------------------------------------------------------------- inspection
+
+machine::PscpMachine& Fleet::machine(InstanceId id) { return liveInstance(id).machine; }
+
+const machine::PscpMachine& Fleet::machine(InstanceId id) const {
+  return liveInstance(id).machine;
+}
+
+InstanceSnapshot Fleet::snapshot(InstanceId id) const {
+  const Instance& inst = liveInstance(id);
+  InstanceSnapshot s;
+  s.id = inst.id;
+  s.machineCycles = inst.machineCycles;
+  s.configCycles = inst.configCycles;
+  s.quiescentCycles = inst.quiescentCycles;
+  s.firedTransitions = inst.firedTransitions;
+  s.busStallCycles = inst.busStallCycles;
+  s.eventsDelivered = inst.eventsDelivered;
+  s.eventsDropped = inst.dropped.load(std::memory_order_relaxed);
+  s.activeStates = inst.machine.activeNames();
+  return s;
+}
+
+const std::vector<machine::PortWrite>& Fleet::portWrites(InstanceId id) const {
+  return liveInstance(id).portLog;
+}
+
+void Fleet::clearPortWrites(InstanceId id) { liveInstance(id).portLog.clear(); }
+
+obs::MetricsRegistry Fleet::mergedMetrics() const {
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry& reg : workerMetrics_) merged.mergeFrom(reg);
+  return merged;
+}
+
+}  // namespace pscp::fleet

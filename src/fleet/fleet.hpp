@@ -1,0 +1,169 @@
+// Sharded multi-instance fleet engine (scaling the PSCP model out).
+//
+// One PscpMachine simulates one chip. A reactive-systems deployment —
+// the paper's target domain — runs *populations* of them: every elevator
+// bank, every SMD placement head, every protocol endpoint is its own
+// statechart instance over the same compiled chart. The Fleet owns N
+// independent PscpMachine instances spawned from one shared ChartImage
+// (compile once, instantiate thousands) and steps them in batches across
+// a fixed-size worker-thread pool.
+//
+// Execution model
+//   - step(cycles) is one *epoch*: every live instance advances exactly
+//     `cycles` configuration cycles, then a barrier completes the epoch.
+//   - Instances are statically sharded across workers (round-robin by
+//     spawn order). Within an epoch each worker drains its own shard in
+//     fixed-size chunks claimed through an atomic cursor, then steals
+//     remaining chunks from other shards — an oversized shard (instances
+//     with heavier charts, or a retire-skewed distribution) is finished
+//     by whoever has idle cycles, so the barrier waits for the slowest
+//     chunk, not the slowest shard.
+//   - Event injection goes through a per-instance bounded SPSC queue.
+//     Producers never take a lock and never touch the stepping hot loop;
+//     the worker drains the queue at the first cycle of the instance's
+//     next epoch. Injections that happen-before step() are therefore
+//     delivered at that epoch's first cycle, in injection order.
+//
+// Determinism: an instance's trajectory is a function of its event
+// script alone. Machines share only the immutable ChartImage, every
+// mutable byte is instance-private, and each instance is stepped by
+// exactly one worker per epoch (chunk ownership via the cursor), so
+// per-instance port-write logs are bit-identical at any worker count.
+// The fleet test suite asserts this at 1, 2 and 8 workers.
+//
+// Thread contract: Fleet's control surface (spawn/retire/step/snapshot/
+// mergedMetrics/machine) is single-threaded — call it from one thread,
+// between epochs. inject()/injectByName() are the exception: they are
+// safe from any thread at any time, one producer per instance at a time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/spsc.hpp"
+#include "obs/metrics.hpp"
+#include "pscp/machine.hpp"
+
+namespace pscp::fleet {
+
+/// Monotonic instance handle: ids are never reused, so a stale handle
+/// fails loudly instead of aliasing a newer instance.
+using InstanceId = uint64_t;
+
+struct FleetConfig {
+  /// Worker threads stepping the fleet. 1 = run inline on the calling
+  /// thread (no threads are spawned at all).
+  int workerThreads = 1;
+  /// Per-instance event-queue capacity (rounded up to a power of two).
+  size_t eventQueueCapacity = 256;
+  /// Instances per work-stealing chunk. Smaller = finer load balance,
+  /// larger = less cursor traffic.
+  size_t stealChunk = 8;
+  /// Keep per-instance port-write logs across epochs (drained from the
+  /// machine each epoch; read/clear via portWrites()/clearPortWrites()).
+  /// Off by default: a throughput fleet discards writes each epoch so
+  /// steady-state memory stays flat.
+  bool capturePortWrites = false;
+};
+
+/// Point-in-time per-instance accounting (valid between epochs).
+struct InstanceSnapshot {
+  InstanceId id = 0;
+  int64_t machineCycles = 0;      ///< reference-clock cycles simulated
+  int64_t configCycles = 0;       ///< configuration cycles run
+  int64_t quiescentCycles = 0;    ///< of which the SLA selected nothing
+  int64_t firedTransitions = 0;
+  int64_t busStallCycles = 0;
+  int64_t eventsDelivered = 0;    ///< injections drained into the machine
+  int64_t eventsDropped = 0;      ///< injections rejected on a full queue
+  std::vector<std::string> activeStates;  ///< current configuration
+};
+
+class Fleet {
+ public:
+  using ChartImagePtr = std::shared_ptr<const machine::ChartImage>;
+
+  explicit Fleet(ChartImagePtr image, FleetConfig config = {});
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // ------------------------------------------------------------ lifecycle
+  /// Create one instance over the shared image; returns its permanent id.
+  InstanceId spawn();
+  std::vector<InstanceId> spawnMany(size_t count);
+  /// Destroy an instance (frees its machine; the id is never reused).
+  void retire(InstanceId id);
+  [[nodiscard]] bool isLive(InstanceId id) const;
+  [[nodiscard]] size_t liveCount() const { return liveCount_; }
+
+  // ------------------------------------------------------------ injection
+  /// CR event bit for a declared event name (same interning as the
+  /// machine); resolve once, inject by bit from the hot producer path.
+  [[nodiscard]] int eventId(const std::string& eventName) const;
+  /// Enqueue an external event for `id`'s next epoch. Lock-free; safe
+  /// from any thread (one producer per instance at a time). Returns false
+  /// — and counts a drop — if the instance's queue is full or the id is
+  /// retired.
+  bool inject(InstanceId id, int eventBit);
+  bool injectByName(InstanceId id, const std::string& eventName);
+
+  // ------------------------------------------------------------- stepping
+  /// Advance every live instance by `cycles` configuration cycles.
+  void step(int cycles = 1);
+  [[nodiscard]] int64_t epochs() const { return epochs_; }
+
+  // ----------------------------------------------------------- inspection
+  /// Direct access to an instance's machine (between epochs only).
+  [[nodiscard]] machine::PscpMachine& machine(InstanceId id);
+  [[nodiscard]] const machine::PscpMachine& machine(InstanceId id) const;
+  [[nodiscard]] InstanceSnapshot snapshot(InstanceId id) const;
+
+  /// Per-instance port-write log accumulated across epochs (requires
+  /// FleetConfig::capturePortWrites).
+  [[nodiscard]] const std::vector<machine::PortWrite>& portWrites(InstanceId id) const;
+  void clearPortWrites(InstanceId id);
+
+  /// Fold the per-worker metric registries into one report: counters
+  /// fleet.config_cycles, fleet.machine_cycles, fleet.quiescent_cycles,
+  /// fleet.fired_transitions, fleet.bus_stall_cycles,
+  /// fleet.events_delivered, fleet.steal_chunks, fleet.epoch_tasks, plus
+  /// the fleet.instance_cycles_per_epoch histogram.
+  [[nodiscard]] obs::MetricsRegistry mergedMetrics() const;
+
+  [[nodiscard]] const ChartImagePtr& image() const { return image_; }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  struct Instance;
+  struct Shard;
+  struct WorkerLocal;  // per-epoch accumulator, flushed to a registry
+
+  Instance& liveInstance(InstanceId id);
+  [[nodiscard]] const Instance& liveInstance(InstanceId id) const;
+  void rebuildShards();
+  void runWorkerEpoch(size_t worker, int cycles);
+  void stepInstance(Instance& inst, int cycles, WorkerLocal& local);
+  void workerLoop(size_t worker);
+
+  ChartImagePtr image_;
+  FleetConfig config_;
+  size_t workerCount_ = 1;
+
+  std::vector<std::unique_ptr<Instance>> instances_;  // index == InstanceId
+  size_t liveCount_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool shardsDirty_ = true;
+  int64_t epochs_ = 0;
+
+  std::vector<obs::MetricsRegistry> workerMetrics_;  // one per worker
+
+  // Epoch barrier (only used when workerCount_ > 1).
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace pscp::fleet

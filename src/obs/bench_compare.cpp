@@ -33,8 +33,10 @@ const char* directionName(MetricDirection d) {
 
 MetricDirection metricDirection(const std::string& path) {
   const std::string p = toLower(path);
-  // Higher-is-better wins ties ("speedup_cycles" is still a speedup).
-  if (containsAny(p, {"speedup", "throughput", "util", "ops_per", "ipc"}))
+  // Higher-is-better wins ties ("speedup_cycles" is still a speedup, and
+  // "cycles_per_sec" is a rate, not a cycle count).
+  if (containsAny(p, {"speedup", "throughput", "util", "ops_per", "per_sec",
+                      "efficiency", "ipc"}))
     return MetricDirection::kHigherIsBetter;
   // "_ns"/"ns_per", not bare "ns": "transitions" is a structural count.
   if (containsAny(p, {"_ns", "ns_per", "cycles", "stall", "wait", "latency",

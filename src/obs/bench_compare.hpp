@@ -5,8 +5,9 @@
 // "[i]" for array elements). For every path present in both, the relative
 // change decides pass/regress under a direction heuristic:
 //   higher-is-better  path contains "speedup", "throughput", "util",
-//                     "ops_per" or "ipc" -> regression when current falls
-//                     below baseline * (1 - tolerance)
+//                     "ops_per", "per_sec", "efficiency" or "ipc" ->
+//                     regression when current falls below
+//                     baseline * (1 - tolerance)
 //   lower-is-better   path contains "_ns", "ns_per", "cycles", "stall", "wait",
 //                     "latency", "time", "depth", "misses" -> regression
 //                     when current exceeds baseline * (1 + tolerance)

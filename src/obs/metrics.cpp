@@ -81,6 +81,27 @@ double Histogram::quantile(double q) const {
          fraction * static_cast<double>(range.hi - range.lo);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 && bounds_.empty() && counts_.empty()) {
+    *this = other;  // default-constructed target adopts the source wholesale
+    return;
+  }
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  PSCP_ASSERT(bounds_ == other.bounds_ &&
+              "Histogram::merge requires identical bucket bounds");
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
 int64_t& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }

@@ -49,6 +49,11 @@ class Histogram {
   /// Exact-vs-bucketed error is bounded by that bracket's width.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Fold another histogram's samples into this one. Requires identical
+  /// bucket bounds unless one side is empty (an empty histogram adopts the
+  /// other's bounds) — the fleet merges per-worker registries this way.
+  void merge(const Histogram& other);
+
  private:
   /// Bucket index and cumulative count strictly before it for a 1-based
   /// sample rank; requires count_ > 0.
@@ -87,6 +92,11 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+
+  /// Fold another registry into this one: counters add, histograms merge
+  /// (same-name histograms must share bucket bounds). Used to combine the
+  /// per-worker registries of a fleet into one report on demand.
+  void mergeFrom(const MetricsRegistry& other);
 
   /// Aligned plain-text report (counters first, then histograms).
   [[nodiscard]] std::string dumpText() const;

@@ -10,20 +10,65 @@ namespace pscp::machine {
 using statechart::StateId;
 using statechart::TransitionId;
 
-PscpMachine::PscpMachine(const statechart::Chart& chart,
-                         const actionlang::Program& actions,
-                         const hwlib::ArchConfig& arch,
-                         compiler::CompileOptions options)
+// -------------------------------------------------------------- ChartImage
+
+ChartImage::ChartImage(const statechart::Chart& chart,
+                       const actionlang::Program& actions,
+                       const hwlib::ArchConfig& arch,
+                       compiler::CompileOptions options)
     : chart_(chart),
       actions_(actions),
       arch_(arch),
       layout_(chart),
       sla_(chart, layout_),
       binding_(sla::makeBinding(chart, layout_)),
-      app_(compiler::Compiler(actions, binding_, arch_, options).compile(chart)),
-      structure_(chart),
-      externalMem_(tep::kExternalSize, 0) {
+      app_(compiler::Compiler(actions, binding_, arch_, options).compile(chart)) {
   arch_.validate();
+
+  // Precompute the structural data resolveConflicts and the configuration
+  // update need per transition, as packed bitsets over StateIds. The
+  // structure-only interpreter is construction scaffolding; instances
+  // never consult it.
+  statechart::Interpreter structure(chart);
+  const int stateCount = static_cast<int>(chart.stateCount());
+  const size_t transitionCount = chart.transitions().size();
+  exitSets_.reserve(transitionCount);
+  enterSets_.reserve(transitionCount);
+  scopeDepth_.reserve(transitionCount);
+  exclusionGroup_.reserve(transitionCount);
+  routineEntry_.reserve(transitionCount);
+  std::map<std::string, int> groupIds;
+  for (const statechart::Transition& t : chart.transitions()) {
+    BitVec exits(stateCount);
+    for (StateId s : structure.exitSet(t.id)) exits.set(static_cast<int>(s));
+    exitSets_.push_back(std::move(exits));
+    BitVec enters(stateCount);
+    for (StateId s : structure.enterSet(t.id)) enters.set(static_cast<int>(s));
+    enterSets_.push_back(std::move(enters));
+    scopeDepth_.push_back(chart.depth(structure.scopeOf(t.id)));
+    if (t.exclusionGroup.empty()) {
+      exclusionGroup_.push_back(-1);
+    } else {
+      const auto [it, inserted] =
+          groupIds.emplace(t.exclusionGroup, static_cast<int>(groupIds.size()));
+      (void)inserted;
+      exclusionGroup_.push_back(it->second);
+    }
+    routineEntry_.push_back(
+        app_.program.entryOf(app_.transitionRoutine.at(t.id)));
+  }
+  exclusionGroupCount_ = static_cast<int>(groupIds.size());
+}
+
+// ------------------------------------------------------------- PscpMachine
+
+PscpMachine::PscpMachine(std::shared_ptr<const ChartImage> image)
+    : image_(std::move(image)),
+      chart_(image_->chart_),
+      arch_(image_->arch_),
+      layout_(image_->layout_),
+      sla_(image_->sla_),
+      externalMem_(tep::kExternalSize, 0) {
   internalBanks_.assign(static_cast<size_t>(arch_.numTeps),
                         std::vector<uint8_t>(tep::kExternalBase, 0));
   regBanks_.assign(static_cast<size_t>(arch_.numTeps), std::vector<uint32_t>(16, 0));
@@ -31,36 +76,30 @@ PscpMachine::PscpMachine(const statechart::Chart& chart,
   cr_ = BitVec(layout_.totalBits());
   fieldCode_.assign(layout_.stateFields().size(), 0);
   activeBits_ = BitVec(static_cast<int>(chart_.stateCount()));
+  pendingEventBits_ = BitVec(layout_.eventCount());
+  exitedScratch_ = BitVec(static_cast<int>(chart_.stateCount()));
+  groupInFlight_.assign(static_cast<size_t>(image_->exclusionGroupCount_), 0);
   for (StateId s : chart_.defaultCompletion(chart_.root())) applyActive(s, true);
   activeSnapshotBits_ = activeBits_;
 
-  // Precompute the structural data resolveConflicts and the configuration
-  // update need per transition, as packed bitsets over StateIds.
-  const int stateCount = static_cast<int>(chart_.stateCount());
-  exitSets_.reserve(chart_.transitions().size());
-  enterSets_.reserve(chart_.transitions().size());
-  scopeDepth_.reserve(chart_.transitions().size());
-  for (const statechart::Transition& t : chart_.transitions()) {
-    BitVec exits(stateCount);
-    for (StateId s : structure_.exitSet(t.id)) exits.set(static_cast<int>(s));
-    exitSets_.push_back(std::move(exits));
-    BitVec enters(stateCount);
-    for (StateId s : structure_.enterSet(t.id)) enters.set(static_cast<int>(s));
-    enterSets_.push_back(std::move(enters));
-    scopeDepth_.push_back(chart_.depth(structure_.scopeOf(t.id)));
-  }
-
-  app_.loadImage(*this);
+  image_->app_.loadImage(*this);
   for (int i = 0; i < arch_.numTeps; ++i) {
     teps_.push_back(std::make_unique<tep::Tep>(arch_, *this, i));
-    teps_.back()->setProgram(&app_.program);
+    teps_.back()->setProgram(&image_->app_.program);
     condCache_.emplace_back(static_cast<size_t>(layout_.conditionCount()), 0);
     condDirty_.emplace_back(layout_.conditionCount());
   }
+  runningScratch_.assign(teps_.size(), -1);
   dispatchCycles_.assign(static_cast<size_t>(arch_.numTeps), 0);
   dispatchInstrs_.assign(static_cast<size_t>(arch_.numTeps), 0);
   dispatchStalls_.assign(static_cast<size_t>(arch_.numTeps), 0);
 }
+
+PscpMachine::PscpMachine(const statechart::Chart& chart,
+                         const actionlang::Program& actions,
+                         const hwlib::ArchConfig& arch,
+                         compiler::CompileOptions options)
+    : PscpMachine(std::make_shared<const ChartImage>(chart, actions, arch, options)) {}
 
 obs::TraceMeta PscpMachine::traceMeta() const {
   obs::TraceMeta meta;
@@ -82,7 +121,7 @@ obs::TraceMeta PscpMachine::traceMeta() const {
                chart_.state(t.target).name.c_str());
   for (const auto& [name, port] : chart_.ports())
     meta.portNames.emplace_back(port.address, name);
-  for (StateId s : active_) meta.initialActive.push_back(static_cast<int>(s));
+  activeBits_.forEachSetBit([&](int s) { meta.initialActive.push_back(s); });
   meta.stateParent.resize(chart_.states().size(), -1);
   for (const statechart::State& s : chart_.states())
     meta.stateParent[static_cast<size_t>(s.id)] = static_cast<int>(s.parent);
@@ -109,13 +148,8 @@ PscpMachine::~PscpMachine() = default;
 // --------------------------------------------------- incremental CR upkeep
 
 void PscpMachine::applyActive(StateId s, bool active) {
-  if (active) {
-    if (!active_.insert(s).second) return;
-    activeBits_.set(static_cast<int>(s));
-  } else {
-    if (active_.erase(s) == 0) return;
-    activeBits_.reset(static_cast<int>(s));
-  }
+  if (activeBits_.test(static_cast<int>(s)) == active) return;
+  activeBits_.set(static_cast<int>(s), active);
   if (s == chart_.root()) return;  // the root has no CR code
   const auto [fieldIndex, code] = layout_.stateCode(s);
   int& current = fieldCode_[static_cast<size_t>(fieldIndex)];
@@ -199,7 +233,12 @@ void PscpMachine::writePort(int address, uint32_t value) {
     obs_.sink->onPortWrite(address, value, cycleIndex, machineTimeNow_);
 }
 
-void PscpMachine::raiseEvent(int index) { pendingInternalEvents_.insert(index); }
+void PscpMachine::raiseEvent(int index) {
+  PSCP_ASSERT(index >= 0 && index < pendingEventBits_.size());
+  if (pendingEventBits_.test(index)) return;
+  pendingEventBits_.set(index);
+  pendingEvents_.push_back(index);
+}
 
 void PscpMachine::setCondition(int index, bool value) {
   // TEPs write their local condition cache; the write-back at routine end
@@ -244,12 +283,13 @@ bool PscpMachine::acquireExternalBus(int tepId) {
 
 bool PscpMachine::isActive(const std::string& stateName) const {
   const StateId id = chart_.findState(stateName);
-  return id != statechart::kNoState && active_.count(id) != 0;
+  return id != statechart::kNoState && activeBits_.test(static_cast<int>(id));
 }
 
 std::vector<std::string> PscpMachine::activeNames() const {
   std::vector<std::string> names;
-  for (StateId s : active_) names.push_back(chart_.state(s).name);
+  activeBits_.forEachSetBit(
+      [&](int s) { names.push_back(chart_.state(static_cast<StateId>(s)).name); });
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -294,8 +334,8 @@ uint32_t PscpMachine::outputPort(int portAddress) const {
 }
 
 int64_t PscpMachine::globalValue(const std::string& name) const {
-  const compiler::VarPlacement& p = app_.globalPlacement.at(name);
-  const actionlang::GlobalVar* g = actions_.findGlobal(name);
+  const compiler::VarPlacement& p = image_->app_.globalPlacement.at(name);
+  const actionlang::GlobalVar* g = image_->actions_.findGlobal(name);
   PSCP_ASSERT(g != nullptr);
   uint32_t raw = 0;
   if (p.storageClass == compiler::kStorageRegister) {
@@ -313,8 +353,8 @@ int64_t PscpMachine::globalValue(const std::string& name) const {
 }
 
 void PscpMachine::setGlobalValue(const std::string& name, int64_t value) {
-  const compiler::VarPlacement& p = app_.globalPlacement.at(name);
-  const actionlang::GlobalVar* g = actions_.findGlobal(name);
+  const compiler::VarPlacement& p = image_->app_.globalPlacement.at(name);
+  const actionlang::GlobalVar* g = image_->actions_.findGlobal(name);
   PSCP_ASSERT(g != nullptr);
   if (p.storageClass == compiler::kStorageRegister) {
     for (auto& bank : regBanks_)
@@ -340,30 +380,35 @@ void PscpMachine::addTimer(const std::string& event, int64_t period) {
   timers_.push_back(t);
 }
 
-std::vector<TransitionId> PscpMachine::resolveConflicts(
-    const std::vector<TransitionId>& selected) const {
+void PscpMachine::resolveConflicts() {
   // Identical policy to statechart::Interpreter::step — outer scope first,
   // then declaration order; drop transitions whose exit sets overlap. The
-  // exit sets are the bitsets precomputed at construction, so this runs
-  // without allocating per transition.
-  std::vector<TransitionId> order = selected;
-  std::stable_sort(order.begin(), order.end(), [&](TransitionId a, TransitionId b) {
-    const int da = scopeDepth_[static_cast<size_t>(a)];
-    const int db = scopeDepth_[static_cast<size_t>(b)];
-    if (da != db) return da < db;
-    return a < b;
-  });
-  std::vector<TransitionId> chosen;
-  BitVec exited(static_cast<int>(chart_.stateCount()));
+  // exit sets are the bitsets precomputed in the image, so this runs
+  // without allocating per transition. The order is by (scope depth, id);
+  // selectScratch_ arrives sorted by id, so an in-place insertion sort by
+  // depth keeps ties in id order without std::stable_sort's temp buffer.
+  const std::vector<int>& depth = image_->scopeDepth_;
+  std::vector<TransitionId>& order = selectScratch_;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const TransitionId t = order[i];
+    const int dt = depth[static_cast<size_t>(t)];
+    size_t j = i;
+    while (j > 0 && depth[static_cast<size_t>(order[j - 1])] > dt) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = t;
+  }
+  chosenScratch_.clear();
+  exitedScratch_.clear();
   for (TransitionId t : order) {
     const statechart::Transition& tr = chart_.transition(t);
-    if (exited.test(static_cast<int>(tr.source))) continue;
-    const BitVec& exits = exitSets_[static_cast<size_t>(t)];
-    if (exits.intersects(exited)) continue;
-    exited.orWithAnd(exits, activeBits_);  // mark only actually-active exits
-    chosen.push_back(t);
+    if (exitedScratch_.test(static_cast<int>(tr.source))) continue;
+    const BitVec& exits = image_->exitSets_[static_cast<size_t>(t)];
+    if (exits.intersects(exitedScratch_)) continue;
+    exitedScratch_.orWithAnd(exits, activeBits_);  // mark only actually-active exits
+    chosenScratch_.push_back(t);
   }
-  return chosen;
 }
 
 CycleStats PscpMachine::configurationCycle(
@@ -376,8 +421,19 @@ CycleStats PscpMachine::configurationCycle(
 
 CycleStats PscpMachine::configurationCycleIds(
     const std::vector<int>& externalEventIds) {
-  ++configCycles_;
   CycleStats stats;
+  configurationCycleIds(externalEventIds, &stats);
+  return stats;
+}
+
+void PscpMachine::configurationCycleIds(const std::vector<int>& externalEventIds,
+                                        CycleStats* statsOut) {
+  ++configCycles_;
+  CycleStats& stats = *statsOut;
+  stats.fired.clear();
+  stats.cycles = 0;
+  stats.busStallCycles = 0;
+  stats.quiescent = false;
   activeSnapshotBits_ = activeBits_;
   busStallsThisCycle_ = 0;
 
@@ -390,29 +446,33 @@ CycleStats PscpMachine::configurationCycleIds(
   // 1. Sample events into the CR: external + those the TEPs raised last
   //    cycle + matured hardware timers. Events live for exactly this cycle
   //    (their CR bits are cleared again right after the SLA decode).
-  std::vector<int> eventBits(pendingInternalEvents_.begin(),
-                             pendingInternalEvents_.end());
-  pendingInternalEvents_.clear();
-  eventBits.insert(eventBits.end(), externalEventIds.begin(), externalEventIds.end());
+  eventScratch_.clear();
+  eventScratch_.insert(eventScratch_.end(), pendingEvents_.begin(),
+                       pendingEvents_.end());
+  pendingEvents_.clear();
+  pendingEventBits_.clear();
+  eventScratch_.insert(eventScratch_.end(), externalEventIds.begin(),
+                       externalEventIds.end());
   for (Timer& t : timers_) {
     if (totalCycles_ >= t.nextFire) {
-      eventBits.push_back(t.eventBit);
+      eventScratch_.push_back(t.eventBit);
       if (sink != nullptr) sink->onTimerFire(t.eventBit, base);
       // Catch up without bursting: one event per cycle boundary.
       while (t.nextFire <= totalCycles_) t.nextFire += t.period;
     }
   }
-  for (int b : eventBits) cr_.set(b);
+  for (int b : eventScratch_) cr_.set(b);
 
   // 2. SLA selects enabled transitions; scheduler resolves conflicts.
   if (sink != nullptr) sink->onCrSampled(cr_, base);
   sla::SelectStats selectStats;
-  const std::vector<TransitionId> selected =
-      sla_.select(cr_, sink != nullptr ? &selectStats : nullptr);
-  for (int b : eventBits) cr_.reset(b);  // events are consumed by the decode
-  const std::vector<TransitionId> chosen = resolveConflicts(selected);
+  sla_.selectInto(cr_, selectScratch_, sink != nullptr ? &selectStats : nullptr);
+  for (int b : eventScratch_) cr_.reset(b);  // events are consumed by the decode
+  std::vector<int> selectedIds;  // copied before resolveConflicts reorders
+  if (sink != nullptr) selectedIds.assign(selectScratch_.begin(), selectScratch_.end());
+  resolveConflicts();
+  const std::vector<TransitionId>& chosen = chosenScratch_;
   if (sink != nullptr) {
-    std::vector<int> selectedIds(selected.begin(), selected.end());
     std::vector<int> chosenIds(chosen.begin(), chosen.end());
     sink->onSlaSelect(selectedIds, chosenIds, selectStats.termsEvaluated, base);
   }
@@ -423,7 +483,7 @@ CycleStats PscpMachine::configurationCycleIds(
     machineTimeNow_ = totalCycles_;
     if (sink != nullptr)
       sink->onCycleEnd(cycleIndex, stats.cycles, 0, 0, true, totalCycles_);
-    return stats;
+    return;
   }
 
   // 3. Fill the TEP condition caches from the CR (flat byte copy).
@@ -436,9 +496,10 @@ CycleStats PscpMachine::configurationCycleIds(
   //    TEPs in lockstep with bus arbitration. Mutual-exclusion groups are
   //    never in flight on two TEPs at once (the "additional decode logic"
   //    of Sec. 4).
-  std::vector<TransitionId> table = chosen;  // FIFO of pending transitions
-  std::vector<TransitionId> running(teps_.size(), -1);
-  std::set<std::string> groupsInFlight;
+  std::vector<TransitionId>& table = tatScratch_;  // FIFO of pending transitions
+  table.assign(chosen.begin(), chosen.end());
+  std::vector<TransitionId>& running = runningScratch_;
+  running.assign(teps_.size(), -1);
   int64_t cycles = kSlaEvaluateCycles +
                    static_cast<int64_t>(teps_.size()) *
                        conditionCopyCycles(arch_, layout_.conditionCount());
@@ -447,15 +508,13 @@ CycleStats PscpMachine::configurationCycleIds(
     if (running[tepIndex] != -1 || table.empty()) return;
     // Find the first pending transition whose exclusion group is free.
     for (size_t j = 0; j < table.size(); ++j) {
-      const statechart::Transition& tr = chart_.transition(table[j]);
-      if (!tr.exclusionGroup.empty() && groupsInFlight.count(tr.exclusionGroup) != 0)
-        continue;
+      const int group = image_->exclusionGroup_[static_cast<size_t>(table[j])];
+      if (group >= 0 && groupInFlight_[static_cast<size_t>(group)] != 0) continue;
       const TransitionId t = table[j];
       table.erase(table.begin() + static_cast<std::ptrdiff_t>(j));
       running[tepIndex] = t;
-      if (!tr.exclusionGroup.empty()) groupsInFlight.insert(tr.exclusionGroup);
-      const std::string& routine = app_.transitionRoutine.at(t);
-      teps_[tepIndex]->startRoutine(app_.program.entryOf(routine));
+      if (group >= 0) groupInFlight_[static_cast<size_t>(group)] = 1;
+      teps_[tepIndex]->startRoutine(image_->routineEntry_[static_cast<size_t>(t)]);
       cycles += kDispatchCyclesPerTransition;
       if (sink != nullptr) {
         dispatchCycles_[tepIndex] = teps_[tepIndex]->cyclesExecuted();
@@ -512,8 +571,8 @@ CycleStats PscpMachine::configurationCycleIds(
         condDirty_[i].forEachSetBit(
             [&](int c) { setCrCondition(c, condCache_[i][static_cast<size_t>(c)] != 0); });
         condDirty_[i].clear();
-        const statechart::Transition& tr = chart_.transition(done);
-        if (!tr.exclusionGroup.empty()) groupsInFlight.erase(tr.exclusionGroup);
+        const int doneGroup = image_->exclusionGroup_[static_cast<size_t>(done)];
+        if (doneGroup >= 0) groupInFlight_[static_cast<size_t>(doneGroup)] = 0;
         cycles += conditionCopyCycles(arch_, layout_.conditionCount());
         stats.fired.push_back(done);
         if (sink != nullptr) {
@@ -535,10 +594,10 @@ CycleStats PscpMachine::configurationCycleIds(
   // 5. Configuration update: apply exits/enters of all fired transitions.
   //    applyActive keeps the packed CR state fields in sync incrementally.
   for (TransitionId t : chosen)
-    exitSets_[static_cast<size_t>(t)].forEachSetBit(
+    image_->exitSets_[static_cast<size_t>(t)].forEachSetBit(
         [&](int s) { applyActive(static_cast<StateId>(s), false); });
   for (TransitionId t : chosen)
-    enterSets_[static_cast<size_t>(t)].forEachSetBit(
+    image_->enterSets_[static_cast<size_t>(t)].forEachSetBit(
         [&](int s) { applyActive(static_cast<StateId>(s), true); });
 
   stats.cycles = cycles;
@@ -548,23 +607,21 @@ CycleStats PscpMachine::configurationCycleIds(
   machineTimeNow_ = totalCycles_;
   if (sink != nullptr) {
     std::vector<int> activeIds;
-    activeIds.reserve(active_.size());
-    for (StateId s : active_) activeIds.push_back(static_cast<int>(s));
+    activeBits_.forEachSetBit([&](int s) { activeIds.push_back(s); });
     sink->onConfigUpdate(activeIds, totalCycles_);
     sink->onCycleEnd(cycleIndex, stats.cycles, stats.busStallCycles,
                      static_cast<int>(stats.fired.size()), false, totalCycles_);
   }
-  return stats;
 }
 
 std::vector<CycleStats> PscpMachine::runToQuiescence(
     const std::set<std::string>& initialEvents, int maxCycles) {
   std::vector<CycleStats> out;
   out.push_back(configurationCycle(initialEvents));
-  while (!out.back().quiescent || !pendingInternalEvents_.empty()) {
+  while (!out.back().quiescent || !pendingEvents_.empty()) {
     if (static_cast<int>(out.size()) >= maxCycles) break;
     out.push_back(configurationCycle({}));
-    if (out.back().quiescent && pendingInternalEvents_.empty()) break;
+    if (out.back().quiescent && pendingEvents_.empty()) break;
   }
   return out;
 }

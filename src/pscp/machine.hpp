@@ -31,6 +31,17 @@
 // byte arrays with dirty bitmasks, and the string-keyed API has interned
 // integer-ID twins (eventId()/portId() + the int overloads) for callers
 // that drive millions of cycles.
+//
+// Multi-instance organisation: everything a machine needs that depends
+// only on the chart — the CR layout, the synthesized SLA, the compiled
+// program, the per-transition exit/enter bitsets — lives in a ChartImage,
+// an immutable compile product that any number of machines share via
+// shared_ptr. A fleet spawns its Nth instance by allocating mutable state
+// only (memories, register banks, TEP cores); the compiler and SLA
+// synthesis run once per chart, not once per instance. Steady-state
+// stepping through configurationCycleIds(events, &stats) is allocation-
+// free: every per-cycle temporary is a member scratch buffer, so thousands
+// of instances stepped by a worker pool never serialize on the allocator.
 #pragma once
 
 #include <map>
@@ -56,6 +67,8 @@ struct PortWrite {
   uint32_t value = 0;
   int64_t configCycle = 0;  ///< 0-based configuration-cycle index
   int64_t time = 0;         ///< absolute machine time (reference cycles)
+
+  [[nodiscard]] bool operator==(const PortWrite&) const = default;
 };
 
 struct CycleStats {
@@ -65,8 +78,55 @@ struct CycleStats {
   bool quiescent = false;      ///< SLA selected nothing
 };
 
+/// The immutable per-chart compile product: CR layout, synthesized SLA,
+/// hardware binding, compiled TEP program, and the per-transition
+/// structural data (exit/enter bitsets, scope depths, interned exclusion
+/// groups, routine entry points) the scheduler needs each cycle. Build it
+/// once and hand the same shared_ptr to every PscpMachine over the chart —
+/// construction cost (SLA synthesis + compilation) is paid once per chart,
+/// and the image is safe to read from any number of threads concurrently.
+/// The chart and actions must outlive the image.
+class ChartImage {
+ public:
+  ChartImage(const statechart::Chart& chart, const actionlang::Program& actions,
+             const hwlib::ArchConfig& arch, compiler::CompileOptions options = {});
+
+  [[nodiscard]] const statechart::Chart& chart() const { return chart_; }
+  [[nodiscard]] const actionlang::Program& actions() const { return actions_; }
+  [[nodiscard]] const hwlib::ArchConfig& arch() const { return arch_; }
+  [[nodiscard]] const sla::CrLayout& layout() const { return layout_; }
+  [[nodiscard]] const sla::Sla& sla() const { return sla_; }
+  [[nodiscard]] const compiler::HardwareBinding& binding() const { return binding_; }
+  [[nodiscard]] const compiler::CompiledApp& app() const { return app_; }
+
+ private:
+  friend class PscpMachine;
+
+  const statechart::Chart& chart_;
+  const actionlang::Program& actions_;
+  hwlib::ArchConfig arch_;
+  sla::CrLayout layout_;
+  sla::Sla sla_;
+  compiler::HardwareBinding binding_;
+  compiler::CompiledApp app_;
+
+  // Precomputed per transition (the scheduler's per-cycle work reads these
+  // flat arrays and never recomputes structure).
+  std::vector<BitVec> exitSets_;   ///< states exited when t fires
+  std::vector<BitVec> enterSets_;  ///< states entered when t fires
+  std::vector<int> scopeDepth_;    ///< depth of the transition's scope
+  std::vector<int> exclusionGroup_;  ///< interned group id, -1 = none
+  std::vector<int> routineEntry_;    ///< program entry index of t's routine
+  int exclusionGroupCount_ = 0;
+};
+
 class PscpMachine : public tep::TepHost {
  public:
+  /// Spawn an instance over a prebuilt (shared) compile image — the cheap
+  /// path for fleets: allocates mutable machine state only.
+  explicit PscpMachine(std::shared_ptr<const ChartImage> image);
+
+  /// Convenience: compile a private image and run over it.
   PscpMachine(const statechart::Chart& chart, const actionlang::Program& actions,
               const hwlib::ArchConfig& arch,
               compiler::CompileOptions options = {});
@@ -80,6 +140,13 @@ class PscpMachine : public tep::TepHost {
   /// environment models that fire the same events millions of times should
   /// intern once and call this.
   CycleStats configurationCycleIds(const std::vector<int>& externalEventIds);
+
+  /// In-place twin of configurationCycleIds: clears and refills
+  /// `stats->fired` instead of returning a fresh CycleStats, so a caller
+  /// that reuses one stats object steps the machine without any heap
+  /// allocation in steady state (the fleet worker loop depends on this).
+  void configurationCycleIds(const std::vector<int>& externalEventIds,
+                             CycleStats* stats);
 
   /// Hardware timer (paper Sec. 6 future work): raises `event` every
   /// `period` reference-clock cycles of machine time. Timer events are
@@ -118,6 +185,10 @@ class PscpMachine : public tep::TepHost {
   [[nodiscard]] const std::vector<PortWrite>& portWrites() const {
     return portWrites_;
   }
+  /// Drop the accumulated port-write log, keeping its capacity. Long-lived
+  /// instances (fleet members) drain the log each batch and clear it here
+  /// so steady-state logging never regrows the buffer.
+  void clearPortWrites() { portWrites_.clear(); }
   /// Compatibility view of portWrites(): bare (port, value) pairs.
   [[nodiscard]] std::vector<std::pair<int, uint32_t>> portWriteLog() const {
     std::vector<std::pair<int, uint32_t>> out;
@@ -139,7 +210,8 @@ class PscpMachine : public tep::TepHost {
   [[nodiscard]] int64_t globalValue(const std::string& name) const;
   void setGlobalValue(const std::string& name, int64_t value);
 
-  [[nodiscard]] const compiler::CompiledApp& app() const { return app_; }
+  [[nodiscard]] const ChartImage& image() const { return *image_; }
+  [[nodiscard]] const compiler::CompiledApp& app() const { return image_->app(); }
   [[nodiscard]] const sla::Sla& slaModel() const { return sla_; }
   [[nodiscard]] const sla::CrLayout& crLayout() const { return layout_; }
   [[nodiscard]] const hwlib::ArchConfig& arch() const { return arch_; }
@@ -158,23 +230,22 @@ class PscpMachine : public tep::TepHost {
   bool acquireExternalBus(int tepId) override;
 
  private:
-  /// Insert/remove `s` from the configuration, keeping active_, the packed
-  /// activity bitset and the CR state field incrementally in sync.
+  /// Insert/remove `s` from the configuration, keeping the packed activity
+  /// bitset and the CR state field incrementally in sync.
   void applyActive(statechart::StateId s, bool active);
   /// Write one condition bit to both the byte array and the packed CR.
   void setCrCondition(int index, bool value);
-  [[nodiscard]] std::vector<statechart::TransitionId> resolveConflicts(
-      const std::vector<statechart::TransitionId>& selected) const;
+  /// Conflict resolution over `selectScratch_` into `chosenScratch_`
+  /// (identical policy to statechart::Interpreter::step), allocation-free.
+  void resolveConflicts();
 
+  std::shared_ptr<const ChartImage> image_;
+  // Aliases into the image, so the cycle logic reads image data with the
+  // same spelling it used when the machine owned these objects.
   const statechart::Chart& chart_;
-  const actionlang::Program& actions_;
-  hwlib::ArchConfig arch_;
-  sla::CrLayout layout_;
-  sla::Sla sla_;
-  compiler::HardwareBinding binding_;
-  compiler::CompiledApp app_;
-  /// Structure-only interpreter used for scope/exit/enter computations.
-  statechart::Interpreter structure_;
+  const hwlib::ArchConfig& arch_;
+  const sla::CrLayout& layout_;
+  const sla::Sla& sla_;
 
   // Machine state.
   struct Timer {
@@ -184,22 +255,30 @@ class PscpMachine : public tep::TepHost {
   };
   std::vector<Timer> timers_;
 
-  std::set<statechart::StateId> active_;
-  BitVec activeBits_;          ///< active_ as a bitset over StateIds
+  BitVec activeBits_;          ///< the configuration as a bitset over StateIds
   BitVec activeSnapshotBits_;  ///< config at cycle start (STST reads this)
   /// The packed Configuration Register, maintained incrementally: event
   /// bits live only between sampling and SLA selection; condition bits
-  /// track crConditions_; state fields track active_.
+  /// track crConditions_; state fields track activeBits_.
   BitVec cr_;
   std::vector<int> fieldCode_;         ///< current code per state field
   std::vector<uint8_t> crConditions_;  ///< condition part, byte per bit
-  std::set<int> pendingInternalEvents_;
+  /// Internal events raised since the last sampling: a dedup bitset plus
+  /// the raise-ordered list (both reused across cycles, never freed).
+  BitVec pendingEventBits_;
+  std::vector<int> pendingEvents_;
 
-  // Precomputed per transition at construction (resolveConflicts and the
-  // configuration update are allocation-free per cycle).
-  std::vector<BitVec> exitSets_;   ///< states exited when t fires
-  std::vector<BitVec> enterSets_;  ///< states entered when t fires
-  std::vector<int> scopeDepth_;    ///< depth of the transition's scope
+  // Per-cycle scratch buffers, hoisted out of configurationCycleIds so the
+  // steady-state step never allocates: sampled event bits, SLA selection,
+  // conflict-resolution output, the Transition Address Table FIFO, and the
+  // per-TEP running-transition slots.
+  std::vector<int> eventScratch_;
+  std::vector<statechart::TransitionId> selectScratch_;
+  std::vector<statechart::TransitionId> chosenScratch_;
+  std::vector<statechart::TransitionId> tatScratch_;
+  std::vector<statechart::TransitionId> runningScratch_;
+  BitVec exitedScratch_;                 ///< resolveConflicts working set
+  std::vector<uint8_t> groupInFlight_;   ///< by interned exclusion group id
 
   // Memory / registers / ports. Internal RAM is the TEP-local memory of
   // Fig. 1 — one bank per TEP (function frames and expression temporaries

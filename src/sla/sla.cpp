@@ -171,6 +171,13 @@ Sla::Sla(const Chart& chart, const CrLayout& layout) : chart_(chart), layout_(la
 }
 
 std::vector<TransitionId> Sla::select(const BitVec& cr, SelectStats* stats) const {
+  std::vector<TransitionId> out;
+  selectInto(cr, out, stats);
+  return out;
+}
+
+void Sla::selectInto(const BitVec& cr, std::vector<TransitionId>& out,
+                     SelectStats* stats) const {
   // Stats model the hardware PLA, which exercises its full AND plane on
   // every decode — charged once per select, hoisted off the scan path so
   // observation cannot perturb what it measures.
@@ -178,7 +185,7 @@ std::vector<TransitionId> Sla::select(const BitVec& cr, SelectStats* stats) cons
     stats->termsEvaluated += totalTerms_;
     stats->literalsEvaluated += totalLiterals_;
   }
-  std::vector<TransitionId> out;
+  out.clear();
   const int stateBase = layout_.stateBase();
   for (size_t f = 0; f < activityIndex_.size(); ++f) {
     const StateField& field = layout_.stateFields()[f];
@@ -197,7 +204,6 @@ std::vector<TransitionId> Sla::select(const BitVec& cr, SelectStats* stats) cons
   }
   // Buckets interleave by field; selection order is by transition id.
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 std::vector<TransitionId> Sla::select(const std::vector<bool>& crBits,

@@ -91,6 +91,12 @@ class Sla {
   [[nodiscard]] std::vector<statechart::TransitionId> select(
       const BitVec& cr, SelectStats* stats = nullptr) const;
 
+  /// In-place variant of the packed select: clears `out` (keeping its
+  /// capacity) and fills it with the selection. Steady-state callers that
+  /// reuse the same scratch vector never touch the allocator.
+  void selectInto(const BitVec& cr, std::vector<statechart::TransitionId>& out,
+                  SelectStats* stats = nullptr) const;
+
   /// Convenience overload for callers still holding a std::vector<bool>.
   [[nodiscard]] std::vector<statechart::TransitionId> select(
       const std::vector<bool>& crBits, SelectStats* stats = nullptr) const;

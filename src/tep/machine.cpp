@@ -73,6 +73,7 @@ Tep::Tep(const hwlib::ArchConfig& config, TepHost& host, int id)
 void Tep::setProgram(const AsmProgram* program) {
   program_ = program;
   microCache_.clear();
+  microByPc_.assign(program != nullptr ? program->code.size() : 0, nullptr);
 }
 
 const std::vector<MicroInstr>& Tep::microProgramFor(const Instr& instr) {
@@ -101,7 +102,11 @@ void Tep::beginInstruction() {
   if (pc_ < 0 || pc_ >= static_cast<int>(program_->code.size()))
     fail("TEP%d: PC %d ran off the program (size %zu)", id_, pc_, program_->code.size());
   current_ = program_->code[static_cast<size_t>(pc_)];
-  microProgram_ = &microProgramFor(current_);
+  // Program memory is immutable while loaded, so the microprogram of a
+  // given PC never changes: resolve it once, then hit the pointer table.
+  const std::vector<MicroInstr>*& slot = microByPc_[static_cast<size_t>(pc_)];
+  if (slot == nullptr) slot = &microProgramFor(current_);
+  microProgram_ = slot;
   microPc_ = 0;
   // The PC advances as the instruction enters execution; the IFetch state
   // (when present — the pipelined TEP overlaps it away) is pure cost.

@@ -1,0 +1,176 @@
+// Steady-state allocation audit: after warm-up, stepping a PscpMachine
+// through configurationCycleIds(events, &stats) must never touch the heap
+// — that is what lets a fleet worker pool step thousands of instances
+// without serializing on the allocator.
+//
+// This TU replaces the global operator new/delete with counting versions
+// (forwarding to malloc/free, so behaviour is unchanged for the whole
+// test binary) and asserts a delta of zero across 1000 hot cycles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "actionlang/parser.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+
+namespace {
+std::atomic<uint64_t> gAllocations{0};
+
+void* countedAlloc(std::size_t size) {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* countedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = alignment;
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pscp::machine {
+namespace {
+
+const char* kChart = R"chart(
+chart Counter;
+event GO; event STOP; event TICK; event OVERFLOW;
+condition ARMED;
+port Sense data in width 8 address 0x20;
+port Drive data out width 8 address 0x21;
+
+orstate Top {
+  contains IdleS, Active;
+  default IdleS;
+}
+basicstate IdleS {
+  transition { target Active; label "GO [ARMED]/Init()"; }
+}
+andstate Active {
+  transition { target IdleS; label "STOP/Report()"; }
+  transition { target IdleS; label "OVERFLOW"; }
+  orstate CountPart { default Counting;
+    basicstate Counting {
+      transition { target Counting; label "TICK/Bump()"; }
+    }
+  }
+  orstate WatchPart { default Watching;
+    basicstate Watching {
+      transition { target Watching; label "TICK/Watch()"; }
+    }
+  }
+}
+)chart";
+
+const char* kActions = R"code(
+int:16 count;
+int:16 watchTicks;
+int:16 highWater;
+uint:8 lastSense;
+
+void Init() {
+  count = 0;
+  watchTicks = 0;
+  highWater = 0;
+  set_cond(ARMED, 0);
+}
+
+void Bump() {
+  lastSense = read_port(Sense);
+  count = count + lastSense;
+  if (count > 200) { raise(OVERFLOW); }
+}
+
+void Watch() {
+  watchTicks = watchTicks + 1;
+  if (watchTicks * 3 > highWater) { highWater = watchTicks * 3; }
+}
+
+void Report() {
+  write_port(Drive, count);
+}
+)code";
+
+TEST(SteadyStateAllocations, HotCycleLoopIsAllocationFree) {
+  const statechart::Chart chart = statechart::parseChart(kChart);
+  const actionlang::Program actions = actionlang::parseActionSource(kActions);
+  hwlib::ArchConfig arch;
+  arch.numTeps = 2;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.hasComparator = true;
+  arch.registerFileSize = 12;
+
+  PscpMachine machine(chart, actions, arch);
+  machine.setCondition("ARMED", true);
+  machine.setInputPort("Sense", 0);  // keep count at 0 so OVERFLOW never fires
+
+  const std::vector<int> goEvent{machine.eventId("GO")};
+  const std::vector<int> tickEvent{machine.eventId("TICK")};
+  CycleStats stats;
+
+  // Warm-up: enter the AND-state and run the TICK hot path until every
+  // lazily-grown buffer (scratch vectors, microcode caches, condition
+  // caches, fired lists) has reached steady-state capacity.
+  machine.configurationCycleIds(goEvent, &stats);
+  for (int i = 0; i < 64; ++i) {
+    machine.configurationCycleIds(tickEvent, &stats);
+    machine.clearPortWrites();
+  }
+  ASSERT_TRUE(machine.isActive("Counting")) << "warm-up must stay in Active";
+  ASSERT_EQ(stats.fired.size(), 2u) << "both TICK self-loops must fire";
+
+  const uint64_t before = gAllocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    machine.configurationCycleIds(tickEvent, &stats);
+    machine.clearPortWrites();
+  }
+  const uint64_t after = gAllocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state configuration cycles must not allocate";
+  EXPECT_GT(machine.globalValue("watchTicks"), 1000);
+}
+
+}  // namespace
+}  // namespace pscp::machine

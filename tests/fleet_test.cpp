@@ -1,0 +1,386 @@
+// Fleet engine tests: SPSC queue semantics, instance lifecycle, event
+// injection, metrics merging, and — the core guarantee — determinism:
+// per-instance port-write logs must be bit-identical no matter how many
+// worker threads step the fleet.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actionlang/parser.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/spsc.hpp"
+#include "obs/metrics.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+
+namespace pscp::fleet {
+namespace {
+
+// The Counter chart from the machine tests: an AND-state whose two
+// regions both react to TICK (parallel TEP work), a guarded GO entry and
+// a STOP exit that reports through a port — enough structure that a
+// scheduling bug in the fleet would scramble the port-write logs.
+const char* kChart = R"chart(
+chart Counter;
+event GO; event STOP; event TICK; event OVERFLOW;
+condition ARMED;
+port Sense data in width 8 address 0x20;
+port Drive data out width 8 address 0x21;
+
+orstate Top {
+  contains IdleS, Active;
+  default IdleS;
+}
+basicstate IdleS {
+  transition { target Active; label "GO [ARMED]/Init()"; }
+}
+andstate Active {
+  transition { target IdleS; label "STOP/Report()"; }
+  transition { target IdleS; label "OVERFLOW"; }
+  orstate CountPart { default Counting;
+    basicstate Counting {
+      transition { target Counting; label "TICK/Bump()"; }
+    }
+  }
+  orstate WatchPart { default Watching;
+    basicstate Watching {
+      transition { target Watching; label "TICK/Watch()"; }
+    }
+  }
+}
+)chart";
+
+const char* kActions = R"code(
+int:16 count;
+int:16 watchTicks;
+int:16 highWater;
+uint:8 lastSense;
+
+void Init() {
+  count = 0;
+  watchTicks = 0;
+  highWater = 0;
+  set_cond(ARMED, 0);
+}
+
+void Bump() {
+  lastSense = read_port(Sense);
+  count = count + lastSense;
+  if (count > 200) { raise(OVERFLOW); }
+}
+
+void Watch() {
+  watchTicks = watchTicks + 1;
+  if (watchTicks * 3 > highWater) { highWater = watchTicks * 3; }
+}
+
+void Report() {
+  write_port(Drive, count);
+}
+)code";
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest()
+      : chart_(statechart::parseChart(kChart)),
+        actions_(actionlang::parseActionSource(kActions)) {
+    hwlib::ArchConfig arch;
+    arch.numTeps = 2;
+    arch.dataWidth = 16;
+    arch.hasMulDiv = true;
+    arch.hasComparator = true;
+    arch.registerFileSize = 12;
+    image_ = std::make_shared<const machine::ChartImage>(chart_, actions_, arch);
+  }
+
+  statechart::Chart chart_;
+  actionlang::Program actions_;
+  Fleet::ChartImagePtr image_;
+};
+
+// ------------------------------------------------------------------ SPSC
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(100).capacity(), 128u);
+}
+
+TEST(SpscQueue, FifoOrderAndFullEmpty) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.tryPop(&out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.tryPush(i));
+  EXPECT_FALSE(q.tryPush(99)) << "push into a full queue must fail";
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.tryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(8);
+  int out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.tryPush(round * 5 + i));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.tryPop(&out));
+      ASSERT_EQ(out, round * 5 + i);
+    }
+  }
+}
+
+// ------------------------------------------------------------- lifecycle
+
+TEST_F(FleetTest, SpawnRetireAndIdsAreNeverReused) {
+  Fleet fleet(image_);
+  const std::vector<InstanceId> ids = fleet.spawnMany(4);
+  EXPECT_EQ(fleet.liveCount(), 4u);
+  EXPECT_EQ(ids, (std::vector<InstanceId>{0, 1, 2, 3}));
+
+  fleet.retire(ids[1]);
+  EXPECT_FALSE(fleet.isLive(ids[1]));
+  EXPECT_EQ(fleet.liveCount(), 3u);
+
+  const InstanceId fresh = fleet.spawn();
+  EXPECT_EQ(fresh, 4u) << "retired ids must not be recycled";
+  EXPECT_TRUE(fleet.isLive(fresh));
+
+  fleet.step(2);  // stepping with a retired member must be fine
+  EXPECT_EQ(fleet.snapshot(fresh).configCycles, 2);
+}
+
+TEST_F(FleetTest, SpawnedInstancesStartInDefaultConfiguration) {
+  Fleet fleet(image_);
+  const InstanceId id = fleet.spawn();
+  EXPECT_TRUE(fleet.machine(id).isActive("IdleS"));
+  const InstanceSnapshot snap = fleet.snapshot(id);
+  EXPECT_EQ(snap.configCycles, 0);
+  EXPECT_NE(std::find(snap.activeStates.begin(), snap.activeStates.end(), "IdleS"),
+            snap.activeStates.end());
+}
+
+// ------------------------------------------------------------- injection
+
+TEST_F(FleetTest, InjectedEventsAreDeliveredAtTheNextEpoch) {
+  Fleet fleet(image_);
+  const InstanceId id = fleet.spawn();
+  fleet.machine(id).setCondition("ARMED", true);
+  const int go = fleet.eventId("GO");
+  EXPECT_TRUE(fleet.inject(id, go));
+
+  fleet.step();
+  EXPECT_TRUE(fleet.machine(id).isActive("Counting"));
+  const InstanceSnapshot snap = fleet.snapshot(id);
+  EXPECT_EQ(snap.eventsDelivered, 1);
+  EXPECT_EQ(snap.firedTransitions, 1);
+}
+
+TEST_F(FleetTest, FullQueueRejectsAndCountsDrops) {
+  FleetConfig config;
+  config.eventQueueCapacity = 2;
+  Fleet fleet(image_, config);
+  const InstanceId id = fleet.spawn();
+  const int tick = fleet.eventId("TICK");
+  EXPECT_TRUE(fleet.inject(id, tick));
+  EXPECT_TRUE(fleet.inject(id, tick));
+  EXPECT_FALSE(fleet.inject(id, tick));
+  EXPECT_FALSE(fleet.inject(id, tick));
+  EXPECT_EQ(fleet.snapshot(id).eventsDropped, 2);
+  EXPECT_FALSE(fleet.inject(12345, tick)) << "unknown id is a soft failure";
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(HistogramMerge, CombinesCountsAndExtremes) {
+  obs::Histogram a({10, 20, 30});
+  obs::Histogram b({10, 20, 30});
+  a.record(5);
+  a.record(25);
+  b.record(15);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.sum(), 145);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 100);
+  EXPECT_EQ(a.counts(), (std::vector<int64_t>{1, 1, 1, 1}));
+
+  obs::Histogram empty;
+  empty.merge(a);  // default-constructed target adopts the source
+  EXPECT_EQ(empty.count(), 4);
+  EXPECT_EQ(empty.bounds(), a.bounds());
+  a.merge(obs::Histogram({10, 20, 30}));  // merging an empty source: no-op
+  EXPECT_EQ(a.count(), 4);
+}
+
+TEST(MetricsMerge, RegistriesFoldCountersAndHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("x") = 3;
+  b.counter("x") = 4;
+  b.counter("y") = 1;
+  a.histogram("h", {5, 10}).record(7);
+  b.histogram("h", {5, 10}).record(2);
+  a.mergeFrom(b);
+  EXPECT_EQ(a.value("x"), 7);
+  EXPECT_EQ(a.value("y"), 1);
+  EXPECT_EQ(a.findHistogram("h")->count(), 2);
+}
+
+TEST_F(FleetTest, MergedMetricsAgreeWithPerInstanceSnapshots) {
+  FleetConfig config;
+  config.workerThreads = 2;
+  Fleet fleet(image_, config);
+  const std::vector<InstanceId> ids = fleet.spawnMany(10);
+  for (InstanceId id : ids) {
+    fleet.machine(id).setCondition("ARMED", true);
+    fleet.injectByName(id, "GO");
+  }
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (InstanceId id : ids) fleet.injectByName(id, "TICK");
+    fleet.step(2);
+  }
+  const obs::MetricsRegistry merged = fleet.mergedMetrics();
+  int64_t configCycles = 0;
+  int64_t fired = 0;
+  int64_t delivered = 0;
+  for (InstanceId id : ids) {
+    const InstanceSnapshot snap = fleet.snapshot(id);
+    configCycles += snap.configCycles;
+    fired += snap.firedTransitions;
+    delivered += snap.eventsDelivered;
+  }
+  EXPECT_EQ(merged.value("fleet.config_cycles"), configCycles);
+  EXPECT_EQ(merged.value("fleet.fired_transitions"), fired);
+  EXPECT_EQ(merged.value("fleet.events_delivered"), delivered);
+  EXPECT_GT(fired, 0);
+  const obs::Histogram* h = merged.findHistogram("fleet.instance_cycles_per_epoch");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 10 * 5);  // one sample per instance per epoch
+}
+
+// ----------------------------------------------------------- determinism
+
+/// Deterministic per-instance event script driven by a seeded LCG. All
+/// control-thread actions (arming, input ports, injections) depend only
+/// on the instance id and epoch, never on scheduling.
+struct ScriptedRun {
+  std::vector<std::vector<machine::PortWrite>> portLogs;
+  std::vector<InstanceSnapshot> snapshots;
+};
+
+ScriptedRun runScriptedFleet(const Fleet::ChartImagePtr& image, int workers,
+                             size_t instances, int epochs) {
+  FleetConfig config;
+  config.workerThreads = workers;
+  config.capturePortWrites = true;
+  config.stealChunk = 4;
+  Fleet fleet(image, config);
+  const std::vector<InstanceId> ids = fleet.spawnMany(instances);
+  const int go = fleet.eventId("GO");
+  const int stop = fleet.eventId("STOP");
+  const int tick = fleet.eventId("TICK");
+
+  std::vector<uint64_t> rng(instances);
+  for (size_t i = 0; i < instances; ++i) rng[i] = 0x9E3779B97F4A7C15ull * (i + 1);
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = 0; i < instances; ++i) {
+      uint64_t& s = rng[i];
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      const uint32_t roll = static_cast<uint32_t>(s >> 33) % 100;
+      fleet.machine(ids[i]).setCondition("ARMED", true);  // re-arm every epoch
+      fleet.machine(ids[i]).setInputPort("Sense",
+                                         static_cast<uint32_t>((s >> 16) & 3));
+      if (roll < 25) {
+        fleet.inject(ids[i], go);
+      } else if (roll < 75) {
+        fleet.inject(ids[i], tick);
+        if (roll % 2 == 0) fleet.inject(ids[i], tick);  // queued duplicate
+      } else if (roll < 90) {
+        fleet.inject(ids[i], stop);
+      }
+    }
+    fleet.step(2);
+  }
+
+  ScriptedRun run;
+  for (InstanceId id : ids) {
+    run.portLogs.push_back(fleet.portWrites(id));
+    run.snapshots.push_back(fleet.snapshot(id));
+  }
+  return run;
+}
+
+TEST_F(FleetTest, PortWriteLogsAreBitIdenticalAcrossWorkerCounts) {
+  constexpr size_t kInstances = 64;
+  constexpr int kEpochs = 30;
+  const ScriptedRun base = runScriptedFleet(image_, 1, kInstances, kEpochs);
+
+  int64_t totalWrites = 0;
+  int64_t totalFired = 0;
+  for (size_t i = 0; i < kInstances; ++i) {
+    totalWrites += static_cast<int64_t>(base.portLogs[i].size());
+    totalFired += base.snapshots[i].firedTransitions;
+  }
+  ASSERT_GT(totalWrites, 0) << "script must actually exercise port writes";
+  ASSERT_GT(totalFired, static_cast<int64_t>(kInstances))
+      << "script must actually fire transitions";
+
+  for (int workers : {2, 8}) {
+    const ScriptedRun run = runScriptedFleet(image_, workers, kInstances, kEpochs);
+    for (size_t i = 0; i < kInstances; ++i) {
+      ASSERT_EQ(run.portLogs[i], base.portLogs[i])
+          << "port-write log diverged for instance " << i << " at "
+          << workers << " workers";
+      ASSERT_EQ(run.snapshots[i].machineCycles, base.snapshots[i].machineCycles)
+          << "cycle count diverged for instance " << i;
+      ASSERT_EQ(run.snapshots[i].firedTransitions,
+                base.snapshots[i].firedTransitions);
+      ASSERT_EQ(run.snapshots[i].activeStates, base.snapshots[i].activeStates);
+    }
+  }
+}
+
+TEST_F(FleetTest, StealingFleetMatchesSingleThreadWithSkewedShards) {
+  // Retire most of one shard's round-robin partners so the remaining
+  // shards are unbalanced and stealing actually happens; results must
+  // still match the single-threaded run exactly.
+  auto runSkewed = [&](int workers) {
+    FleetConfig config;
+    config.workerThreads = workers;
+    config.capturePortWrites = true;
+    config.stealChunk = 1;
+    Fleet fleet(image_, config);
+    const std::vector<InstanceId> ids = fleet.spawnMany(48);
+    for (size_t i = 0; i < ids.size(); ++i)
+      if (i % 4 != 0 && i > 8) fleet.retire(ids[i]);
+    std::vector<InstanceId> live;
+    for (InstanceId id : ids)
+      if (fleet.isLive(id)) live.push_back(id);
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      for (InstanceId id : live) {
+        fleet.machine(id).setCondition("ARMED", true);
+        fleet.injectByName(id, epoch % 3 == 0 ? "GO" : "STOP");
+        fleet.injectByName(id, "TICK");
+      }
+      fleet.step(3);
+    }
+    std::vector<std::vector<machine::PortWrite>> logs;
+    for (InstanceId id : live) logs.push_back(fleet.portWrites(id));
+    return logs;
+  };
+  const auto base = runSkewed(1);
+  const auto threaded = runSkewed(4);
+  ASSERT_EQ(base, threaded);
+}
+
+}  // namespace
+}  // namespace pscp::fleet
