@@ -121,6 +121,7 @@ class Parser {
   }
 
   void parseStructDef() {
+    const SourceLoc startLoc = peek().loc;
     const bool isTypedef = accept(TokKind::KwTypedef);
     expect(TokKind::KwStruct);
     std::string tag;
@@ -140,8 +141,9 @@ class Parser {
       name = expect(TokKind::Ident).text;
     }
     expect(TokKind::Semi);
-    if (name.empty()) fail("anonymous struct without typedef name");
-    if (program_.structs.count(name) != 0) fail("struct '%s' defined twice", name.c_str());
+    if (name.empty()) failAt(startLoc, "anonymous struct without typedef name");
+    if (program_.structs.count(name) != 0)
+      failAt(startLoc, "struct '%s' defined twice", name.c_str());
     program_.structs[name] = Type::structType(name, std::move(fields));
   }
 

@@ -434,6 +434,10 @@ class Checker {
       if (visiting.count(fn) != 0) {
         std::string cycle;
         for (const std::string& s : stack) cycle += s + " -> ";
+        // Point at the function that closes the cycle.
+        const Function* f = program_.findFunction(fn);
+        if (f != nullptr && f->loc.known())
+          failAt(f->loc, "recursion is not permitted: %s%s", cycle.c_str(), fn.c_str());
         fail("recursion is not permitted: %s%s", cycle.c_str(), fn.c_str());
       }
       visiting.insert(fn);

@@ -1,0 +1,85 @@
+#include "analysis/analyzer.hpp"
+
+#include "analysis/passes.hpp"
+#include "sla/encoding.hpp"
+#include "sla/sla.hpp"
+#include "statechart/semantics.hpp"
+
+namespace pscp::analysis {
+
+Analyzer::Analyzer(const statechart::Chart& chart, const actionlang::Program& program,
+                   AnalyzerOptions options)
+    : chart_(chart), program_(program), options_(options) {}
+
+void Analyzer::attachCompiled(const compiler::CompiledApp& app) { compiled_ = &app; }
+
+AnalysisResult Analyzer::run() {
+  AnalysisResult result;
+  result.chartName = chart_.name();
+
+  const sla::CrLayout layout(chart_);
+  const sla::Sla sla(chart_, layout);
+  const statechart::Interpreter interp(chart_);
+
+  // Per-transition effect summaries: AST first, then — when the compiled
+  // program is attached — whatever the assembled routine actually touches.
+  std::vector<EffectSet> effects(chart_.transitions().size());
+  std::vector<BadJump> badJumps;
+  const ReverseBinding reverse =
+      compiled_ != nullptr ? makeReverse(sla::makeBinding(chart_, layout))
+                           : ReverseBinding{};
+  for (const statechart::Transition& t : chart_.transitions()) {
+    EffectSet& e = effects[static_cast<size_t>(t.id)];
+    e = transitionEffects(t, program_);
+    if (compiled_ != nullptr) {
+      auto it = compiled_->transitionRoutine.find(t.id);
+      // The AST summary is path-sensitive where the code scan is not (the
+      // scan visits every branch of compiled dispatchers), so the scan
+      // contributes effects only when the AST walk was incomplete; the
+      // jump-range check always runs over the real microcode.
+      if (it != compiled_->transitionRoutine.end())
+        augmentFromRoutine(compiled_->program, it->second, reverse,
+                           e.astComplete ? nullptr : &e, &badJumps);
+    }
+  }
+
+  AnalysisContext ctx{chart_,  program_, options_, layout,   sla,
+                      interp,  compiled_, effects,  badJumps, &result};
+  if (options_.conflicts) runConflictPass(ctx);
+  if (options_.races) runRacePass(ctx);
+  if (options_.reachability) runReachabilityPass(ctx);
+  if (options_.lints) runLintPass(ctx);
+  return result;
+}
+
+namespace {
+
+[[nodiscard]] bool termsCompatible(const sla::ProductTerm& a, const sla::ProductTerm& b) {
+  for (const sla::ProductTerm::WordMask& wa : a.masks) {
+    for (const sla::ProductTerm::WordMask& wb : b.masks) {
+      if (wa.word != wb.word) continue;
+      const uint64_t shared = wa.care & wb.care;
+      if ((wa.value & shared) != (wb.value & shared)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool coSelectable(const AnalysisContext& ctx, statechart::TransitionId a,
+                  statechart::TransitionId b) {
+  const statechart::Transition& ta = ctx.chart.transition(a);
+  const statechart::Transition& tb = ctx.chart.transition(b);
+  // Structural filter first: the greedy exclusivity partition may split a
+  // mutually exclusive state pair across two CR fields, in which case the
+  // mask test alone would call the pair satisfiable.
+  if (sla::mutuallyExclusive(ctx.chart, ta.source, tb.source)) return false;
+  const auto& terms = ctx.sla.transitionTerms();
+  for (const sla::ProductTerm& pa : terms[static_cast<size_t>(a)])
+    for (const sla::ProductTerm& pb : terms[static_cast<size_t>(b)])
+      if (termsCompatible(pa, pb)) return true;
+  return false;
+}
+
+}  // namespace pscp::analysis

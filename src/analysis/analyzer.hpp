@@ -1,0 +1,71 @@
+// Chart-level static analyzer (pscp_lint's engine).
+//
+// Four passes over the parsed chart, its synthesized SLA, and (when
+// attached) the assembled TEP program:
+//
+//   1. conflicts  — pairs of transitions the SLA can select together whose
+//                   exit sets overlap: the scheduler resolves them silently
+//                   by structural priority / declaration order, so the
+//                   nondeterminism never surfaces at runtime (PSCP-CF00x).
+//   2. races      — pairs that can *fire concurrently on different TEPs*
+//                   with intersecting write sets over shared machine state:
+//                   ports, condition bits, external-RAM globals
+//                   (PSCP-WR00x).
+//   3. reachability — explicit BFS over the configuration graph with free
+//                   event/condition valuations: unreachable states, dead
+//                   transitions, constant-false triggers (PSCP-RE00x).
+//   4. lints      — action-language and microcode checks: truncating
+//                   assignments, uninitialized locals, control transfers
+//                   outside program memory, unreferenced ports
+//                   (PSCP-AL00x).
+//
+// Soundness assumptions are documented per-pass in DESIGN.md §11; the
+// short version is that conflicts/reachability over-approximate behaviour
+// (no false "unreachable"/missed conflicts within the explored bound) and
+// the race pass under-reports only where the machine serializes access
+// (condition caches, exclusion groups).
+#pragma once
+
+#include "actionlang/ast.hpp"
+#include "analysis/finding.hpp"
+#include "compiler/codegen.hpp"
+#include "statechart/chart.hpp"
+
+namespace pscp::analysis {
+
+struct AnalyzerOptions {
+  bool conflicts = true;
+  bool races = true;
+  bool reachability = true;
+  bool lints = true;
+  /// Reachability explores at most this many configurations, then reports
+  /// PSCP-RE000 and withholds unreachable/dead findings (they would be
+  /// unsound on a truncated exploration).
+  int maxConfigurations = 1 << 16;
+  /// Triggers/guards referencing more than this many names are assumed
+  /// satisfiable instead of enumerated.
+  int maxGuardVars = 16;
+};
+
+class Analyzer {
+ public:
+  /// `chart` must be validated; `program` must be type-checked. Both must
+  /// outlive the analyzer.
+  Analyzer(const statechart::Chart& chart, const actionlang::Program& program,
+           AnalyzerOptions options = {});
+
+  /// Attach the compiled application: enables the microcode-level checks
+  /// (jump-range lint, code-derived effect augmentation). `app` must
+  /// outlive the analyzer.
+  void attachCompiled(const compiler::CompiledApp& app);
+
+  [[nodiscard]] AnalysisResult run();
+
+ private:
+  const statechart::Chart& chart_;
+  const actionlang::Program& program_;
+  AnalyzerOptions options_;
+  const compiler::CompiledApp* compiled_ = nullptr;
+};
+
+}  // namespace pscp::analysis

@@ -1,0 +1,86 @@
+// Per-transition effect summaries for the race pass.
+//
+// A transition's observable effects are what its action routine does to
+// shared machine state: events raised into the CR, condition bits written
+// or tested, data ports read or written, and external-RAM globals touched.
+// The summary is computed from the checked action-language AST by walking
+// each label ActionCall into the callee with its formal->actual binding
+// (event/cond/struct/array parameters bind by name, exactly as codegen
+// specializes them), and can be *augmented* from the assembled TEP routine
+// — the compiled code is what actually runs, so EVSET/CSET/CCLR/CTST and
+// INP/OUTP instructions reached from the routine entry are folded in too.
+//
+// Write values are tracked as optional constants: two transitions both
+// writing the same constant to a port is not an observable race, while two
+// different constants (or any non-constant write) is.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actionlang/ast.hpp"
+#include "compiler/binding.hpp"
+#include "statechart/chart.hpp"
+#include "tep/isa.hpp"
+
+namespace pscp::analysis {
+
+struct EffectSet {
+  std::set<std::string> eventsRaised;
+  /// Condition name -> written value when it is a compile-time constant
+  /// (nullopt = data-dependent). Two constant writes of equal value collide
+  /// benignly; anything else is order-dependent.
+  std::map<std::string, std::optional<int64_t>> condWrites;
+  std::set<std::string> condReads;
+  std::map<std::string, std::optional<int64_t>> portWrites;
+  std::set<std::string> portReads;
+  /// Action-language globals, element-granular when the subscript is
+  /// statically bound ("motors[0]"); a bare name means "some element".
+  std::set<std::string> globalWrites;
+  std::set<std::string> globalReads;
+  /// True when every label action resolved to a known function — the AST
+  /// summary then covers the routine exactly and the (data-flow-blind)
+  /// code scan is not needed as a fallback.
+  bool astComplete = true;
+
+  /// Record a write, collapsing repeated writes with differing constants to
+  /// "non-constant" (the pairwise comparison must then assume a race).
+  static void recordWrite(std::map<std::string, std::optional<int64_t>>* map,
+                          const std::string& name, std::optional<int64_t> value);
+};
+
+/// Effects of `t`'s action list under `program`. The program must have been
+/// type-checked (constant folding fills Expr::constant). Unknown callee
+/// names are skipped — the chart compiler rejects them separately.
+[[nodiscard]] EffectSet transitionEffects(const statechart::Transition& t,
+                                          const actionlang::Program& program);
+
+/// Index->name inversion of a HardwareBinding, for decoding CSET/EVSET/OUTP
+/// operands back to chart-level names.
+struct ReverseBinding {
+  std::map<int, std::string> eventByBit;
+  std::map<int, std::string> conditionByBit;
+  std::map<int, std::string> portByAddress;
+};
+
+[[nodiscard]] ReverseBinding makeReverse(const compiler::HardwareBinding& binding);
+
+/// A control-transfer operand pointing outside program memory (PSCP-AL003).
+struct BadJump {
+  std::string routine;
+  int instrIndex = 0;  ///< index of the offending instruction
+  int32_t target = 0;  ///< out-of-range operand
+};
+
+/// Walk the assembled routine from its entry, following fall-through,
+/// branch and CALL edges until TRET, folding every SLA/port instruction
+/// into `effects` and recording control transfers that leave program
+/// memory in `badJumps` (either out-param may be null).
+void augmentFromRoutine(const tep::AsmProgram& program, const std::string& routine,
+                        const ReverseBinding& names, EffectSet* effects,
+                        std::vector<BadJump>* badJumps);
+
+}  // namespace pscp::analysis

@@ -1,0 +1,115 @@
+#include "analysis/finding.hpp"
+
+#include "support/json.hpp"
+#include "support/text.hpp"
+
+namespace pscp::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+int AnalysisResult::countAt(Severity s) const {
+  int n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+bool AnalysisResult::hasCode(const std::string& code) const {
+  return findCode(code) != nullptr;
+}
+
+const Finding* AnalysisResult::findCode(const std::string& code) const {
+  for (const Finding& f : findings)
+    if (f.code == code) return &f;
+  return nullptr;
+}
+
+std::string AnalysisResult::renderText() const {
+  std::string out;
+  for (const Finding& f : findings) {
+    if (f.loc.known()) {
+      out += f.loc.str();
+      out += ": ";
+    }
+    out += strfmt("%s: %s [%s]\n", severityName(f.severity), f.message.c_str(),
+                  f.code.c_str());
+    for (const auto& [loc, note] : f.notes) {
+      out += "    ";
+      if (loc.known()) {
+        out += loc.str();
+        out += ": ";
+      }
+      out += "note: ";
+      out += note;
+      out += '\n';
+    }
+  }
+  out += strfmt("%s: %d error(s), %d warning(s), %d note(s)\n",
+                chartName.empty() ? "chart" : chartName.c_str(), errorCount(),
+                warningCount(), countAt(Severity::Note));
+  return out;
+}
+
+std::string AnalysisResult::renderJson(int indent) const {
+  JsonValue doc = JsonValue::makeObject();
+  doc.set("schema", JsonValue::makeString("pscp-lint-v1"));
+  doc.set("chart", JsonValue::makeString(chartName));
+
+  JsonValue list = JsonValue::makeArray();
+  for (const Finding& f : findings) {
+    JsonValue item = JsonValue::makeObject();
+    item.set("code", JsonValue::makeString(f.code));
+    item.set("severity", JsonValue::makeString(severityName(f.severity)));
+    item.set("message", JsonValue::makeString(f.message));
+    if (!f.resource.empty()) item.set("resource", JsonValue::makeString(f.resource));
+    if (f.loc.known()) {
+      JsonValue loc = JsonValue::makeObject();
+      loc.set("file", JsonValue::makeString(f.loc.file));
+      loc.set("line", JsonValue::makeNumber(f.loc.line));
+      loc.set("column", JsonValue::makeNumber(f.loc.column));
+      item.set("location", std::move(loc));
+    }
+    if (!f.notes.empty()) {
+      JsonValue notes = JsonValue::makeArray();
+      for (const auto& [loc, note] : f.notes) {
+        JsonValue n = JsonValue::makeObject();
+        n.set("message", JsonValue::makeString(note));
+        if (loc.known()) {
+          JsonValue l = JsonValue::makeObject();
+          l.set("file", JsonValue::makeString(loc.file));
+          l.set("line", JsonValue::makeNumber(loc.line));
+          l.set("column", JsonValue::makeNumber(loc.column));
+          n.set("location", std::move(l));
+        }
+        notes.array.push_back(std::move(n));
+      }
+      item.set("notes", std::move(notes));
+    }
+    list.array.push_back(std::move(item));
+  }
+  doc.set("findings", std::move(list));
+
+  JsonValue summary = JsonValue::makeObject();
+  summary.set("errors", JsonValue::makeNumber(errorCount()));
+  summary.set("warnings", JsonValue::makeNumber(warningCount()));
+  summary.set("notes", JsonValue::makeNumber(countAt(Severity::Note)));
+  doc.set("summary", std::move(summary));
+
+  JsonValue reach = JsonValue::makeObject();
+  reach.set("configurations_explored", JsonValue::makeNumber(configurationsExplored));
+  reach.set("complete", JsonValue::makeBool(reachabilityComplete));
+  doc.set("reachability", std::move(reach));
+
+  std::string text = doc.dump(indent);
+  text += '\n';
+  return text;
+}
+
+}  // namespace pscp::analysis

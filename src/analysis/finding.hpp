@@ -1,0 +1,73 @@
+// Structured diagnostics for the chart-level static analyzer.
+//
+// Every pass reports through this model: a Finding carries a stable
+// diagnostic code (the contract pscp_lint's CI gate and the tests key on),
+// a severity, a primary source location (threaded from the statechart and
+// action-language parsers), and optional related locations ("the other
+// transition of the pair"). AnalysisResult aggregates findings and renders
+// the two report formats: compiler-style text and the pscp-lint-v1 JSON
+// document (support/json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace pscp::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] const char* severityName(Severity s);
+
+// Stable diagnostic codes. CF = conflict, WR = write-race, RE =
+// reachability, AL = action-language/code lint.
+inline constexpr const char* kCodeConflict = "PSCP-CF001";        ///< nondeterministic conflict
+inline constexpr const char* kCodeMaskedConflict = "PSCP-CF002";  ///< priority-resolved conflict
+inline constexpr const char* kCodeWriteWrite = "PSCP-WR001";      ///< parallel write-write race
+inline constexpr const char* kCodeReadWrite = "PSCP-WR002";       ///< parallel read-write hazard
+inline constexpr const char* kCodeReachTruncated = "PSCP-RE000";  ///< BFS hit the config cap
+inline constexpr const char* kCodeUnreachableState = "PSCP-RE001";
+inline constexpr const char* kCodeDeadTransition = "PSCP-RE002";
+inline constexpr const char* kCodeConstFalseGuard = "PSCP-RE003";
+inline constexpr const char* kCodeTruncatingAssign = "PSCP-AL001";
+inline constexpr const char* kCodeUninitializedRead = "PSCP-AL002";
+inline constexpr const char* kCodeJumpOutOfRange = "PSCP-AL003";
+inline constexpr const char* kCodeUnreferencedPort = "PSCP-AL004";
+
+struct Finding {
+  std::string code;     ///< one of the kCode* constants
+  Severity severity = Severity::Warning;
+  std::string message;  ///< one line, no trailing newline
+  SourceLoc loc;        ///< primary location (unknown() when synthetic)
+  /// Machine-readable subject for race findings: the port/condition/global
+  /// name. pscp_lint's runtime cross-check matches observed collisions
+  /// against this rather than parsing messages.
+  std::string resource;
+  /// Related locations, rendered as indented notes under the finding.
+  std::vector<std::pair<SourceLoc, std::string>> notes;
+};
+
+struct AnalysisResult {
+  std::string chartName;
+  std::vector<Finding> findings;
+
+  // Reachability-pass statistics (also serialized into the JSON report).
+  int configurationsExplored = 0;
+  bool reachabilityComplete = true;
+
+  [[nodiscard]] int countAt(Severity s) const;
+  [[nodiscard]] int errorCount() const { return countAt(Severity::Error); }
+  [[nodiscard]] int warningCount() const { return countAt(Severity::Warning); }
+  [[nodiscard]] bool hasCode(const std::string& code) const;
+  [[nodiscard]] const Finding* findCode(const std::string& code) const;
+
+  /// Compiler-style text report: one "file:line:col: severity: message
+  /// [CODE]" line per finding (notes indented below), then a summary line.
+  [[nodiscard]] std::string renderText() const;
+
+  /// The pscp-lint-v1 JSON document.
+  [[nodiscard]] std::string renderJson(int indent = 2) const;
+};
+
+}  // namespace pscp::analysis

@@ -1,0 +1,241 @@
+// Action-language and microcode lints.
+//
+//   PSCP-AL001  assignment narrows the value's width (int:N truncation)
+//   PSCP-AL002  scalar local read before any assignment on some path
+//   PSCP-AL003  control transfer outside program memory (compiled code)
+//   PSCP-AL004  declared port never referenced by any declaration or action
+//
+// AL002 is a classic definite-assignment dataflow over the statement tree:
+// both branches of an `if` must assign before the join counts; a `while`
+// body may execute zero times, so its assignments never count.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "support/text.hpp"
+
+namespace pscp::analysis {
+
+namespace {
+
+using actionlang::Expr;
+using actionlang::ExprKind;
+using actionlang::Function;
+using actionlang::Stmt;
+using actionlang::StmtKind;
+
+[[nodiscard]] bool fitsInWidth(int64_t value, int width, bool isSigned) {
+  if (width >= 64) return true;
+  if (isSigned) {
+    const int64_t lo = -(int64_t{1} << (width - 1));
+    const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+  }
+  return value >= 0 && value < (int64_t{1} << width);
+}
+
+// ------------------------------------------------------------- AL001
+
+void checkNarrowing(AnalysisContext& ctx, const Function& f, const Expr& rhs,
+                    const actionlang::TypePtr& lhsType, const SourceLoc& loc,
+                    const char* what, const std::string& target) {
+  if (lhsType == nullptr || !lhsType->isInt()) return;
+  if (rhs.type == nullptr || !rhs.type->isInt()) return;
+  if (rhs.type->width() <= lhsType->width()) return;
+  if (rhs.constant.has_value() &&
+      fitsInWidth(*rhs.constant, lhsType->width(), lhsType->isSigned()))
+    return;  // provably fits
+  Finding finding;
+  finding.code = kCodeTruncatingAssign;
+  finding.severity = Severity::Warning;
+  finding.message = strfmt(
+      "%s to %s '%s' truncates: value has type %s, destination %s (in '%s')",
+      what, lhsType->isSigned() ? "int" : "uint", target.c_str(),
+      rhs.type->str().c_str(), lhsType->str().c_str(), f.name.c_str());
+  finding.loc = loc;
+  ctx.result->findings.push_back(std::move(finding));
+}
+
+void walkStmtsNarrowing(AnalysisContext& ctx, const Function& f,
+                        const std::vector<actionlang::StmtPtr>& body) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    switch (s.kind) {
+      case StmtKind::VarDecl:
+        if (s.expr != nullptr)
+          checkNarrowing(ctx, f, *s.expr, s.varType, s.loc, "initialization",
+                         s.varName);
+        break;
+      case StmtKind::Assign:
+        if (s.lhs != nullptr && s.expr != nullptr)
+          checkNarrowing(ctx, f, *s.expr, s.lhs->type, s.loc, "assignment",
+                         s.lhs->str());
+        break;
+      case StmtKind::If:
+        walkStmtsNarrowing(ctx, f, s.body);
+        walkStmtsNarrowing(ctx, f, s.elseBody);
+        break;
+      case StmtKind::While:
+      case StmtKind::Block:
+        walkStmtsNarrowing(ctx, f, s.body);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------- AL002
+
+/// Definite-assignment state for one function walk.
+struct DefAssign {
+  std::set<std::string> scalars;   ///< tracked locals (scalar VarDecls)
+  std::set<std::string> assigned;  ///< definitely assigned here
+  std::set<std::string> reported;  ///< one finding per variable
+};
+
+void checkReads(AnalysisContext& ctx, const Function& f, const Expr& e,
+                DefAssign* state) {
+  if (e.kind == ExprKind::VarRef) {
+    if (state->scalars.count(e.name) != 0 && state->assigned.count(e.name) == 0 &&
+        state->reported.insert(e.name).second) {
+      Finding finding;
+      finding.code = kCodeUninitializedRead;
+      finding.severity = Severity::Warning;
+      finding.message = strfmt("local '%s' may be read before assignment in '%s'",
+                               e.name.c_str(), f.name.c_str());
+      finding.loc = e.loc.known() ? e.loc : f.loc;
+      ctx.result->findings.push_back(std::move(finding));
+    }
+    return;
+  }
+  for (const auto& c : e.children) checkReads(ctx, f, *c, state);
+}
+
+void walkDefAssign(AnalysisContext& ctx, const Function& f,
+                   const std::vector<actionlang::StmtPtr>& body, DefAssign* state) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    switch (s.kind) {
+      case StmtKind::Block:
+        walkDefAssign(ctx, f, s.body, state);
+        break;
+      case StmtKind::VarDecl:
+        if (s.expr != nullptr) checkReads(ctx, f, *s.expr, state);
+        if (s.varType != nullptr && s.varType->isScalar()) {
+          state->scalars.insert(s.varName);
+          if (s.expr != nullptr) state->assigned.insert(s.varName);
+        }
+        break;
+      case StmtKind::Assign:
+        if (s.expr != nullptr) checkReads(ctx, f, *s.expr, state);
+        if (s.lhs != nullptr) {
+          if (s.lhs->kind == ExprKind::VarRef) {
+            state->assigned.insert(s.lhs->name);
+          } else {
+            // Aggregate lvalue: index expressions inside it are reads (the
+            // aggregate itself is not a tracked scalar, so no false hit).
+            checkReads(ctx, f, *s.lhs, state);
+          }
+        }
+        break;
+      case StmtKind::If: {
+        if (s.expr != nullptr) checkReads(ctx, f, *s.expr, state);
+        DefAssign thenState = *state;
+        DefAssign elseState = *state;
+        walkDefAssign(ctx, f, s.body, &thenState);
+        walkDefAssign(ctx, f, s.elseBody, &elseState);
+        // Assigned after the join = assigned on both paths.
+        std::set<std::string> joined;
+        for (const std::string& n : thenState.assigned)
+          if (elseState.assigned.count(n) != 0) joined.insert(n);
+        state->assigned = std::move(joined);
+        for (const std::string& n : thenState.reported) state->reported.insert(n);
+        for (const std::string& n : elseState.reported) state->reported.insert(n);
+        break;
+      }
+      case StmtKind::While: {
+        if (s.expr != nullptr) checkReads(ctx, f, *s.expr, state);
+        // Body may run zero times: walk on a copy, keep only the reports.
+        DefAssign bodyState = *state;
+        walkDefAssign(ctx, f, s.body, &bodyState);
+        for (const std::string& n : bodyState.reported) state->reported.insert(n);
+        break;
+      }
+      case StmtKind::Return:
+      case StmtKind::ExprStmt:
+        if (s.expr != nullptr) checkReads(ctx, f, *s.expr, state);
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------- AL004
+
+void collectPortRefs(const Expr& e, std::set<std::string>* used) {
+  if (e.kind == ExprKind::Call &&
+      (e.name == "read_port" || e.name == "write_port") && !e.children.empty() &&
+      e.children[0]->kind == ExprKind::VarRef)
+    used->insert(e.children[0]->name);
+  for (const auto& c : e.children) collectPortRefs(*c, used);
+}
+
+void collectPortRefs(const std::vector<actionlang::StmtPtr>& body,
+                     std::set<std::string>* used) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    if (s.lhs != nullptr) collectPortRefs(*s.lhs, used);
+    if (s.expr != nullptr) collectPortRefs(*s.expr, used);
+    collectPortRefs(s.body, used);
+    collectPortRefs(s.elseBody, used);
+  }
+}
+
+}  // namespace
+
+void runLintPass(AnalysisContext& ctx) {
+  // AL001 + AL002 over every function body (intrinsics have none).
+  for (const Function& f : ctx.program.functions) {
+    if (f.isIntrinsic) continue;
+    walkStmtsNarrowing(ctx, f, f.body);
+    DefAssign state;
+    walkDefAssign(ctx, f, f.body, &state);
+  }
+
+  // AL003: control transfers outside program memory, from the code scan.
+  for (const BadJump& bad : ctx.badJumps) {
+    Finding f;
+    f.code = kCodeJumpOutOfRange;
+    f.severity = Severity::Error;
+    f.message = strfmt(
+        "instruction %d of routine '%s' transfers control to %d, outside "
+        "program memory [0, %zu)",
+        bad.instrIndex, bad.routine.c_str(), bad.target,
+        ctx.compiled != nullptr ? ctx.compiled->program.code.size() : 0);
+    ctx.result->findings.push_back(std::move(f));
+  }
+
+  // AL004: ports no declaration or action ever names.
+  std::set<std::string> used;
+  for (const auto& [name, decl] : ctx.chart.events())
+    if (!decl.port.empty()) used.insert(decl.port);
+  for (const auto& [name, decl] : ctx.chart.conditions())
+    if (!decl.port.empty()) used.insert(decl.port);
+  for (const EffectSet& e : ctx.effects) {
+    for (const auto& [name, value] : e.portWrites) used.insert(name);
+    for (const std::string& name : e.portReads) used.insert(name);
+  }
+  for (const Function& f : ctx.program.functions) collectPortRefs(f.body, &used);
+  for (const auto& [name, port] : ctx.chart.ports()) {
+    if (used.count(name) != 0) continue;
+    Finding f;
+    f.code = kCodeUnreferencedPort;
+    f.severity = Severity::Note;
+    f.message = strfmt("port '%s' is declared but never referenced", name.c_str());
+    f.loc = port.loc;
+    ctx.result->findings.push_back(std::move(f));
+  }
+}
+
+}  // namespace pscp::analysis

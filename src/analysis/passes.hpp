@@ -1,0 +1,42 @@
+// Internal contract between the analyzer driver and its passes. Not part
+// of the public analysis API — include analysis/analyzer.hpp instead.
+#pragma once
+
+#include <vector>
+
+#include "actionlang/ast.hpp"
+#include "analysis/analyzer.hpp"
+#include "analysis/effects.hpp"
+#include "analysis/finding.hpp"
+#include "sla/sla.hpp"
+#include "statechart/chart.hpp"
+#include "statechart/semantics.hpp"
+
+namespace pscp::analysis {
+
+/// Everything a pass may consult, built once by Analyzer::run().
+struct AnalysisContext {
+  const statechart::Chart& chart;
+  const actionlang::Program& program;
+  const AnalyzerOptions& options;
+  const sla::CrLayout& layout;
+  const sla::Sla& sla;
+  const statechart::Interpreter& interp;  ///< for exitSet/enterSet/scopeOf
+  const compiler::CompiledApp* compiled;  ///< null when not attached
+  const std::vector<EffectSet>& effects;  ///< indexed by TransitionId
+  const std::vector<BadJump>& badJumps;   ///< from the compiled-code scan
+  AnalysisResult* result;
+};
+
+/// True when the SLA can select `a` and `b` in the same CR decode: some
+/// pair of their product terms is mask-compatible and their source states
+/// are not structurally exclusive. Shared by the conflict and race passes.
+[[nodiscard]] bool coSelectable(const AnalysisContext& ctx, statechart::TransitionId a,
+                                statechart::TransitionId b);
+
+void runConflictPass(AnalysisContext& ctx);
+void runRacePass(AnalysisContext& ctx);
+void runReachabilityPass(AnalysisContext& ctx);
+void runLintPass(AnalysisContext& ctx);
+
+}  // namespace pscp::analysis

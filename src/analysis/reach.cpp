@@ -1,0 +1,193 @@
+// Reachability / liveness pass: explicit BFS over the configuration graph.
+//
+// Configurations are downward-closed active-state sets, packed into a
+// BitVec over StateId. Events and conditions are left *free*: a transition
+// is considered fireable from a configuration when its source is active
+// and its trigger/guard conjunction is boolean-satisfiable (enumerated for
+// up to maxGuardVars referenced names, assumed satisfiable above that).
+// Successors fire one transition at a time; because concurrently firing
+// transitions have disjoint exit sets, sequential firing passes through
+// every configuration parallel firing can produce, so the explored set
+// over-approximates the reachable set — a state we never see is genuinely
+// unreachable (within the exploration bound), and a state we do see may
+// be an artifact of an interleaving the scheduler would not pick.
+//
+// When the configuration cap trips, PSCP-RE000 is reported and the
+// unreachable/dead findings are withheld: they would be unsound.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace pscp::analysis {
+
+namespace {
+
+using statechart::BoolExpr;
+using statechart::StateId;
+using statechart::Transition;
+
+/// Satisfiability of trigger AND guard over free event/condition values.
+[[nodiscard]] bool labelSatisfiable(const Transition& t, int maxGuardVars) {
+  std::vector<std::string> names = t.label.trigger.referencedNames();
+  for (const std::string& n : t.label.guard.referencedNames())
+    if (std::find(names.begin(), names.end(), n) == names.end()) names.push_back(n);
+  if (static_cast<int>(names.size()) > maxGuardVars) return true;  // assume sat
+  const uint64_t combos = uint64_t{1} << names.size();
+  for (uint64_t bits = 0; bits < combos; ++bits) {
+    const auto lookup = [&](const std::string& n) {
+      for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == n) return ((bits >> i) & 1) != 0;
+      return false;
+    };
+    if (t.label.trigger.eval(lookup) && t.label.guard.eval(lookup)) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] BitVec packConfig(const std::set<StateId>& states, int stateCount) {
+  BitVec v(stateCount);
+  for (StateId s : states) v.set(s);
+  return v;
+}
+
+/// Stable key for the visited set.
+[[nodiscard]] std::string configKey(const BitVec& v) {
+  std::string key;
+  key.reserve(v.wordCount() * sizeof(uint64_t));
+  for (size_t w = 0; w < v.wordCount(); ++w) {
+    const uint64_t word = v.word(w);
+    for (int byte = 0; byte < 8; ++byte)
+      key.push_back(static_cast<char>((word >> (byte * 8)) & 0xFF));
+  }
+  return key;
+}
+
+}  // namespace
+
+void runReachabilityPass(AnalysisContext& ctx) {
+  const auto& chart = ctx.chart;
+  const int stateCount = static_cast<int>(chart.stateCount());
+  const size_t transitionCount = chart.transitions().size();
+
+  // Precompute per-transition firing data; constant-false labels are
+  // reported here and never fire.
+  std::vector<bool> satisfiable(transitionCount, false);
+  std::vector<BitVec> exitBits;
+  std::vector<BitVec> enterBits;
+  exitBits.reserve(transitionCount);
+  enterBits.reserve(transitionCount);
+  for (const Transition& t : chart.transitions()) {
+    satisfiable[static_cast<size_t>(t.id)] = labelSatisfiable(t, ctx.options.maxGuardVars);
+    if (!satisfiable[static_cast<size_t>(t.id)]) {
+      Finding f;
+      f.code = kCodeConstFalseGuard;
+      f.severity = Severity::Warning;
+      f.message = strfmt("trigger/guard of transition '%s -> %s' (%s) is never true",
+                         chart.state(t.source).name.c_str(),
+                         chart.state(t.target).name.c_str(), t.label.raw.c_str());
+      f.loc = t.loc;
+      ctx.result->findings.push_back(std::move(f));
+    }
+    exitBits.push_back(packConfig(ctx.interp.exitSet(t.id), stateCount));
+    enterBits.push_back(packConfig(ctx.interp.enterSet(t.id), stateCount));
+  }
+
+  // BFS.
+  std::set<StateId> initial{chart.root()};
+  for (StateId s : chart.defaultCompletion(chart.root())) initial.insert(s);
+  BitVec start = packConfig(initial, stateCount);
+
+  std::set<std::string> visited;
+  std::vector<BitVec> frontier{start};
+  visited.insert(configKey(start));
+
+  std::vector<bool> stateReached(stateCount, false);
+  std::vector<bool> transitionFired(transitionCount, false);
+  bool truncated = false;
+  int explored = 0;
+
+  while (!frontier.empty()) {
+    const BitVec config = frontier.back();
+    frontier.pop_back();
+    ++explored;
+    config.forEachSetBit([&](int s) { stateReached[static_cast<size_t>(s)] = true; });
+
+    for (const Transition& t : chart.transitions()) {
+      const auto id = static_cast<size_t>(t.id);
+      if (!satisfiable[id]) continue;
+      if (!config.test(t.source)) continue;
+      transitionFired[id] = true;
+
+      BitVec next = config;
+      exitBits[id].forEachSetBit([&](int s) { next.reset(s); });
+      enterBits[id].forEachSetBit([&](int s) { next.set(s); });
+      std::string key = configKey(next);
+      if (visited.count(key) != 0) continue;
+      if (static_cast<int>(visited.size()) >= ctx.options.maxConfigurations) {
+        truncated = true;
+        continue;
+      }
+      visited.insert(std::move(key));
+      frontier.push_back(std::move(next));
+    }
+  }
+
+  ctx.result->configurationsExplored = explored;
+  ctx.result->reachabilityComplete = !truncated;
+  if (truncated) {
+    Finding f;
+    f.code = kCodeReachTruncated;
+    f.severity = Severity::Note;
+    f.message = strfmt(
+        "configuration exploration truncated at %d configurations; "
+        "unreachable-state and dead-transition checks skipped (raise "
+        "--max-configs to re-enable)",
+        ctx.options.maxConfigurations);
+    ctx.result->findings.push_back(std::move(f));
+    return;
+  }
+
+  // Unreachable states: report the topmost unreached state of each
+  // unreached subtree (children are implied).
+  for (const statechart::State& st : chart.states()) {
+    if (st.id == chart.root()) continue;
+    if (stateReached[static_cast<size_t>(st.id)]) continue;
+    if (st.parent != statechart::kNoState &&
+        !stateReached[static_cast<size_t>(st.parent)])
+      continue;
+    Finding f;
+    f.code = kCodeUnreachableState;
+    f.severity = Severity::Warning;
+    f.message = strfmt("state '%s' is unreachable from the initial configuration",
+                       st.name.c_str());
+    f.loc = st.loc;
+    ctx.result->findings.push_back(std::move(f));
+  }
+
+  // Dead transitions (never fired). Constant-false labels already have
+  // their own finding; add a cause note when the source is unreachable.
+  for (const Transition& t : chart.transitions()) {
+    const auto id = static_cast<size_t>(t.id);
+    if (transitionFired[id] || !satisfiable[id]) continue;
+    Finding f;
+    f.code = kCodeDeadTransition;
+    f.severity = Severity::Warning;
+    f.message = strfmt("transition '%s -> %s' (%s) can never fire",
+                       chart.state(t.source).name.c_str(),
+                       chart.state(t.target).name.c_str(),
+                       t.label.raw.empty() ? "<no label>" : t.label.raw.c_str());
+    f.loc = t.loc;
+    if (!stateReached[static_cast<size_t>(t.source)])
+      f.notes.emplace_back(chart.state(t.source).loc,
+                           strfmt("source state '%s' is unreachable",
+                                  chart.state(t.source).name.c_str()));
+    ctx.result->findings.push_back(std::move(f));
+  }
+}
+
+}  // namespace pscp::analysis

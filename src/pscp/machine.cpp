@@ -228,7 +228,12 @@ void PscpMachine::writePort(int address, uint32_t value) {
     ports_.resize(static_cast<size_t>(address) + 1, 0);
   ports_[static_cast<size_t>(address)] = value;
   const int64_t cycleIndex = configCycles_ > 0 ? configCycles_ - 1 : 0;
-  portWrites_.push_back(PortWrite{address, value, cycleIndex, machineTimeNow_});
+  const statechart::TransitionId running =
+      (currentTep_ >= 0 && currentTep_ < static_cast<int>(runningScratch_.size()))
+          ? runningScratch_[static_cast<size_t>(currentTep_)]
+          : -1;
+  portWrites_.push_back(
+      PortWrite{address, value, cycleIndex, machineTimeNow_, currentTep_, running});
   if (obs_.sink != nullptr)
     obs_.sink->onPortWrite(address, value, cycleIndex, machineTimeNow_);
 }

@@ -67,6 +67,13 @@ struct PortWrite {
   uint32_t value = 0;
   int64_t configCycle = 0;  ///< 0-based configuration-cycle index
   int64_t time = 0;         ///< absolute machine time (reference cycles)
+  /// Which TEP issued the write and which transition routine it was
+  /// executing (-1 for writes from outside a routine, e.g. the loader).
+  /// The static race analysis (src/analysis) cross-checks its verdict
+  /// against these fields: two same-cycle writes to one port from
+  /// *different* transitions are an observed dispatch-order race.
+  int tep = -1;
+  statechart::TransitionId transition = -1;
 
   [[nodiscard]] bool operator==(const PortWrite&) const = default;
 };

@@ -4,6 +4,16 @@
 #include <set>
 
 namespace pscp::statechart {
+namespace {
+
+/// Well-formedness errors point at the declaration when the parser recorded
+/// a location; hand-built charts fall back to a location-free Error.
+[[noreturn]] void failLoc(const SourceLoc& loc, std::string msg) {
+  if (loc.known()) throw Error(loc, std::move(msg));
+  throw Error(std::move(msg));
+}
+
+}  // namespace
 
 const char* stateKindName(StateKind k) {
   switch (k) {
@@ -230,19 +240,20 @@ void Chart::validate() const {
   for (const State& s : states_) {
     if (s.kind == StateKind::Or) {
       if (s.children.empty())
-        fail("orstate '%s' has no children", s.name.c_str());
+        failLoc(s.loc, strfmt("orstate '%s' has no children", s.name.c_str()));
       if (s.defaultChild == kNoState)
-        fail("orstate '%s' has no default child", s.name.c_str());
+        failLoc(s.loc, strfmt("orstate '%s' has no default child", s.name.c_str()));
     }
     if (s.kind == StateKind::And && s.children.size() < 2)
-      fail("andstate '%s' must contain at least two parallel components (has %zu)",
-           s.name.c_str(), s.children.size());
+      failLoc(s.loc,
+              strfmt("andstate '%s' must contain at least two parallel components (has %zu)",
+                     s.name.c_str(), s.children.size()));
     if (s.kind == StateKind::Basic && !s.children.empty())
-      fail("basicstate '%s' may not contain children", s.name.c_str());
+      failLoc(s.loc, strfmt("basicstate '%s' may not contain children", s.name.c_str()));
   }
   for (const Transition& t : transitions_) {
     if (t.source == root())
-      fail("transition %d may not originate at the chart root", t.id);
+      failLoc(t.loc, strfmt("transition %d may not originate at the chart root", t.id));
     // A transition may not cross INTO an AND component from outside it other
     // than by targeting the AND state itself or a full-default entry: we
     // forbid targeting a strict descendant of one AND child from outside the
@@ -251,29 +262,34 @@ void Chart::validate() const {
     for (StateId cur = t.target; cur != lca && cur != kNoState; cur = state(cur).parent) {
       const StateId par = state(cur).parent;
       if (par != kNoState && par != lca && state(par).kind == StateKind::And)
-        fail("transition %d ('%s' -> '%s') enters parallel component '%s' without "
-             "entering its AND parent '%s' as a whole",
-             t.id, state(t.source).name.c_str(), state(t.target).name.c_str(),
-             state(cur).name.c_str(), state(par).name.c_str());
+        failLoc(t.loc,
+                strfmt("transition %d ('%s' -> '%s') enters parallel component '%s' without "
+                       "entering its AND parent '%s' as a whole",
+                       t.id, state(t.source).name.c_str(), state(t.target).name.c_str(),
+                       state(cur).name.c_str(), state(par).name.c_str()));
     }
     if (orthogonal(t.source, t.target))
-      fail("transition %d connects orthogonal states '%s' and '%s'", t.id,
-           state(t.source).name.c_str(), state(t.target).name.c_str());
+      failLoc(t.loc, strfmt("transition %d connects orthogonal states '%s' and '%s'", t.id,
+                            state(t.source).name.c_str(), state(t.target).name.c_str()));
     for (const std::string& n : t.label.trigger.referencedNames())
       if (!hasEvent(n))
-        fail("transition %d trigger references undeclared event '%s'", t.id, n.c_str());
+        failLoc(t.loc, strfmt("transition %d trigger references undeclared event '%s'",
+                              t.id, n.c_str()));
     for (const std::string& n : t.label.guard.referencedNames())
       if (!hasCondition(n))
-        fail("transition %d guard references undeclared condition '%s'", t.id, n.c_str());
+        failLoc(t.loc, strfmt("transition %d guard references undeclared condition '%s'",
+                              t.id, n.c_str()));
   }
   for (const auto& [name, e] : events_) {
     if (!e.port.empty() && ports_.count(e.port) == 0)
-      fail("event '%s' references undeclared port '%s'", name.c_str(), e.port.c_str());
-    if (e.period < 0) fail("event '%s' has negative period", name.c_str());
+      failLoc(e.loc,
+              strfmt("event '%s' references undeclared port '%s'", name.c_str(), e.port.c_str()));
+    if (e.period < 0) failLoc(e.loc, strfmt("event '%s' has negative period", name.c_str()));
   }
   for (const auto& [name, c] : conditions_) {
     if (!c.port.empty() && ports_.count(c.port) == 0)
-      fail("condition '%s' references undeclared port '%s'", name.c_str(), c.port.c_str());
+      failLoc(c.loc, strfmt("condition '%s' references undeclared port '%s'", name.c_str(),
+                            c.port.c_str()));
   }
 }
 

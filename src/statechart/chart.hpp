@@ -37,6 +37,7 @@ struct State {
   StateId parent = kNoState;
   std::vector<StateId> children;       // in declaration order
   StateId defaultChild = kNoState;     // OR states only
+  SourceLoc loc;                       ///< declaration site in the chart text
 };
 
 struct Transition {
@@ -50,6 +51,7 @@ struct Transition {
   /// Mutual-exclusion group: transitions sharing a group are never
   /// dispatched to different TEPs in the same configuration cycle (Sec. 4).
   std::string exclusionGroup;
+  SourceLoc loc;  ///< declaration site in the chart text
 };
 
 enum class PortKind { Event, Condition, Data };
@@ -66,6 +68,7 @@ struct Port {
   int width = 1;
   int address = 0;
   PortDir dir = PortDir::Input;
+  SourceLoc loc;
 };
 
 /// Declared event or condition (paper Fig. 2b `EventCondition`). Events are
@@ -78,6 +81,7 @@ struct EventDecl {
   /// Arrival period in reference-clock cycles (Table 2). 0 = unconstrained.
   int64_t period = 0;
   bool external = false;      ///< delivered over a port from the environment
+  SourceLoc loc;
 };
 
 struct ConditionDecl {
@@ -85,6 +89,7 @@ struct ConditionDecl {
   std::string port;           ///< empty = internal condition
   int positionInPort = 0;
   bool external = false;
+  SourceLoc loc;
 };
 
 /// The chart. States form a tree rooted at state 0 (an implicit OR state

@@ -132,7 +132,8 @@ struct ParsedTransition {
   std::string label;
   std::optional<int64_t> bound;
   std::string exclusionGroup;
-  SourceLoc loc;
+  SourceLoc loc;       ///< the 'transition' keyword
+  SourceLoc labelLoc;  ///< the label string literal (label errors point here)
 };
 
 struct ParsedState {
@@ -264,7 +265,9 @@ class ChartParser {
       if (t.text == "target") {
         tr.target = expectIdent().text;
       } else if (t.text == "label") {
-        tr.label = expect(Tok::String, "label string").text;
+        const Token str = expect(Tok::String, "label string");
+        tr.label = str.text;
+        tr.labelLoc = str.loc;
       } else if (t.text == "bound") {
         tr.bound = expectInt();
       } else if (t.text == "exclusion") {
@@ -280,8 +283,9 @@ class ChartParser {
   }
 
   void parseEvent() {
-    lex_.take();
+    const Token kw = lex_.take();
     EventDecl e;
+    e.loc = kw.loc;
     e.name = expectIdent().text;
     while (lex_.peek().kind != Tok::Semi) {
       const Token t = expectIdent();
@@ -305,8 +309,9 @@ class ChartParser {
   }
 
   void parseCondition() {
-    lex_.take();
+    const Token kw = lex_.take();
     ConditionDecl c;
+    c.loc = kw.loc;
     c.name = expectIdent().text;
     while (lex_.peek().kind != Tok::Semi) {
       const Token t = expectIdent();
@@ -326,8 +331,9 @@ class ChartParser {
   }
 
   void parsePort() {
-    lex_.take();
+    const Token kw = lex_.take();
     Port p;
+    p.loc = kw.loc;
     p.name = expectIdent().text;
     const Token kindTok = expectIdent();
     if (kindTok.text == "event") p.kind = PortKind::Event;
@@ -388,6 +394,7 @@ class ChartParser {
       const StateId parent =
           parentOf.count(name) != 0 ? ids.at(parentOf.at(name)) : chart.root();
       ids[name] = chart.addState(name, st.kind, parent);
+      chart.state(ids[name]).loc = st.loc;
       for (auto it = st.contains.rbegin(); it != st.contains.rend(); ++it)
         pending.push_back(*it);
     }
@@ -407,11 +414,14 @@ class ChartParser {
       for (const ParsedTransition& tr : st.transitions) {
         if (ids.count(tr.target) == 0)
           failAt(tr.loc, "transition target '%s' is not declared", tr.target.c_str());
-        Label label = parseLabel(tr.label, tr.loc);
+        // Label parse errors point at the label string itself, not the
+        // 'transition' keyword (the label may sit on a later line).
+        Label label = parseLabel(tr.label, tr.labelLoc.known() ? tr.labelLoc : tr.loc);
         const TransitionId tid =
             chart.addTransition(ids.at(name), ids.at(tr.target), std::move(label));
         chart.transition(tid).explicitBound = tr.bound;
         chart.transition(tid).exclusionGroup = tr.exclusionGroup;
+        chart.transition(tid).loc = tr.loc;
       }
     }
 

@@ -241,6 +241,146 @@ std::vector<std::pair<std::string, double>> JsonValue::numericLeaves() const {
   return out;
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strfmt("\\u%04x", static_cast<unsigned char>(c));
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+JsonValue JsonValue::makeString(std::string s) {
+  JsonValue v;
+  v.kind = Kind::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::makeNumber(double n) {
+  JsonValue v;
+  v.kind = Kind::kNumber;
+  v.number = n;
+  return v;
+}
+
+JsonValue JsonValue::makeBool(bool b) {
+  JsonValue v;
+  v.kind = Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+JsonValue JsonValue::makeArray() {
+  JsonValue v;
+  v.kind = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::makeObject() {
+  JsonValue v;
+  v.kind = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  PSCP_ASSERT(kind == Kind::kObject);
+  for (auto& [k, existing] : object) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object.emplace_back(key, std::move(v));
+  return *this;
+}
+
+namespace {
+
+void dumpNumber(double n, std::string* out) {
+  // Integral values print as integers so emitted documents match the rest
+  // of the repo's reports (and diff cleanly).
+  const auto asInt = static_cast<int64_t>(n);
+  if (static_cast<double>(asInt) == n)
+    *out += std::to_string(asInt);
+  else
+    *out += strfmt("%.17g", n);
+}
+
+void dumpValue(const JsonValue& v, int indent, int depth, std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * (static_cast<size_t>(depth) + 1), ' ');
+  const std::string closePad(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: *out += "null"; return;
+    case JsonValue::Kind::kBool: *out += v.boolean ? "true" : "false"; return;
+    case JsonValue::Kind::kNumber: dumpNumber(v.number, out); return;
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += jsonEscape(v.string);
+      *out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      if (v.array.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < v.array.size(); ++i) {
+        *out += pad;
+        dumpValue(v.array[i], indent, depth + 1, out);
+        if (i + 1 < v.array.size()) *out += ',';
+        *out += nl;
+      }
+      *out += closePad;
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.object.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      *out += nl;
+      for (size_t i = 0; i < v.object.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += jsonEscape(v.object[i].first);
+        *out += '"';
+        *out += colon;
+        dumpValue(v.object[i].second, indent, depth + 1, out);
+        if (i + 1 < v.object.size()) *out += ',';
+        *out += nl;
+      }
+      *out += closePad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dumpValue(*this, indent, 0, &out);
+  return out;
+}
+
 bool parseJson(const std::string& text, JsonValue* out, std::string* error) {
   if (error != nullptr) error->clear();
   *out = JsonValue{};

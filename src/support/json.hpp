@@ -42,7 +42,24 @@ class JsonValue {
   /// Every numeric leaf as (flattened path, value): object members join
   /// with '.', array elements index as "[i]". Strings/bools are skipped.
   [[nodiscard]] std::vector<std::pair<std::string, double>> numericLeaves() const;
+
+  /// Serialize this value. `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits the compact one-line form. Integral numbers print
+  /// without a fractional part so documents round-trip through parseJson.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  // ---- construction helpers (builders for emitted reports) ----
+  [[nodiscard]] static JsonValue makeString(std::string s);
+  [[nodiscard]] static JsonValue makeNumber(double n);
+  [[nodiscard]] static JsonValue makeBool(bool b);
+  [[nodiscard]] static JsonValue makeArray();
+  [[nodiscard]] static JsonValue makeObject();
+  /// Append/overwrite an object member (keeps emission order for new keys).
+  JsonValue& set(const std::string& key, JsonValue v);
 };
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
 
 /// Parse `text` into `out`. On failure returns false and, when `error` is
 /// non-null, stores a one-line message with the byte offset.

@@ -98,6 +98,86 @@ TEST(ActionTypes, PromotionRules) {
   EXPECT_EQ(g.body[0]->expr->type->width(), 1);
 }
 
+TEST(ActionTypes, BoundaryWidths) {
+  // The full [1, 32] width range is valid, signed and unsigned.
+  Program p = parseActionSource(R"code(
+    int:1 s1; uint:1 u1; int:32 s32; uint:32 u32;
+  )code");
+  EXPECT_EQ(p.findGlobal("s1")->type->width(), 1);
+  EXPECT_TRUE(p.findGlobal("s1")->type->isSigned());
+  EXPECT_EQ(p.findGlobal("u32")->type->width(), 32);
+  EXPECT_FALSE(p.findGlobal("u32")->type->isSigned());
+  // Just past either edge is rejected, for unsigned too.
+  EXPECT_THROW(parseActionSource("uint:0 x;"), Error);
+  EXPECT_THROW(parseActionSource("uint:33 x;"), Error);
+}
+
+TEST(ActionTypes, OneBitArithmetic) {
+  // int:1 holds {-1, 0}: incrementing 0 wraps 1 to -1. uint:1 holds {0, 1}.
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:1 s; uint:1 u;
+    void bump() { s = s + 1; u = u + 1; }
+    int:8 gets() { return s; }
+    int:8 getu() { return u; }
+  )code");
+  Interp interp(p, env);
+  interp.call("bump");
+  EXPECT_EQ(interp.call("gets"), -1);
+  EXPECT_EQ(interp.call("getu"), 1);
+  interp.call("bump");
+  EXPECT_EQ(interp.call("gets"), 0);
+  EXPECT_EQ(interp.call("getu"), 0);
+}
+
+TEST(ActionTypes, BinaryConstantOverflowWraps) {
+  // B:10011 (19) does not fit uint:4 storage: reads see it wrapped to 3,
+  // matching the datapath's truncating stores.
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    uint:4 x;
+    void put() { x = B:10011; }
+    int:8 get() { return x; }
+  )code");
+  Interp interp(p, env);
+  interp.call("put");
+  EXPECT_EQ(interp.call("get"), 3);
+}
+
+TEST(ActionTypes, MixedWidthArithmetic) {
+  // Widest operand wins; signed wins when either side is signed. The
+  // comparison result is always width 1.
+  Program p = parseActionSource(R"code(
+    int:8 s8; uint:16 u16; uint:8 u8;
+    int f() { return s8 + u16; }
+    int g() { return u8 + u16; }
+    int h() { return s8 * u8; }
+  )code");
+  const TypePtr& tf = p.function("f").body[0]->expr->type;
+  EXPECT_EQ(tf->width(), 16);
+  EXPECT_TRUE(tf->isSigned());
+  const TypePtr& tg = p.function("g").body[0]->expr->type;
+  EXPECT_EQ(tg->width(), 16);
+  EXPECT_FALSE(tg->isSigned());
+  const TypePtr& th = p.function("h").body[0]->expr->type;
+  EXPECT_EQ(th->width(), 8);
+  EXPECT_TRUE(th->isSigned());
+}
+
+TEST(ActionTypes, MixedWidthRuntimeValues) {
+  // A signed int:8 at -1 added to an unsigned uint:16 computes in the
+  // promoted signed 16-bit type.
+  RecordingEnv env;
+  Program p = parseActionSource(R"code(
+    int:8 a; uint:16 b;
+    void setup() { a = 0 - 1; b = 100; }
+    int:16 sum() { return a + b; }
+  )code");
+  Interp interp(p, env);
+  interp.call("setup");
+  EXPECT_EQ(interp.call("sum"), 99);
+}
+
 // ----------------------------------------------------------- interpreter
 
 // signed-wrap helper for readability

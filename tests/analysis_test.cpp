@@ -1,0 +1,570 @@
+// Tests for the chart-level static analyzer (src/analysis): each crafted
+// defect chart must produce its expected diagnostic code, clean charts and
+// the SMD workload must produce zero error-severity findings, and the
+// JSON report must round-trip through the repo's own parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "actionlang/parser.hpp"
+#include "analysis/analyzer.hpp"
+#include "hwlib/arch_config.hpp"
+#include "analysis/effects.hpp"
+#include "pscp/machine.hpp"
+#include "statechart/parser.hpp"
+#include "support/json.hpp"
+#include "workloads/smd.hpp"
+
+namespace pscp::analysis {
+namespace {
+
+hwlib::ArchConfig testArch() {
+  hwlib::ArchConfig arch;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.registerFileSize = 8;
+  arch.internalRamBytes = 1024;
+  arch.numTeps = 2;
+  return arch;
+}
+
+/// Parse, check, compile, analyze. Compilation is skipped (AST-only
+/// analysis) when `compile` is false.
+AnalysisResult analyze(const char* chartText, const char* actionText,
+                       bool compile = true, AnalyzerOptions options = {}) {
+  const statechart::Chart chart = statechart::parseChart(chartText, "test.chart");
+  actionlang::Program program = actionlang::parseActionSource(actionText, "test.act");
+  Analyzer analyzer(chart, program, options);
+  std::unique_ptr<machine::ChartImage> image;
+  if (compile) {
+    image = std::make_unique<machine::ChartImage>(chart, program, testArch());
+    analyzer.attachCompiled(image->app());
+  }
+  return analyzer.run();
+}
+
+int countCode(const AnalysisResult& r, const char* code) {
+  return static_cast<int>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const Finding& f) { return f.code == code; }));
+}
+
+// ---------------------------------------------------------------- conflicts
+
+// Defect 1: two transitions from one state, overlapping triggers, equal
+// scope depth — the runtime resolves by declaration order, silently.
+TEST(AnalysisConflicts, NondeterministicPairIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart Conflicted;
+event GO; event STOP;
+orstate Top { contains A, B, C; default A; }
+basicstate A {
+  transition { target B; label "GO/Act1()"; }
+  transition { target C; label "GO or STOP/Act2()"; }
+}
+basicstate B { transition { target A; label "STOP"; } }
+basicstate C { transition { target A; label "STOP"; } }
+)chart",
+                                   R"act(
+void Act1() {}
+void Act2() {}
+)act");
+  EXPECT_GE(countCode(r, kCodeConflict), 1);
+  const Finding* f = r.findCode(kCodeConflict);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_TRUE(f->loc.known());
+  EXPECT_EQ(f->loc.file, "test.chart");
+}
+
+// Structural priority (outer transition beats inner) is a Note, not a
+// Warning — the resolution is defined, just worth reviewing.
+TEST(AnalysisConflicts, PriorityResolvedPairIsNote) {
+  const AnalysisResult r = analyze(R"chart(
+chart Prioritized;
+event GO; event RESET;
+orstate Top { contains Outer, Done; default Outer; }
+orstate Outer {
+  contains In1, In2;
+  default In1;
+  transition { target Done; label "RESET"; }
+}
+basicstate In1 { transition { target In2; label "RESET or GO"; } }
+basicstate In2 { transition { target In1; label "GO"; } }
+basicstate Done { transition { target Outer; label "GO"; } }
+)chart",
+                                   "");
+  EXPECT_GE(countCode(r, kCodeMaskedConflict), 1);
+  EXPECT_EQ(r.findCode(kCodeMaskedConflict)->severity, Severity::Note);
+}
+
+// Mutually exclusive sources (same OR region) must NOT be reported even
+// when their triggers overlap: the SLA can never select both.
+TEST(AnalysisConflicts, ExclusiveSourcesAreNotConflicts) {
+  const AnalysisResult r = analyze(R"chart(
+chart Exclusive;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   "");
+  EXPECT_EQ(countCode(r, kCodeConflict), 0);
+  EXPECT_EQ(countCode(r, kCodeMaskedConflict), 0);
+}
+
+// ---------------------------------------------------------------- races
+
+// Defect 2: orthogonal components writing different constants to the same
+// output port — write-write race, Error.
+TEST(AnalysisRaces, PortWriteWriteIsError) {
+  const AnalysisResult r = analyze(R"chart(
+chart PortRace;
+event GO;
+port Out data out width 8 address 0x10;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA { transition { target LB; label "GO/WriteLeft()"; } }
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA { transition { target RB; label "GO/WriteRight()"; } }
+basicstate RB { transition { target RA; label "GO"; } }
+)chart",
+                                   R"act(
+void WriteLeft()  { write_port(Out, 1); }
+void WriteRight() { write_port(Out, 2); }
+)act");
+  ASSERT_GE(countCode(r, kCodeWriteWrite), 1);
+  const Finding* f = r.findCode(kCodeWriteWrite);
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_EQ(f->resource, "Out");
+  EXPECT_GT(r.errorCount(), 0);
+}
+
+// Both sides writing the SAME constant is not observable — no race.
+TEST(AnalysisRaces, EqualConstantWritesAreBenign) {
+  const AnalysisResult r = analyze(R"chart(
+chart BenignRace;
+event GO;
+port Out data out width 8 address 0x10;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA { transition { target LB; label "GO/WriteOne()"; } }
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA { transition { target RB; label "GO/WriteOneToo()"; } }
+basicstate RB { transition { target RA; label "GO"; } }
+)chart",
+                                   R"act(
+void WriteOne()    { write_port(Out, 7); }
+void WriteOneToo() { write_port(Out, 7); }
+)act");
+  EXPECT_EQ(countCode(r, kCodeWriteWrite), 0);
+}
+
+// Defect 3: one component writes a global the other reads — read-write
+// hazard (the reader's value depends on dispatch order).
+TEST(AnalysisRaces, GlobalReadWriteIsWarning) {
+  const AnalysisResult r = analyze(R"chart(
+chart SharedVar;
+event GO;
+port Out data out width 8 address 0x10;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA { transition { target LB; label "GO/Produce()"; } }
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA { transition { target RB; label "GO/Consume()"; } }
+basicstate RB { transition { target RA; label "GO"; } }
+)chart",
+                                   R"act(
+int:16 shared;
+void Produce() { shared = shared + 1; }
+void Consume() { write_port(Out, shared); }
+)act");
+  ASSERT_GE(countCode(r, kCodeReadWrite), 1);
+  const Finding* f = r.findCode(kCodeReadWrite);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_EQ(f->resource, "shared");
+}
+
+// Distinct elements of one array, selected by statically bound parameters,
+// are distinct resources — the SMD motor pattern must stay clean.
+TEST(AnalysisRaces, ElementGranularGlobalsDoNotCollide) {
+  const AnalysisResult r = analyze(R"chart(
+chart Elements;
+event GO;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA { transition { target LB; label "GO/Bump(0)"; } }
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA { transition { target RB; label "GO/Bump(1)"; } }
+basicstate RB { transition { target RA; label "GO"; } }
+)chart",
+                                   R"act(
+int:16 slots[4];
+void Bump(int:16 i) { slots[i] = slots[i] + 1; }
+)act");
+  EXPECT_EQ(countCode(r, kCodeWriteWrite), 0);
+  EXPECT_EQ(countCode(r, kCodeReadWrite), 0);
+}
+
+// Transitions sharing an exclusion group are serialized by the scheduler:
+// no concurrency, no race.
+TEST(AnalysisRaces, ExclusionGroupSuppressesRace) {
+  const AnalysisResult r = analyze(R"chart(
+chart Grouped;
+event GO;
+port Out data out width 8 address 0x10;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA {
+  transition { target LB; label "GO/WriteLeft()"; exclusion g1; }
+}
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA {
+  transition { target RB; label "GO/WriteRight()"; exclusion g1; }
+}
+basicstate RB { transition { target RA; label "GO"; } }
+)chart",
+                                   R"act(
+void WriteLeft()  { write_port(Out, 1); }
+void WriteRight() { write_port(Out, 2); }
+)act");
+  EXPECT_EQ(countCode(r, kCodeWriteWrite), 0);
+}
+
+// ---------------------------------------------------------------- reach
+
+// Defect 4: a state no transition ever targets.
+TEST(AnalysisReach, UnreachableStateIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart Orphan;
+event GO;
+orstate Top { contains A, B, Island; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+basicstate Island { }
+)chart",
+                                   "");
+  ASSERT_GE(countCode(r, kCodeUnreachableState), 1);
+  const Finding* f = r.findCode(kCodeUnreachableState);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->message.find("Island"), std::string::npos);
+  EXPECT_TRUE(r.reachabilityComplete);
+}
+
+// Defect 5: a transition whose source is unreachable can never fire.
+TEST(AnalysisReach, DeadTransitionIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart DeadT;
+event GO; event NEVER;
+orstate Top { contains A, B, Island; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+basicstate Island { transition { target A; label "NEVER"; } }
+)chart",
+                                   "");
+  EXPECT_GE(countCode(r, kCodeDeadTransition), 1);
+}
+
+// Defect 6b: constant-false trigger ("GO and not GO").
+TEST(AnalysisReach, ConstantFalseTriggerIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart FalseTrig;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO and not GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   "");
+  EXPECT_GE(countCode(r, kCodeConstFalseGuard), 1);
+}
+
+// The exploration cap reports RE000 and withholds unreachable findings.
+TEST(AnalysisReach, TruncationIsReportedNotMisreported) {
+  AnalyzerOptions options;
+  options.maxConfigurations = 1;
+  const AnalysisResult r = analyze(R"chart(
+chart Tiny;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   "", /*compile=*/true, options);
+  EXPECT_GE(countCode(r, kCodeReachTruncated), 1);
+  EXPECT_EQ(countCode(r, kCodeUnreachableState), 0);
+  EXPECT_FALSE(r.reachabilityComplete);
+}
+
+// ---------------------------------------------------------------- lints
+
+// Defect 6: int:16 value assigned into an int:8 destination.
+TEST(AnalysisLints, TruncatingAssignmentIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart Trunc;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Squeeze()"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   R"act(
+int:16 wide;
+int:8 narrow;
+void Squeeze() { narrow = wide; }
+)act");
+  ASSERT_GE(countCode(r, kCodeTruncatingAssign), 1);
+  EXPECT_EQ(r.findCode(kCodeTruncatingAssign)->severity, Severity::Warning);
+}
+
+// A constant that provably fits the destination is not a truncation.
+TEST(AnalysisLints, FittingConstantIsNotTruncation) {
+  const AnalysisResult r = analyze(R"chart(
+chart NoTrunc;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Store()"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   R"act(
+int:8 narrow;
+void Store() { narrow = 100; }
+)act");
+  EXPECT_EQ(countCode(r, kCodeTruncatingAssign), 0);
+}
+
+TEST(AnalysisLints, UninitializedReadIsFlagged) {
+  const AnalysisResult r = analyze(R"chart(
+chart Uninit;
+event GO;
+port Out data out width 8 address 0x10;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Leak()"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   R"act(
+void Leak() {
+  int:8 x;
+  write_port(Out, x);
+}
+)act");
+  EXPECT_GE(countCode(r, kCodeUninitializedRead), 1);
+}
+
+// Assignment on both branches of an if IS definite assignment; assignment
+// inside a while is not (zero iterations).
+TEST(AnalysisLints, DefiniteAssignmentJoins) {
+  const AnalysisResult r = analyze(R"chart(
+chart DefAssign;
+event GO;
+port Out data out width 8 address 0x10;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Ok()"; } }
+basicstate B { transition { target A; label "GO/Bad()"; } }
+)chart",
+                                   R"act(
+int:8 sel;
+void Ok() {
+  int:8 x;
+  if (sel > 0) { x = 1; } else { x = 2; }
+  write_port(Out, x);
+}
+void Bad() {
+  int:8 y;
+  while (sel > 0) bound 4 { y = 1; }
+  write_port(Out, y);
+}
+)act");
+  const int hits = countCode(r, kCodeUninitializedRead);
+  EXPECT_EQ(hits, 1);
+  EXPECT_NE(r.findCode(kCodeUninitializedRead)->message.find("'y'"),
+            std::string::npos);
+}
+
+TEST(AnalysisLints, UnreferencedPortIsNoted) {
+  const AnalysisResult r = analyze(R"chart(
+chart DeadPort;
+event GO;
+port Unused data out width 8 address 0x20;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart",
+                                   "");
+  ASSERT_GE(countCode(r, kCodeUnreferencedPort), 1);
+  EXPECT_EQ(r.findCode(kCodeUnreferencedPort)->severity, Severity::Note);
+}
+
+// ---------------------------------------------------------------- effects
+
+TEST(AnalysisEffects, PathSensitiveDispatcher) {
+  const statechart::Chart chart = statechart::parseChart(R"chart(
+chart Fx;
+event GO;
+port P0 data out width 8 address 0x10;
+port P1 data out width 8 address 0x12;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Route(0)"; } }
+basicstate B { transition { target A; label "GO/Route(1)"; } }
+)chart");
+  actionlang::Program program = actionlang::parseActionSource(R"act(
+void Route(int:8 which) {
+  if (which == 0) { write_port(P0, 1); } else { write_port(P1, 1); }
+}
+)act");
+  const EffectSet e0 = transitionEffects(chart.transitions()[0], program);
+  const EffectSet e1 = transitionEffects(chart.transitions()[1], program);
+  EXPECT_EQ(e0.portWrites.count("P0"), 1u);
+  EXPECT_EQ(e0.portWrites.count("P1"), 0u);
+  EXPECT_EQ(e1.portWrites.count("P1"), 1u);
+  EXPECT_EQ(e1.portWrites.count("P0"), 0u);
+}
+
+TEST(AnalysisEffects, CondWritesCarryConstants) {
+  const statechart::Chart chart = statechart::parseChart(R"chart(
+chart Fx2;
+event GO;
+condition C;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/SetIt()"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart");
+  actionlang::Program program = actionlang::parseActionSource(R"act(
+void SetIt() { set_cond(C, 1); }
+)act");
+  const EffectSet e = transitionEffects(chart.transitions()[0], program);
+  ASSERT_EQ(e.condWrites.count("C"), 1u);
+  ASSERT_TRUE(e.condWrites.at("C").has_value());
+  EXPECT_EQ(*e.condWrites.at("C"), 1);
+}
+
+// ---------------------------------------------------------------- reports
+
+TEST(AnalysisReport, JsonRoundTripsThroughParser) {
+  const AnalysisResult r = analyze(R"chart(
+chart JsonChart;
+event GO;
+orstate Top { contains A, B, Island; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+basicstate Island { }
+)chart",
+                                   "");
+  const std::string doc = r.renderJson();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(parseJson(doc, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.findPath("schema")->string, "pscp-lint-v1");
+  EXPECT_EQ(parsed.findPath("chart")->string, "JsonChart");
+  ASSERT_NE(parsed.findPath("findings"), nullptr);
+  EXPECT_FALSE(parsed.findPath("findings")->array.empty());
+  EXPECT_GE(parsed.findPath("summary.warnings")->number, 1.0);
+  // Compact form parses too.
+  ASSERT_TRUE(parseJson(r.renderJson(0), &parsed, &error)) << error;
+}
+
+TEST(AnalysisReport, TextReportNamesCodesAndLocations) {
+  const AnalysisResult r = analyze(R"chart(
+chart TextChart;
+event GO;
+orstate Top { contains A, B, Island; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+basicstate Island { }
+)chart",
+                                   "");
+  const std::string text = r.renderText();
+  EXPECT_NE(text.find("[PSCP-RE001]"), std::string::npos);
+  EXPECT_NE(text.find("test.chart:"), std::string::npos);
+  EXPECT_NE(text.find("warning:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- corpus
+
+// The paper's own workload must be clean at error severity — this is the
+// same bar the CI lint gate enforces.
+TEST(AnalysisCorpus, SmdWorkloadHasNoErrors) {
+  const AnalysisResult r =
+      analyze(workloads::smdChartText(), workloads::smdActionText());
+  EXPECT_EQ(r.errorCount(), 0) << r.renderText();
+  // The known nondeterministic INIT/ERROR pairs surface as warnings.
+  EXPECT_GE(countCode(r, kCodeConflict), 1);
+}
+
+// A fully clean chart yields nothing at all.
+TEST(AnalysisCorpus, CleanChartIsClean) {
+  const AnalysisResult r = analyze(R"chart(
+chart Clean;
+event GO; event BACK;
+port Out data out width 8 address 0x10;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Ping()"; } }
+basicstate B { transition { target A; label "BACK"; } }
+)chart",
+                                   R"act(
+void Ping() { write_port(Out, 1); }
+)act");
+  EXPECT_EQ(r.errorCount(), 0) << r.renderText();
+  EXPECT_EQ(r.warningCount(), 0) << r.renderText();
+}
+
+// -------------------------------------------------------- runtime evidence
+
+// The seeded port race is both flagged statically AND observable on the
+// machine: two transitions write different values to one port in the same
+// configuration cycle, attributed via the port-write log's new
+// tep/transition fields.
+TEST(AnalysisRuntime, SeededRaceIsObservedAndFlagged) {
+  const char* chartText = R"chart(
+chart Seeded;
+event GO;
+port Out data out width 8 address 0x10;
+andstate Top {
+  orstate L { contains LA, LB; default LA; }
+  orstate R { contains RA, RB; default RA; }
+}
+basicstate LA { transition { target LB; label "GO/WriteLeft()"; } }
+basicstate LB { transition { target LA; label "GO"; } }
+basicstate RA { transition { target RB; label "GO/WriteRight()"; } }
+basicstate RB { transition { target RA; label "GO"; } }
+)chart";
+  const char* actText = R"act(
+void WriteLeft()  { write_port(Out, 1); }
+void WriteRight() { write_port(Out, 2); }
+)act";
+
+  // Static verdict.
+  const AnalysisResult r = analyze(chartText, actText);
+  ASSERT_GE(countCode(r, kCodeWriteWrite), 1);
+
+  // Runtime observation.
+  const statechart::Chart chart = statechart::parseChart(chartText);
+  actionlang::Program program = actionlang::parseActionSource(actText);
+  machine::PscpMachine m(chart, program, testArch());
+  m.configurationCycle({"GO"});
+
+  const auto& writes = m.portWrites();
+  ASSERT_GE(writes.size(), 2u);
+  // Both writes hit the same port in the same cycle from different
+  // transitions with different values: the observed collision.
+  bool collision = false;
+  for (size_t i = 0; i < writes.size() && !collision; ++i)
+    for (size_t j = i + 1; j < writes.size() && !collision; ++j)
+      collision = writes[i].port == writes[j].port &&
+                  writes[i].configCycle == writes[j].configCycle &&
+                  writes[i].transition != writes[j].transition &&
+                  writes[i].transition >= 0 && writes[j].transition >= 0 &&
+                  writes[i].value != writes[j].value;
+  EXPECT_TRUE(collision);
+}
+
+}  // namespace
+}  // namespace pscp::analysis
