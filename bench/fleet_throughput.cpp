@@ -21,12 +21,11 @@
 #include <thread>
 #include <vector>
 
-#include "actionlang/parser.hpp"
 #include "fleet/fleet.hpp"
 #include "pscp/machine.hpp"
-#include "statechart/parser.hpp"
+#include "support/hostinfo.hpp"
 #include "support/text.hpp"
-#include "workloads/smd.hpp"
+#include "workloads/smd_fleet.hpp"
 
 using namespace pscp;
 
@@ -45,58 +44,27 @@ struct SweepResult {
   double efficiency = 1.0;  ///< speedup / threads
 };
 
-/// Drive one instance from Off into Moving with a long move pending on
-/// both X and Y (command byte 255 -> 4080 steps per axis), then arm the
-/// pulse-stream timers. Returns false if the machine did not land in the
-/// expected configuration.
-bool warmUpInstance(machine::PscpMachine& m, int dataValid) {
-  m.setInputPort("Buffer", 255);
-  machine::CycleStats stats;
-  const std::vector<int> power{m.eventId("POWER")};
-  const std::vector<int> data{dataValid};
-  const std::vector<int> none;
-  m.configurationCycleIds(power, &stats);    // Off -> Idle1
-  for (int i = 0; i < 4; ++i)                // Idle1 -> ... -> NoData
-    m.configurationCycleIds(data, &stats);
-  for (int i = 0; i < 4; ++i)                // PrepareMove, BeginMove, Start*
-    m.configurationCycleIds(none, &stats);
-  m.clearPortWrites();
-  return m.isActive("RunX") && m.isActive("RunY") && m.isActive("RunPhi");
-}
-
 SweepResult runSweep(const fleet::Fleet::ChartImagePtr& image, size_t instances,
                      int threads, int epochs, int cyclesPerEpoch, bool* ok) {
   fleet::FleetConfig config;
   config.workerThreads = threads;
   fleet::Fleet fleet(image, config);
-  const std::vector<fleet::InstanceId> ids = fleet.spawnMany(instances);
-  const int dataValid = fleet.eventId("DATA_VALID");
-  for (fleet::InstanceId id : ids) {
-    if (!warmUpInstance(fleet.machine(id), dataValid)) {
-      std::fprintf(stderr, "FAIL: instance %llu did not reach Moving\n",
-                   static_cast<unsigned long long>(id));
-      *ok = false;
-    }
-  }
   // Per epoch every instance receives one X and one Y step pulse through
   // its SPSC queue (delivered at the epoch's first cycle: both DeltaT
   // routines run in parallel on the two TEPs, the remaining cycles are
   // quiescent decode — the reactive duty cycle). 4080 commanded steps per
   // axis outlast any bench window, so the move never completes.
-  const int xPulse = fleet.eventId("X_PULSE");
-  const int yPulse = fleet.eventId("Y_PULSE");
-  auto injectPulses = [&] {
-    for (fleet::InstanceId id : ids) {
-      fleet.inject(id, xPulse);
-      fleet.inject(id, yPulse);
-    }
-  };
-  injectPulses();
+  const workloads::SmdPulseIds pulses = workloads::resolveSmdPulseIds(fleet);
+  if (!workloads::warmUpSmdFleet(fleet, instances, pulses)) {
+    std::fprintf(stderr, "FAIL: sweep i=%zu t=%d instance(s) did not reach Moving\n",
+                 instances, threads);
+    *ok = false;
+  }
   fleet.step(cyclesPerEpoch);  // one untimed epoch settles worker wake-up
 
   const auto start = std::chrono::steady_clock::now();
   for (int e = 0; e < epochs; ++e) {
-    injectPulses();
+    workloads::injectSmdPulses(fleet, pulses);
     fleet.step(cyclesPerEpoch);
   }
   const auto end = std::chrono::steady_clock::now();
@@ -147,18 +115,7 @@ int main(int argc, char** argv) {
   std::printf("(%s mode, %d epochs x %d cycles, %u hardware threads)\n\n",
               quick ? "quick" : "full", epochs, cyclesPerEpoch, hwThreads);
 
-  const statechart::Chart chart = statechart::parseChart(workloads::smdChartText());
-  const actionlang::Program actions =
-      actionlang::parseActionSource(workloads::smdActionText());
-  hwlib::ArchConfig arch;
-  arch.dataWidth = 16;
-  arch.numTeps = 2;
-  arch.hasMulDiv = true;
-  arch.hasComparator = true;
-  arch.hasTwosComplement = true;
-  arch.registerFileSize = 12;
-  const auto image =
-      std::make_shared<const machine::ChartImage>(chart, actions, arch);
+  const auto image = workloads::makeSmdFleetImage();
 
   bool ok = true;
   std::vector<SweepResult> results;
@@ -183,8 +140,9 @@ int main(int argc, char** argv) {
                 r.speedup, 100.0 * r.efficiency);
 
   std::string json = "{\n  \"benchmark\": \"fleet_throughput\",\n";
-  json += strfmt("  \"mode\": \"%s\",\n  \"hardware_threads\": %u,\n  \"sweeps\": [\n",
+  json += strfmt("  \"mode\": \"%s\",\n  \"hardware_threads\": %u,\n",
                  quick ? "quick" : "full", hwThreads);
+  json += "  \"host\": " + hostInfoJson().dump() + ",\n  \"sweeps\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     json += strfmt(

@@ -17,6 +17,7 @@
 
 #include "sla/sla.hpp"
 #include "statechart/parser.hpp"
+#include "support/hostinfo.hpp"
 #include "support/text.hpp"
 #include "workloads/smd.hpp"
 
@@ -141,7 +142,8 @@ int main(int argc, char** argv) {
                 r.transitions, r.crBits, r.referenceNs, r.packedNs, r.speedup);
 
   std::string json = "{\n  \"benchmark\": \"sla_select\",\n";
-  json += strfmt("  \"mode\": \"%s\",\n  \"charts\": [\n", quick ? "quick" : "full");
+  json += strfmt("  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  json += "  \"host\": " + hostInfoJson().dump() + ",\n  \"charts\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     json += strfmt(

@@ -1,0 +1,170 @@
+// Telemetry-overhead microbench: prove the armed telemetry plane (flight
+// recorder rings + health atomics) costs < 3% of fleet stepping
+// throughput. Runs the same SMD steady-state duty cycle as
+// bench/fleet_throughput with telemetry off and on in *interleaved* A/B
+// rounds (off, on, off, on, ...) so slow drift — thermal, frequency,
+// noisy neighbours — hits both arms equally, then reports the ratio of
+// median machine-cycles/sec.
+//
+// Emits BENCH_telemetry_overhead.json with `telemetry_throughput_ratio`
+// (armed / disarmed; ~1.0 when the plane is cheap, and a *throughput*
+// metric so bench_compare gates it higher-is-better) which CI gates at
+// --tol-metric telemetry_throughput_ratio=0.03 against the committed
+// baseline. Full mode additionally self-checks ratio >= 0.97 and that the
+// armed run actually recorded flight data (no vacuous pass by a dead
+// recorder).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "support/hostinfo.hpp"
+#include "support/text.hpp"
+#include "workloads/smd_fleet.hpp"
+
+using namespace pscp;
+
+namespace {
+
+struct RoundResult {
+  double machineCyclesPerSec = 0.0;
+  int64_t flightRecords = 0;
+};
+
+/// One timed round: fresh fleet, warm-up, `epochs` timed epochs.
+RoundResult runRound(const fleet::Fleet::ChartImagePtr& image, bool telemetry,
+                     size_t instances, int threads, int epochs,
+                     int cyclesPerEpoch, bool* ok) {
+  fleet::FleetConfig config;
+  config.workerThreads = threads;
+  config.telemetry = telemetry;
+  fleet::Fleet fleet(image, config);
+  const workloads::SmdPulseIds pulses = workloads::resolveSmdPulseIds(fleet);
+  if (!workloads::warmUpSmdFleet(fleet, instances, pulses)) {
+    std::fprintf(stderr, "FAIL: instance(s) did not reach Moving\n");
+    *ok = false;
+  }
+  fleet.step(cyclesPerEpoch);  // settle worker wake-up, untimed
+
+  const int64_t before = fleet.mergedMetrics().value("fleet.machine_cycles");
+  const auto start = std::chrono::steady_clock::now();
+  for (int e = 0; e < epochs; ++e) {
+    workloads::injectSmdPulses(fleet, pulses);
+    fleet.step(cyclesPerEpoch);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const int64_t after = fleet.mergedMetrics().value("fleet.machine_cycles");
+
+  RoundResult r;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  if (seconds > 0.0)
+    r.machineCyclesPerSec = static_cast<double>(after - before) / seconds;
+  if (telemetry && fleet.flightRecorder() != nullptr)
+    r.flightRecords =
+        static_cast<int64_t>(fleet.flightRecorder()->snapshot().size());
+  return r;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? values[n / 2]
+                              : 0.5 * (values[n / 2 - 1] + values[n / 2]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const size_t instances = quick ? 64 : 256;
+  const int threads = 1;  // overhead is per-worker; 1 thread isolates it
+  // Quick mode favours many short rounds: the median over 15 pairs is far
+  // more stable against scheduler interference on small/shared runners
+  // than 5 longer ones, at ~1s total.
+  const int rounds = quick ? 15 : 9;
+  const int epochs = quick ? 24 : 64;
+  const int cyclesPerEpoch = 8;
+
+  std::printf("=== Telemetry overhead: armed vs disarmed fleet stepping ===\n");
+  std::printf("(%s mode, %zu instances, %d rounds x %d epochs x %d cycles)\n\n",
+              quick ? "quick" : "full", instances, rounds, epochs,
+              cyclesPerEpoch);
+
+  const auto image = workloads::makeSmdFleetImage();
+  bool ok = true;
+  std::vector<double> off, on;
+  int64_t flightRecords = 0;
+  // A/B interleaved: drift hits both arms symmetrically. One extra
+  // untimed leading pair warms caches and the allocator.
+  (void)runRound(image, false, instances, threads, 4, cyclesPerEpoch, &ok);
+  (void)runRound(image, true, instances, threads, 4, cyclesPerEpoch, &ok);
+  for (int r = 0; r < rounds; ++r) {
+    off.push_back(runRound(image, false, instances, threads, epochs,
+                           cyclesPerEpoch, &ok)
+                      .machineCyclesPerSec);
+    const RoundResult armed =
+        runRound(image, true, instances, threads, epochs, cyclesPerEpoch, &ok);
+    on.push_back(armed.machineCyclesPerSec);
+    flightRecords = std::max(flightRecords, armed.flightRecords);
+  }
+
+  const double offMedian = median(off);
+  const double onMedian = median(on);
+  const double ratio = offMedian > 0.0 ? onMedian / offMedian : 0.0;
+  const double overheadPct = 100.0 * (1.0 - ratio);
+
+  std::printf("| arm      | median mach cycles/s |\n");
+  std::printf("|----------|----------------------|\n");
+  std::printf("| disarmed | %20.0f |\n", offMedian);
+  std::printf("| armed    | %20.0f |\n", onMedian);
+  std::printf("\ntelemetry_throughput_ratio: %.4f (overhead %.2f%%)\n", ratio,
+              overheadPct);
+  std::printf("flight records resident after armed run: %lld\n",
+              static_cast<long long>(flightRecords));
+
+  std::string json = "{\n  \"benchmark\": \"telemetry_overhead\",\n";
+  json += strfmt("  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  json += "  \"host\": " + hostInfoJson().dump() + ",\n";
+  json += strfmt(
+      "  \"instances\": %zu,\n  \"rounds\": %d,\n"
+      "  \"disarmed_machine_cycles_per_sec\": %.0f,\n"
+      "  \"armed_machine_cycles_per_sec\": %.0f,\n"
+      "  \"telemetry_throughput_ratio\": %.4f,\n"
+      "  \"overhead_pct\": %.2f,\n  \"flight_records\": %lld\n}\n",
+      instances, rounds, offMedian, onMedian, ratio, overheadPct,
+      static_cast<long long>(flightRecords));
+  std::FILE* f = std::fopen("BENCH_telemetry_overhead.json", "wb");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_telemetry_overhead.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_telemetry_overhead.json\n");
+    ok = false;
+  }
+
+  if (flightRecords <= 0) {
+    std::fprintf(stderr, "FAIL: armed run recorded no flight data\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  // Quick mode (CI smoke) leaves the verdict to the bench_compare gate —
+  // single short rounds on shared runners are too noisy for a hard fail.
+  if (!quick && ratio < 0.97) {
+    std::fprintf(stderr, "FAIL: telemetry overhead %.2f%% exceeds 3%% budget\n",
+                 overheadPct);
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -39,6 +40,7 @@ struct Fleet::Instance {
   // instance per epoch; the epoch barrier publishes writes between epochs).
   std::vector<int> drained;
   machine::CycleStats stats;  ///< reused; fired kept allocated across cycles
+  int64_t droppedSeen = 0;    ///< last `dropped` value folded into telemetry
 
   // Lifetime accounting (read by snapshot() between epochs).
   int64_t machineCycles = 0;
@@ -57,8 +59,8 @@ struct Fleet::Shard {
 };
 
 /// Per-epoch, per-worker accumulator: plain int64s bumped in the hot loop
-/// and flushed into the worker's MetricsRegistry once per epoch, so the
-/// stepping path touches no map and no string.
+/// and flushed through cached registry pointers once per epoch, so the
+/// stepping path touches no map, no string and no allocator.
 struct Fleet::WorkerLocal {
   int64_t machineCycles = 0;
   int64_t configCycles = 0;
@@ -67,7 +69,54 @@ struct Fleet::WorkerLocal {
   int64_t busStallCycles = 0;
   int64_t eventsDelivered = 0;
   int64_t stealChunks = 0;
+  int64_t instancesStepped = 0;
   obs::Histogram* cyclesPerEpoch = nullptr;
+
+  // Telemetry (ring == nullptr when the plane is disarmed: the hot loop's
+  // single predictable check).
+  obs::FlightRing* ring = nullptr;
+  int64_t epoch = 0;
+  int64_t queueDepthHwm = 0;
+  int64_t drops = 0;
+  int64_t portWrites = 0;
+};
+
+/// Registry references resolved once at construction: the per-epoch flush
+/// must not do string-keyed map lookups (they allocate — the steady-state
+/// counting-operator-new test holds the fleet to zero).
+struct Fleet::WorkerMetricRefs {
+  int64_t* machineCycles = nullptr;
+  int64_t* configCycles = nullptr;
+  int64_t* quiescentCycles = nullptr;
+  int64_t* firedTransitions = nullptr;
+  int64_t* busStallCycles = nullptr;
+  int64_t* eventsDelivered = nullptr;
+  int64_t* stealChunks = nullptr;
+  int64_t* epochTasks = nullptr;
+  obs::Histogram* cyclesPerEpoch = nullptr;
+};
+
+/// One cacheline-aligned block of health atomics per worker. Only the
+/// owning worker writes (plain read-modify-write on relaxed atomics, no
+/// CAS needed); any thread reads at any time via healthSnapshot().
+struct Fleet::ShardTelemetry {
+  alignas(64) std::atomic<int64_t> epochs{0};
+  std::atomic<int64_t> epochStartNanos{0};  ///< 0 when no epoch in flight
+  std::atomic<int64_t> lastEpochNanos{0};
+  std::atomic<int64_t> ewmaEpochNanos{0};
+  std::atomic<int64_t> minEpochNanos{0};
+  std::atomic<int64_t> maxEpochNanos{0};
+  std::atomic<int64_t> sumEpochNanos{0};
+  std::atomic<int64_t> machineCycles{0};
+  std::atomic<int64_t> configCycles{0};
+  std::atomic<int64_t> firedTransitions{0};
+  std::atomic<int64_t> eventsDelivered{0};
+  std::atomic<int64_t> eventsDropped{0};
+  std::atomic<int64_t> stealChunks{0};
+  std::atomic<int64_t> queueDepthHwm{0};
+  std::atomic<int64_t> instancesStepped{0};
+  std::atomic<int64_t> portWrites{0};
+  std::atomic<int64_t> epochNanosCounts[obs::kEpochNanosBucketCount] = {};
 };
 
 /// The epoch barrier: workers park on a condition variable and run one
@@ -79,6 +128,7 @@ struct Fleet::Pool {
   std::condition_variable done;
   uint64_t generation = 0;
   int cyclesThisEpoch = 0;
+  int64_t epochThisGeneration = 0;
   size_t running = 0;
   bool stop = false;
   std::vector<std::thread> threads;
@@ -93,6 +143,27 @@ Fleet::Fleet(ChartImagePtr image, FleetConfig config)
   if (config_.stealChunk < 1) config_.stealChunk = 1;
   workerCount_ = static_cast<size_t>(config_.workerThreads);
   workerMetrics_.resize(workerCount_);
+  workerMetricRefs_.resize(workerCount_);
+  for (size_t w = 0; w < workerCount_; ++w) {
+    obs::MetricsRegistry& reg = workerMetrics_[w];
+    WorkerMetricRefs& refs = workerMetricRefs_[w];
+    refs.machineCycles = &reg.counter("fleet.machine_cycles");
+    refs.configCycles = &reg.counter("fleet.config_cycles");
+    refs.quiescentCycles = &reg.counter("fleet.quiescent_cycles");
+    refs.firedTransitions = &reg.counter("fleet.fired_transitions");
+    refs.busStallCycles = &reg.counter("fleet.bus_stall_cycles");
+    refs.eventsDelivered = &reg.counter("fleet.events_delivered");
+    refs.stealChunks = &reg.counter("fleet.steal_chunks");
+    refs.epochTasks = &reg.counter("fleet.epoch_tasks");
+    refs.cyclesPerEpoch =
+        &reg.histogram("fleet.instance_cycles_per_epoch", epochCycleBounds());
+  }
+  if (config_.telemetry) {
+    if (config_.flightRecordsPerShard < 1) config_.flightRecordsPerShard = 1;
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        workerCount_, config_.flightRecordsPerShard);
+    shardTelemetry_ = std::make_unique<ShardTelemetry[]>(workerCount_);
+  }
   if (workerCount_ > 1) {
     pool_ = std::make_unique<Pool>();
     pool_->threads.reserve(workerCount_);
@@ -118,7 +189,7 @@ InstanceId Fleet::spawn() {
   const InstanceId id = static_cast<InstanceId>(instances_.size());
   instances_.push_back(
       std::make_unique<Instance>(image_, id, config_.eventQueueCapacity));
-  ++liveCount_;
+  liveCount_.fetch_add(1, std::memory_order_relaxed);
   shardsDirty_ = true;
   return id;
 }
@@ -133,7 +204,7 @@ std::vector<InstanceId> Fleet::spawnMany(size_t count) {
 void Fleet::retire(InstanceId id) {
   liveInstance(id);  // asserts liveness
   instances_[static_cast<size_t>(id)].reset();
-  --liveCount_;
+  liveCount_.fetch_sub(1, std::memory_order_relaxed);
   shardsDirty_ = true;
 }
 
@@ -190,28 +261,52 @@ void Fleet::stepInstance(Instance& inst, int cycles, WorkerLocal& local) {
   inst.drained.clear();
   int32_t event = 0;
   while (inst.queue.tryPop(&event)) inst.drained.push_back(event);
-  inst.eventsDelivered += static_cast<int64_t>(inst.drained.size());
-  local.eventsDelivered += static_cast<int64_t>(inst.drained.size());
+  const int64_t drainedCount = static_cast<int64_t>(inst.drained.size());
+  inst.eventsDelivered += drainedCount;
+  local.eventsDelivered += drainedCount;
 
   int64_t epochMachineCycles = 0;
+  int64_t epochFired = 0;
   for (int c = 0; c < cycles; ++c) {
     inst.machine.configurationCycleIds(c == 0 ? inst.drained : kNoEvents,
                                        &inst.stats);
     epochMachineCycles += inst.stats.cycles;
     inst.busStallCycles += inst.stats.busStallCycles;
-    inst.firedTransitions += static_cast<int64_t>(inst.stats.fired.size());
+    epochFired += static_cast<int64_t>(inst.stats.fired.size());
     local.busStallCycles += inst.stats.busStallCycles;
-    local.firedTransitions += static_cast<int64_t>(inst.stats.fired.size());
     if (inst.stats.quiescent) {
       ++inst.quiescentCycles;
       ++local.quiescentCycles;
     }
   }
+  inst.firedTransitions += epochFired;
+  local.firedTransitions += epochFired;
   inst.machineCycles += epochMachineCycles;
   inst.configCycles += cycles;
   local.machineCycles += epochMachineCycles;
   local.configCycles += cycles;
+  local.instancesStepped += 1;
   local.cyclesPerEpoch->record(epochMachineCycles);
+
+  if (local.ring != nullptr) {  // telemetry armed: the one extra branch
+    if (drainedCount > local.queueDepthHwm) local.queueDepthHwm = drainedCount;
+    const int64_t droppedNow = inst.dropped.load(std::memory_order_relaxed);
+    if (droppedNow != inst.droppedSeen) {
+      local.drops += droppedNow - inst.droppedSeen;
+      inst.droppedSeen = droppedNow;
+      local.ring->push(obs::FlightKind::kDrops, local.epoch,
+                       static_cast<int64_t>(inst.id), droppedNow, 0, 0);
+    }
+    local.ring->push(obs::FlightKind::kInstance, local.epoch,
+                     static_cast<int64_t>(inst.id), epochMachineCycles,
+                     epochFired, drainedCount);
+    for (const machine::PortWrite& w : inst.machine.portWrites()) {
+      local.ring->push(obs::FlightKind::kPortWrite, local.epoch,
+                       static_cast<int64_t>(inst.id), w.port,
+                       static_cast<int64_t>(w.value), w.configCycle);
+      ++local.portWrites;
+    }
+  }
 
   if (config_.capturePortWrites) {
     const std::vector<machine::PortWrite>& writes = inst.machine.portWrites();
@@ -220,49 +315,121 @@ void Fleet::stepInstance(Instance& inst, int cycles, WorkerLocal& local) {
   inst.machine.clearPortWrites();
 }
 
-void Fleet::runWorkerEpoch(size_t worker, int cycles) {
+void Fleet::runWorkerEpoch(size_t worker, int cycles, int64_t epoch) {
+  const WorkerMetricRefs& refs = workerMetricRefs_[worker];
   WorkerLocal local;
-  local.cyclesPerEpoch = &workerMetrics_[worker].histogram(
-      "fleet.instance_cycles_per_epoch", epochCycleBounds());
+  local.cyclesPerEpoch = refs.cyclesPerEpoch;
+
+  const bool armed = flight_ != nullptr;
+  int64_t epochStart = 0;
+  if (armed) {
+    local.ring = &flight_->ring(worker);
+    local.epoch = epoch;
+    epochStart = obs::nowMonotonicNanos();
+    shardTelemetry_[worker].epochStartNanos.store(epochStart,
+                                                  std::memory_order_relaxed);
+    local.ring->push(obs::FlightKind::kEpochBegin, epoch, cycles,
+                     static_cast<int64_t>(liveCount_.load(std::memory_order_relaxed)),
+                     0, 0);
+    // Fault injection sleeps *inside* the measured epoch so a snapshot
+    // taken meanwhile sees it as in-flight time (the stall signal).
+    if (config_.debugStallShard == static_cast<int>(worker) &&
+        config_.debugStallMicros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.debugStallMicros));
+    }
+  }
 
   const size_t chunk = config_.stealChunk;
   const size_t shardCount = shards_.size();
   // Own shard first, then sweep the others stealing leftover chunks.
   for (size_t offset = 0; offset < shardCount; ++offset) {
-    Shard& shard = *shards_[(worker + offset) % shardCount];
+    const size_t victim = (worker + offset) % shardCount;
+    Shard& shard = *shards_[victim];
     for (;;) {
       const size_t begin = shard.cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= shard.members.size()) break;
       const size_t end = std::min(begin + chunk, shard.members.size());
       for (size_t i = begin; i < end; ++i)
         stepInstance(*shard.members[i], cycles, local);
-      if (offset != 0) ++local.stealChunks;
+      if (offset != 0) {
+        ++local.stealChunks;
+        if (local.ring != nullptr)
+          local.ring->push(obs::FlightKind::kSteal, epoch,
+                           static_cast<int64_t>(victim),
+                           static_cast<int64_t>(begin),
+                           static_cast<int64_t>(end - begin), 0);
+      }
     }
   }
 
-  obs::MetricsRegistry& reg = workerMetrics_[worker];
-  reg.counter("fleet.machine_cycles") += local.machineCycles;
-  reg.counter("fleet.config_cycles") += local.configCycles;
-  reg.counter("fleet.quiescent_cycles") += local.quiescentCycles;
-  reg.counter("fleet.fired_transitions") += local.firedTransitions;
-  reg.counter("fleet.bus_stall_cycles") += local.busStallCycles;
-  reg.counter("fleet.events_delivered") += local.eventsDelivered;
-  reg.counter("fleet.steal_chunks") += local.stealChunks;
-  reg.counter("fleet.epoch_tasks") += 1;
+  *refs.machineCycles += local.machineCycles;
+  *refs.configCycles += local.configCycles;
+  *refs.quiescentCycles += local.quiescentCycles;
+  *refs.firedTransitions += local.firedTransitions;
+  *refs.busStallCycles += local.busStallCycles;
+  *refs.eventsDelivered += local.eventsDelivered;
+  *refs.stealChunks += local.stealChunks;
+  *refs.epochTasks += 1;
+
+  if (armed) {
+    const int64_t durNanos = obs::nowMonotonicNanos() - epochStart;
+    ShardTelemetry& st = shardTelemetry_[worker];
+    // Single-writer block: load/compute/store on relaxed atomics is safe;
+    // concurrent readers see any consistent-enough interleaving.
+    const auto bump = [](std::atomic<int64_t>& a, int64_t delta) {
+      a.store(a.load(std::memory_order_relaxed) + delta,
+              std::memory_order_relaxed);
+    };
+    st.epochStartNanos.store(0, std::memory_order_relaxed);
+    st.lastEpochNanos.store(durNanos, std::memory_order_relaxed);
+    const int64_t prevEwma = st.ewmaEpochNanos.load(std::memory_order_relaxed);
+    st.ewmaEpochNanos.store(
+        prevEwma == 0 ? durNanos : prevEwma + (durNanos - prevEwma) / 8,
+        std::memory_order_relaxed);
+    const int64_t prevMin = st.minEpochNanos.load(std::memory_order_relaxed);
+    const int64_t epochsSoFar = st.epochs.load(std::memory_order_relaxed);
+    if (epochsSoFar == 0 || durNanos < prevMin)
+      st.minEpochNanos.store(durNanos, std::memory_order_relaxed);
+    if (durNanos > st.maxEpochNanos.load(std::memory_order_relaxed))
+      st.maxEpochNanos.store(durNanos, std::memory_order_relaxed);
+    bump(st.sumEpochNanos, durNanos);
+    const std::vector<int64_t>& bounds = obs::epochNanosBounds();
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), durNanos) -
+        bounds.begin());
+    bump(st.epochNanosCounts[bucket], 1);
+    bump(st.machineCycles, local.machineCycles);
+    bump(st.configCycles, local.configCycles);
+    bump(st.firedTransitions, local.firedTransitions);
+    bump(st.eventsDelivered, local.eventsDelivered);
+    bump(st.eventsDropped, local.drops);
+    bump(st.stealChunks, local.stealChunks);
+    if (local.queueDepthHwm > st.queueDepthHwm.load(std::memory_order_relaxed))
+      st.queueDepthHwm.store(local.queueDepthHwm, std::memory_order_relaxed);
+    bump(st.instancesStepped, local.instancesStepped);
+    bump(st.portWrites, local.portWrites);
+    bump(st.epochs, 1);
+    local.ring->push(obs::FlightKind::kEpochEnd, epoch, durNanos,
+                     local.machineCycles, local.instancesStepped,
+                     local.eventsDelivered);
+  }
 }
 
 void Fleet::workerLoop(size_t worker) {
   uint64_t seen = 0;
   for (;;) {
     int cycles = 0;
+    int64_t epoch = 0;
     {
       std::unique_lock<std::mutex> lk(pool_->mu);
       pool_->start.wait(lk, [&] { return pool_->stop || pool_->generation != seen; });
       if (pool_->stop) return;
       seen = pool_->generation;
       cycles = pool_->cyclesThisEpoch;
+      epoch = pool_->epochThisGeneration;
     }
-    runWorkerEpoch(worker, cycles);
+    runWorkerEpoch(worker, cycles, epoch);
     {
       std::lock_guard<std::mutex> lk(pool_->mu);
       if (--pool_->running == 0) pool_->done.notify_all();
@@ -274,13 +441,15 @@ void Fleet::step(int cycles) {
   PSCP_ASSERT(cycles > 0);
   if (shardsDirty_) rebuildShards();
   for (auto& shard : shards_) shard->cursor.store(0, std::memory_order_relaxed);
-  ++epochs_;
+  const int64_t epoch = epochs_.load(std::memory_order_relaxed) + 1;
+  epochs_.store(epoch, std::memory_order_relaxed);
   if (pool_ == nullptr) {
-    runWorkerEpoch(0, cycles);
+    runWorkerEpoch(0, cycles, epoch);
     return;
   }
   std::unique_lock<std::mutex> lk(pool_->mu);
   pool_->cyclesThisEpoch = cycles;
+  pool_->epochThisGeneration = epoch;
   pool_->running = workerCount_;
   ++pool_->generation;
   pool_->start.notify_all();
@@ -319,7 +488,68 @@ void Fleet::clearPortWrites(InstanceId id) { liveInstance(id).portLog.clear(); }
 obs::MetricsRegistry Fleet::mergedMetrics() const {
   obs::MetricsRegistry merged;
   for (const obs::MetricsRegistry& reg : workerMetrics_) merged.mergeFrom(reg);
+  // Producer-side drop counts live on the instances (they are bumped by
+  // inject() callers, not workers); fold the live ones in here. Retired
+  // instances take their drop counts with them.
+  int64_t dropped = 0;
+  for (const auto& inst : instances_)
+    if (inst != nullptr) dropped += inst->dropped.load(std::memory_order_relaxed);
+  merged.counter("fleet.events_dropped") += dropped;
+  // The telemetry plane publishes its lock-free snapshot through the same
+  // registry surface (epoch-latency histogram, queue high-water, ...).
+  if (flight_ != nullptr) obs::healthToMetrics(healthSnapshot(), &merged);
   return merged;
+}
+
+// -------------------------------------------------------------- telemetry
+
+obs::FleetHealth Fleet::healthSnapshot() const {
+  obs::FleetHealth h;
+  h.telemetryEnabled = flight_ != nullptr;
+  h.capturedAtNanos = obs::nowMonotonicNanos();
+  h.epochs = epochs_.load(std::memory_order_relaxed);
+  h.liveInstances =
+      static_cast<int64_t>(liveCount_.load(std::memory_order_relaxed));
+  h.workerThreads = static_cast<int>(workerCount_);
+  if (!h.telemetryEnabled) return h;
+  h.shards.resize(workerCount_);
+  for (size_t w = 0; w < workerCount_; ++w) {
+    const ShardTelemetry& st = shardTelemetry_[w];
+    obs::ShardHealth& s = h.shards[w];
+    const auto get = [](const std::atomic<int64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    s.shard = static_cast<int>(w);
+    s.epochs = get(st.epochs);
+    s.lastEpochNanos = get(st.lastEpochNanos);
+    s.ewmaEpochNanos = get(st.ewmaEpochNanos);
+    s.minEpochNanos = get(st.minEpochNanos);
+    s.maxEpochNanos = get(st.maxEpochNanos);
+    s.sumEpochNanos = get(st.sumEpochNanos);
+    const int64_t start = get(st.epochStartNanos);
+    s.inFlightNanos = start > 0 ? h.capturedAtNanos - start : 0;
+    s.machineCycles = get(st.machineCycles);
+    s.configCycles = get(st.configCycles);
+    s.firedTransitions = get(st.firedTransitions);
+    s.eventsDelivered = get(st.eventsDelivered);
+    s.eventsDropped = get(st.eventsDropped);
+    s.stealChunks = get(st.stealChunks);
+    s.queueDepthHwm = get(st.queueDepthHwm);
+    s.instancesStepped = get(st.instancesStepped);
+    s.portWrites = get(st.portWrites);
+    s.epochNanosCounts.resize(obs::kEpochNanosBucketCount);
+    for (size_t b = 0; b < obs::kEpochNanosBucketCount; ++b)
+      s.epochNanosCounts[b] = get(st.epochNanosCounts[b]);
+  }
+  return h;
+}
+
+bool Fleet::writeFlightDump(const std::string& path, std::string* error) const {
+  if (flight_ == nullptr) {
+    if (error != nullptr) *error = "fleet telemetry is not armed";
+    return false;
+  }
+  return flight_->writeFile(path, error);
 }
 
 }  // namespace pscp::fleet

@@ -33,16 +33,32 @@
 //
 // Thread contract: Fleet's control surface (spawn/retire/step/snapshot/
 // mergedMetrics/machine) is single-threaded — call it from one thread,
-// between epochs. inject()/injectByName() are the exception: they are
-// safe from any thread at any time, one producer per instance at a time.
+// between epochs. inject()/injectByName() are safe from any thread at any
+// time (one producer per instance at a time), and the telemetry surface —
+// healthSnapshot(), flightRecorder() snapshots, writeFlightDump() — is
+// safe from any thread at any time, including mid-epoch: it reads only
+// atomics and the flight rings' seqlocked slots.
+//
+// Telemetry plane (FleetConfig::telemetry): when armed, every worker keeps
+// a flight-recorder ring (recent epoch/instance/steal/port activity, see
+// obs/flight.hpp) and a cacheline-private block of health atomics (epoch
+// latency EWMA/min/max/histogram, queue high-water, drop and steal
+// counters, see obs/health.hpp) updated at epoch boundaries. When
+// disarmed (the default), the hot loop does zero telemetry work beyond
+// one predictable null check per instance step — no virtual calls, no
+// clock reads, no atomic traffic — which the counting-operator-new test
+// and the telemetry_overhead bench both enforce.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/spsc.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "pscp/machine.hpp"
 
@@ -66,6 +82,21 @@ struct FleetConfig {
   /// Off by default: a throughput fleet discards writes each epoch so
   /// steady-state memory stays flat.
   bool capturePortWrites = false;
+
+  /// Arm the telemetry plane: per-shard flight-recorder rings plus live
+  /// health counters (see header comment). Off by default — a disarmed
+  /// fleet pays one predictable branch per instance step and nothing else.
+  bool telemetry = false;
+  /// Flight-ring capacity per shard (records; rounded up to a power of
+  /// two). 1024 records ≈ the last few dozen epochs of a busy shard.
+  size_t flightRecordsPerShard = 1024;
+
+  /// Fault injection for telemetry tests and demos: the worker owning
+  /// shard `debugStallShard` sleeps `debugStallMicros` at the start of
+  /// every epoch, which the stall/skew detector must surface. Ignored
+  /// unless telemetry is armed. Not for production use.
+  int debugStallShard = -1;
+  int64_t debugStallMicros = 0;
 };
 
 /// Point-in-time per-instance accounting (valid between epochs).
@@ -98,7 +129,9 @@ class Fleet {
   /// Destroy an instance (frees its machine; the id is never reused).
   void retire(InstanceId id);
   [[nodiscard]] bool isLive(InstanceId id) const;
-  [[nodiscard]] size_t liveCount() const { return liveCount_; }
+  [[nodiscard]] size_t liveCount() const {
+    return liveCount_.load(std::memory_order_relaxed);
+  }
 
   // ------------------------------------------------------------ injection
   /// CR event bit for a declared event name (same interning as the
@@ -114,7 +147,9 @@ class Fleet {
   // ------------------------------------------------------------- stepping
   /// Advance every live instance by `cycles` configuration cycles.
   void step(int cycles = 1);
-  [[nodiscard]] int64_t epochs() const { return epochs_; }
+  [[nodiscard]] int64_t epochs() const {
+    return epochs_.load(std::memory_order_relaxed);
+  }
 
   // ----------------------------------------------------------- inspection
   /// Direct access to an instance's machine (between epochs only).
@@ -134,18 +169,35 @@ class Fleet {
   /// the fleet.instance_cycles_per_epoch histogram.
   [[nodiscard]] obs::MetricsRegistry mergedMetrics() const;
 
+  // ------------------------------------------------------------ telemetry
+  /// The flight recorder, or nullptr when telemetry is disarmed. Ring
+  /// snapshots are safe from any thread at any time.
+  [[nodiscard]] const obs::FlightRecorder* flightRecorder() const {
+    return flight_.get();
+  }
+  /// Lock-free point-in-time health snapshot: safe from any thread at any
+  /// time, including while an epoch is running (that is the point — it is
+  /// how a dashboard sees a stalled epoch *while* it stalls). With
+  /// telemetry disarmed only the fleet-level fields are populated.
+  [[nodiscard]] obs::FleetHealth healthSnapshot() const;
+  /// Dump the flight recorder to `path` as pscp-flight-v1 JSON. Safe from
+  /// any thread; false when telemetry is disarmed or on I/O failure.
+  bool writeFlightDump(const std::string& path, std::string* error = nullptr) const;
+
   [[nodiscard]] const ChartImagePtr& image() const { return image_; }
   [[nodiscard]] const FleetConfig& config() const { return config_; }
 
  private:
   struct Instance;
   struct Shard;
-  struct WorkerLocal;  // per-epoch accumulator, flushed to a registry
+  struct WorkerLocal;      // per-epoch accumulator, flushed to a registry
+  struct WorkerMetricRefs; // cached registry pointers (no lookups per epoch)
+  struct ShardTelemetry;   // cacheline-private health atomics per worker
 
   Instance& liveInstance(InstanceId id);
   [[nodiscard]] const Instance& liveInstance(InstanceId id) const;
   void rebuildShards();
-  void runWorkerEpoch(size_t worker, int cycles);
+  void runWorkerEpoch(size_t worker, int cycles, int64_t epoch);
   void stepInstance(Instance& inst, int cycles, WorkerLocal& local);
   void workerLoop(size_t worker);
 
@@ -154,12 +206,17 @@ class Fleet {
   size_t workerCount_ = 1;
 
   std::vector<std::unique_ptr<Instance>> instances_;  // index == InstanceId
-  size_t liveCount_ = 0;
+  std::atomic<size_t> liveCount_{0};  // written by control thread only
   std::vector<std::unique_ptr<Shard>> shards_;
   bool shardsDirty_ = true;
-  int64_t epochs_ = 0;
+  std::atomic<int64_t> epochs_{0};  // written by control thread only
 
   std::vector<obs::MetricsRegistry> workerMetrics_;  // one per worker
+  std::vector<WorkerMetricRefs> workerMetricRefs_;   // parallel to the above
+
+  // Telemetry plane (null / empty when config_.telemetry is false).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<ShardTelemetry[]> shardTelemetry_;
 
   // Epoch barrier (only used when workerCount_ > 1).
   struct Pool;

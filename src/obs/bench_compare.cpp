@@ -49,10 +49,30 @@ BenchCompareResult compareBenchJson(const JsonValue& baseline,
                                     const JsonValue& current,
                                     const BenchCompareOptions& options) {
   BenchCompareResult result;
+  // The "host" block is provenance, not performance: its numeric leaves
+  // (core counts) are dropped from the comparison entirely, and a
+  // member-wise mismatch raises the hostMismatch warning instead.
+  const JsonValue* baseHost = baseline.find("host");
+  const JsonValue* curHost = current.find("host");
+  if (baseHost != nullptr && curHost != nullptr &&
+      baseHost->dump() != curHost->dump()) {
+    result.hostMismatch = true;
+    result.notes.push_back(strfmt("host mismatch: baseline %s vs current %s",
+                                  baseHost->dump().c_str(),
+                                  curHost->dump().c_str()));
+  } else if ((baseHost == nullptr) != (curHost == nullptr)) {
+    result.notes.push_back(strfmt("host metadata present only in %s document",
+                                  baseHost != nullptr ? "baseline" : "current"));
+  }
+  const auto isHostPath = [](const std::string& path) {
+    return path.rfind("host.", 0) == 0;
+  };
   std::map<std::string, double> base;
-  for (const auto& [path, value] : baseline.numericLeaves()) base[path] = value;
+  for (const auto& [path, value] : baseline.numericLeaves())
+    if (!isHostPath(path)) base[path] = value;
   std::map<std::string, double> cur;
-  for (const auto& [path, value] : current.numericLeaves()) cur[path] = value;
+  for (const auto& [path, value] : current.numericLeaves())
+    if (!isHostPath(path)) cur[path] = value;
 
   for (const auto& [path, baseValue] : base) {
     const auto it = cur.find(path);
@@ -122,6 +142,10 @@ std::string BenchCompareResult::summaryText() const {
   std::string out = renderTable(
       {"metric", "baseline", "current", "change", "dir", "tol", "verdict"}, rows);
   for (const std::string& note : notes) out += "note: " + note + "\n";
+  if (hostMismatch)
+    out +=
+        "WARNING: baseline and current were captured on different host "
+        "shapes; deltas may reflect the machine, not the code\n";
   out += regressions == 0
              ? strfmt("PASS: %zu metrics compared, no regressions\n", deltas.size())
              : strfmt("REGRESSION: %d of %zu metrics regressed\n", regressions,

@@ -19,6 +19,13 @@
 // regressions, so adding a metric does not break the gate against an older
 // baseline.
 //
+// Host provenance: a top-level "host" block (see support/hostinfo) is
+// never gated on — its numeric leaves (core counts) are provenance, not
+// performance. When both documents carry one and any member differs, the
+// result raises `hostMismatch` and summaryText() prints a WARNING line:
+// the comparison is still run, but its numbers came from different
+// machine shapes and should be read accordingly.
+//
 // Used by tools/bench_compare (CI gates on its exit status) and unit-tested
 // against injected-regression fixtures in tests/profiler_test.cpp.
 #pragma once
@@ -58,6 +65,8 @@ struct BenchCompareResult {
   std::vector<MetricDelta> deltas;     ///< every shared numeric path
   std::vector<std::string> notes;      ///< one-sided paths, ignores, zeros
   int regressions = 0;
+  /// Both documents carry a "host" block and they differ (never gates).
+  bool hostMismatch = false;
 
   /// Aligned table of deltas plus a PASS/REGRESSION verdict line.
   [[nodiscard]] std::string summaryText() const;

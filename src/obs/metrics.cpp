@@ -82,7 +82,21 @@ double Histogram::quantile(double q) const {
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (other.count_ == 0) return;
+  if (&other == this) {  // self-merge: fold an identical copy of the samples
+    count_ *= 2;
+    sum_ *= 2;
+    for (int64_t& c : counts_) c *= 2;
+    return;  // min/max/bounds unchanged; empty self-merge is a no-op
+  }
+  if (other.count_ == 0) {
+    // Stats-wise a no-op, but a default-constructed target still adopts
+    // the source's bucket layout so later merges have matching bounds.
+    if (bounds_.empty() && counts_.empty() && !other.bounds_.empty()) {
+      bounds_ = other.bounds_;
+      counts_.assign(bounds_.size() + 1, 0);
+    }
+    return;
+  }
   if (count_ == 0 && bounds_.empty() && counts_.empty()) {
     *this = other;  // default-constructed target adopts the source wholesale
     return;
@@ -95,6 +109,27 @@ void Histogram::merge(const Histogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+Histogram Histogram::fromCounts(std::vector<int64_t> bucketBounds,
+                                const std::vector<int64_t>& counts, int64_t sum,
+                                int64_t min, int64_t max) {
+  Histogram h(std::move(bucketBounds));
+  PSCP_ASSERT(counts.size() == h.counts_.size() &&
+              "fromCounts requires bounds.size() + 1 bucket counts");
+  int64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    PSCP_ASSERT(counts[i] >= 0);
+    h.counts_[i] = counts[i];
+    total += counts[i];
+  }
+  h.count_ = total;
+  if (total > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
 }
 
 void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {

@@ -39,6 +39,9 @@ class Histogram {
   /// the recorded samples: the bucket holding the rank-ceil(q*count)
   /// sample, clipped to [min, max]. hi - lo is the bucketing error bound
   /// (0 on an empty histogram, and whenever the bucket is a single value).
+  /// Empty-histogram contract: quantileBounds() returns {0, 0} and
+  /// quantile() returns 0.0 for every q — same convention as min()/max();
+  /// check empty() to distinguish "no samples" from a genuine 0 quantile.
   struct QuantileBound {
     int64_t lo = 0;
     int64_t hi = 0;
@@ -50,9 +53,28 @@ class Histogram {
   [[nodiscard]] double quantile(double q) const;
 
   /// Fold another histogram's samples into this one. Requires identical
-  /// bucket bounds unless one side is empty (an empty histogram adopts the
-  /// other's bounds) — the fleet merges per-worker registries this way.
+  /// bucket bounds unless one side is empty. Edge cases are all defined:
+  ///   - empty `other`: no-op on the stats; a default-constructed *this
+  ///     still adopts `other`'s bounds (so a registry target picks up the
+  ///     bucket layout even before the first sample arrives);
+  ///   - default-constructed *this with a non-empty `other`: adopts
+  ///     `other` wholesale (bounds and samples);
+  ///   - self-merge (&other == this): folds an identical copy, i.e.
+  ///     count/sum/bucket counts double while min/max/bounds are
+  ///     unchanged; an empty self-merge is a no-op.
+  /// The fleet merges per-worker registries this way.
   void merge(const Histogram& other);
+
+  /// Rebuild a histogram from externally maintained bucket counts (the
+  /// fleet's lock-free telemetry blocks keep per-shard atomic bucket
+  /// arrays; snapshots re-enter the reporting stack through here).
+  /// `counts` must have bounds.size() + 1 entries; `sum`/`min`/`max` are
+  /// the tracked aggregate stats for the same samples. An all-zero counts
+  /// array yields an empty histogram with the given bounds.
+  [[nodiscard]] static Histogram fromCounts(std::vector<int64_t> bucketBounds,
+                                            const std::vector<int64_t>& counts,
+                                            int64_t sum, int64_t min,
+                                            int64_t max);
 
  private:
   /// Bucket index and cumulative count strictly before it for a 1-based

@@ -1,0 +1,34 @@
+// Host-shape metadata for benchmark provenance. Every BENCH_*.json embeds
+// a "host" block (CPU model, logical/physical core counts, frequency
+// governor) so a number can be traced back to the machine that produced
+// it, and bench_compare can warn when a baseline captured on one host
+// shape is gated against a run from another — the single most common
+// source of phantom "regressions".
+//
+// Best-effort, Linux-first: /proc/cpuinfo and sysfs cpufreq when present,
+// "unknown" otherwise. Never throws, never blocks on anything but two
+// small file reads.
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace pscp {
+
+struct HostInfo {
+  std::string cpuModel = "unknown";   ///< /proc/cpuinfo "model name"
+  int logicalCpus = 0;                ///< std::thread::hardware_concurrency
+  int physicalCores = 0;              ///< unique (physical id, core id) pairs;
+                                      ///< falls back to logicalCpus
+  std::string governor = "unknown";   ///< cpu0 cpufreq scaling_governor
+};
+
+/// Probe the current machine (cached after the first call).
+[[nodiscard]] const HostInfo& hostInfo();
+
+/// The "host" block for BENCH_*.json:
+/// { "cpu_model": s, "logical_cpus": n, "physical_cores": n, "governor": s }
+[[nodiscard]] JsonValue hostInfoJson(const HostInfo& info = hostInfo());
+
+}  // namespace pscp

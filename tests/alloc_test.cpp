@@ -13,6 +13,7 @@
 #include <new>
 
 #include "actionlang/parser.hpp"
+#include "fleet/fleet.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
 
@@ -170,6 +171,54 @@ TEST(SteadyStateAllocations, HotCycleLoopIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state configuration cycles must not allocate";
   EXPECT_GT(machine.globalValue("watchTicks"), 1000);
+}
+
+// The fleet epoch loop holds the same bar — including with the telemetry
+// plane armed: metric flushes go through cached registry pointers (no
+// string-keyed lookups), flight-ring pushes are fixed-slot stores, and
+// health updates are plain atomics. One worker, stepped inline, so every
+// allocation in the loop is attributable to the fleet hot path.
+TEST(SteadyStateAllocations, FleetEpochLoopIsAllocationFreeWhenArmed) {
+  const statechart::Chart chart = statechart::parseChart(kChart);
+  const actionlang::Program actions = actionlang::parseActionSource(kActions);
+  hwlib::ArchConfig arch;
+  arch.numTeps = 2;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.hasComparator = true;
+  arch.registerFileSize = 12;
+  const auto image = std::make_shared<const ChartImage>(chart, actions, arch);
+
+  fleet::FleetConfig config;
+  config.workerThreads = 1;
+  config.telemetry = true;
+  config.flightRecordsPerShard = 128;  // small ring: the loop laps it
+  fleet::Fleet f(image, config);
+  const std::vector<fleet::InstanceId> ids = f.spawnMany(16);
+  const int go = f.eventId("GO");
+  const int tick = f.eventId("TICK");
+  for (fleet::InstanceId id : ids) {
+    f.machine(id).setCondition("ARMED", true);
+    f.machine(id).setInputPort("Sense", 0);
+    f.inject(id, go);
+  }
+  // Warm-up epochs grow every lazily-sized buffer to steady state.
+  f.step(1);
+  for (int e = 0; e < 32; ++e) {
+    for (fleet::InstanceId id : ids) f.inject(id, tick);
+    f.step(2);
+  }
+
+  const uint64_t before = gAllocations.load(std::memory_order_relaxed);
+  for (int e = 0; e < 200; ++e) {
+    for (fleet::InstanceId id : ids) f.inject(id, tick);
+    f.step(2);
+  }
+  const uint64_t after = gAllocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "armed fleet epochs must not allocate in steady state";
+  EXPECT_GT(f.flightRecorder()->ring(0).pushed(), 200u);
 }
 
 }  // namespace

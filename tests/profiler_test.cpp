@@ -520,6 +520,48 @@ TEST(BenchCompare, OneSidedMetricsAreNotesNotRegressions) {
   ASSERT_EQ(r.notes.size(), 2u);
 }
 
+TEST(BenchCompare, HostMismatchWarnsButNeverGates) {
+  const JsonValue baseline = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","logical_cpus":16,"physical_cores":8,
+          "governor":"performance"},"speedup":4.0})");
+  const JsonValue current = parseFixture(
+      R"({"host":{"cpu_model":"EPYC","logical_cpus":1,"physical_cores":1,
+          "governor":"unknown"},"speedup":4.0})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_TRUE(r.hostMismatch);
+  EXPECT_EQ(r.regressions, 0);
+  // host.* numeric leaves must never enter the gated delta set.
+  for (const MetricDelta& d : r.deltas)
+    EXPECT_NE(d.path.rfind("host.", 0), 0u) << d.path;
+  EXPECT_NE(r.summaryText().find("WARNING"), std::string::npos);
+  EXPECT_NE(r.summaryText().find("host"), std::string::npos);
+}
+
+TEST(BenchCompare, MatchingHostIsSilent) {
+  const JsonValue baseline = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","logical_cpus":16},"speedup":4.0})");
+  const JsonValue current = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","logical_cpus":16},"speedup":4.0})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_FALSE(r.hostMismatch);
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_EQ(r.summaryText().find("WARNING"), std::string::npos);
+}
+
+TEST(BenchCompare, OneSidedHostIsNoteOnly) {
+  // Old baselines predate host capture: note it, don't warn or gate.
+  const JsonValue baseline = parseFixture(R"({"speedup":4.0})");
+  const JsonValue current = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","logical_cpus":16},"speedup":4.0})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_FALSE(r.hostMismatch);
+  EXPECT_EQ(r.regressions, 0);
+  bool noted = false;
+  for (const std::string& note : r.notes)
+    noted = noted || note.find("host") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
 TEST(BenchCompare, DirectionHeuristic) {
   EXPECT_EQ(metricDirection("charts[0].speedup"), MetricDirection::kHigherIsBetter);
   EXPECT_EQ(metricDirection("totals.machine_cycles"), MetricDirection::kLowerIsBetter);
