@@ -1,0 +1,86 @@
+// Per-shard structure-of-arrays arena for instance CR snapshots.
+//
+// The fleet's batched stepping path (fleet.cpp) packs every same-shard
+// instance's Configuration Register into this arena at epoch start: CR
+// word w of lane l lives at words()[w * laneStride() + l], so one CR word
+// across consecutive instances is contiguous — the layout sla::BatchedSla
+// vector kernels require. The lane stride rounds up to 8 lanes (8 × 8 B =
+// one cacheline) and the buffer is cacheline-aligned, so a word row never
+// straddles into another row's cacheline and vector loads stay in-bounds
+// for any full lane block; padding lanes are zero and never inspected.
+//
+// Allocation happens only in resize() (shard rebuild — a control-path
+// operation); pack/unpack are plain word copies, keeping the epoch loop
+// inside the fleet's allocation-free steady-state contract.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "sla/batch.hpp"
+#include "support/bits.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::fleet {
+
+class ShardArena {
+ public:
+  /// Size for `lanes` instances of `crWords`-word CRs. Reallocates only
+  /// when the padded geometry grows; contents are zeroed either way.
+  void resize(size_t lanes, size_t crWords) {
+    const size_t stride = (lanes + kLaneRound - 1) & ~(kLaneRound - 1);
+    const size_t needed = stride * crWords;
+    if (needed > capacity_) {
+      words_.reset(static_cast<uint64_t*>(
+          ::operator new[](needed * sizeof(uint64_t), std::align_val_t{64})));
+      capacity_ = needed;
+    }
+    lanes_ = lanes;
+    crWords_ = crWords;
+    laneStride_ = stride;
+    if (needed != 0) std::memset(words_.get(), 0, needed * sizeof(uint64_t));
+  }
+
+  [[nodiscard]] size_t lanes() const { return lanes_; }
+  [[nodiscard]] size_t crWords() const { return crWords_; }
+  [[nodiscard]] size_t laneStride() const { return laneStride_; }
+  [[nodiscard]] const uint64_t* words() const { return words_.get(); }
+
+  /// Copy a CR into lane `lane` (word-strided scatter).
+  void pack(size_t lane, const BitVec& cr) {
+    PSCP_ASSERT(lane < lanes_ && cr.wordCount() == crWords_);
+    uint64_t* base = words_.get() + lane;
+    for (size_t w = 0; w < crWords_; ++w) base[w * laneStride_] = cr.word(w);
+  }
+
+  /// Copy lane `lane` back out into a CR sized for this arena's words.
+  void unpack(size_t lane, BitVec* cr) const {
+    PSCP_ASSERT(lane < lanes_ && cr->wordCount() == crWords_);
+    const uint64_t* base = words_.get() + lane;
+    for (size_t w = 0; w < crWords_; ++w) cr->setWord(w, base[w * laneStride_]);
+  }
+
+  /// Borrowed view for sla::BatchedSla evaluation.
+  [[nodiscard]] sla::CrSoa view() const {
+    return sla::CrSoa{words_.get(), laneStride_, crWords_};
+  }
+
+ private:
+  static constexpr size_t kLaneRound = 8;  ///< 8 × 8 B lanes = one cacheline
+
+  struct AlignedDelete {
+    void operator()(uint64_t* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+
+  std::unique_ptr<uint64_t[], AlignedDelete> words_;
+  size_t capacity_ = 0;
+  size_t lanes_ = 0;
+  size_t crWords_ = 0;
+  size_t laneStride_ = 0;
+};
+
+}  // namespace pscp::fleet

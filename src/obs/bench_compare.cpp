@@ -74,6 +74,27 @@ BenchCompareResult compareBenchJson(const JsonValue& baseline,
   for (const auto& [path, value] : current.numericLeaves())
     if (!isHostPath(path)) cur[path] = value;
 
+  // Thread-scaling metrics (speedup_vs_1t, efficiency) are meaningless
+  // when the document's own host ran fewer hardware threads than the
+  // sweep asked for — a 4-thread sweep on a 1-CPU container measures
+  // scheduler interleaving, not scaling. When either document's sweep
+  // oversubscribed its host, the metric is noted and skipped, not gated.
+  const auto docThreads = [](const std::map<std::string, double>& leaves) {
+    const auto it = leaves.find("hardware_threads");
+    return it == leaves.end() ? 0.0 : it->second;
+  };
+  const double baseHw = docThreads(base);
+  const double curHw = docThreads(cur);
+  const auto siblingThreads = [](const std::map<std::string, double>& leaves,
+                                 const std::string& path) -> const double* {
+    const size_t dot = path.rfind('.');
+    const std::string sibling =
+        (dot == std::string::npos ? std::string() : path.substr(0, dot + 1)) +
+        "threads";
+    const auto it = leaves.find(sibling);
+    return it == leaves.end() ? nullptr : &it->second;
+  };
+
   for (const auto& [path, baseValue] : base) {
     const auto it = cur.find(path);
     if (it == cur.end()) {
@@ -94,6 +115,25 @@ BenchCompareResult compareBenchJson(const JsonValue& baseline,
       }
     for (const std::string& pattern : options.ignore)
       if (path.find(pattern) != std::string::npos) d.ignored = true;
+
+    if (!d.ignored && containsAny(toLower(path), {"speedup", "efficiency"})) {
+      const double* baseThreads = siblingThreads(base, path);
+      const double* curThreads = siblingThreads(cur, path);
+      const bool baseOversub =
+          baseThreads != nullptr && baseHw > 0.0 && *baseThreads > baseHw;
+      const bool curOversub =
+          curThreads != nullptr && curHw > 0.0 && *curThreads > curHw;
+      if (baseOversub || curOversub) {
+        d.ignored = true;
+        result.notes.push_back(strfmt(
+            "scaling metric %s not gated: %s host ran %g threads on %g "
+            "hardware threads (oversubscribed sweep measures scheduling, "
+            "not scaling)",
+            path.c_str(), baseOversub ? "baseline" : "current",
+            baseOversub ? *baseThreads : *curThreads,
+            baseOversub ? baseHw : curHw));
+      }
+    }
 
     if (baseValue == 0.0) {
       // No relative scale: gate exactly (any change on a zero baseline is

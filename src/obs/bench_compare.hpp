@@ -19,6 +19,13 @@
 // regressions, so adding a metric does not break the gate against an older
 // baseline.
 //
+// Thread-scaling metrics: a delta whose path contains "speedup" or
+// "efficiency" is skipped (noted, never gated) when its sibling "threads"
+// leaf exceeds that document's top-level "hardware_threads" — a sweep
+// oversubscribing its host (4 threads on a 1-CPU container) measures
+// scheduler interleaving, not scaling, and gating on it yields phantom
+// regressions whenever baseline and CI hosts have different core counts.
+//
 // Host provenance: a top-level "host" block (see support/hostinfo) is
 // never gated on — its numeric leaves (core counts) are provenance, not
 // performance. When both documents carry one and any member differs, the

@@ -21,6 +21,7 @@ ChartImage::ChartImage(const statechart::Chart& chart,
       arch_(arch),
       layout_(chart),
       sla_(chart, layout_),
+      batched_(sla_),
       binding_(sla::makeBinding(chart, layout_)),
       app_(compiler::Compiler(actions, binding_, arch_, options).compile(chart)) {
   arch_.validate();
@@ -422,6 +423,29 @@ CycleStats PscpMachine::configurationCycle(
   ids.reserve(externalEvents.size());
   for (const std::string& name : externalEvents) ids.push_back(layout_.eventBit(name));
   return configurationCycleIds(ids);
+}
+
+bool PscpMachine::nextCycleIsPureDecode() const {
+  if (obs_.sink != nullptr) return false;
+  if (!pendingEvents_.empty()) return false;
+  for (const Timer& t : timers_)
+    if (totalCycles_ >= t.nextFire) return false;
+  return true;
+}
+
+void PscpMachine::applyQuiescentCycle(CycleStats* statsOut) {
+  // Mirror of the chosen.empty() arm of configurationCycleIds for a
+  // no-event cycle: same counters, same timestamps, same scratch effects.
+  ++configCycles_;
+  CycleStats& stats = *statsOut;
+  stats.fired.clear();
+  stats.cycles = kSlaEvaluateCycles;
+  stats.busStallCycles = 0;
+  stats.quiescent = true;
+  activeSnapshotBits_ = activeBits_;
+  busStallsThisCycle_ = 0;
+  totalCycles_ += stats.cycles;
+  machineTimeNow_ = totalCycles_;
 }
 
 CycleStats PscpMachine::configurationCycleIds(

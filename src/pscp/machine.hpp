@@ -52,6 +52,7 @@
 
 #include "compiler/codegen.hpp"
 #include "obs/sink.hpp"
+#include "sla/batch.hpp"
 #include "sla/sla.hpp"
 #include "statechart/semantics.hpp"
 #include "support/bits.hpp"
@@ -103,6 +104,9 @@ class ChartImage {
   [[nodiscard]] const hwlib::ArchConfig& arch() const { return arch_; }
   [[nodiscard]] const sla::CrLayout& layout() const { return layout_; }
   [[nodiscard]] const sla::Sla& sla() const { return sla_; }
+  /// SoA/SIMD compilation of the same array (fleet batched stepping);
+  /// kernel level latched from support/simd at image build.
+  [[nodiscard]] const sla::BatchedSla& batchedSla() const { return batched_; }
   [[nodiscard]] const compiler::HardwareBinding& binding() const { return binding_; }
   [[nodiscard]] const compiler::CompiledApp& app() const { return app_; }
 
@@ -114,6 +118,7 @@ class ChartImage {
   hwlib::ArchConfig arch_;
   sla::CrLayout layout_;
   sla::Sla sla_;
+  sla::BatchedSla batched_;
   compiler::HardwareBinding binding_;
   compiler::CompiledApp app_;
 
@@ -154,6 +159,32 @@ class PscpMachine : public tep::TepHost {
   /// allocation in steady state (the fleet worker loop depends on this).
   void configurationCycleIds(const std::vector<int>& externalEventIds,
                              CycleStats* stats);
+
+  // ------------------------------------------- batched stepping (src/fleet)
+  // The fleet's SoA fast path evaluates many instances' SLA decodes in one
+  // vector pass, then applies the quiescent-cycle bookkeeping to every
+  // lane that selected nothing — bypassing configurationCycleIds entirely
+  // for the dominant idle case. These three members externalize exactly
+  // the state that path needs; any sequence of {batched quiescent cycle,
+  // scalar configurationCycleIds} is bit-identical to the all-scalar run.
+
+  /// The packed CR. Between cycles the event bits are always clear (they
+  /// live only inside the decode window), so when nextCycleIsPureDecode()
+  /// holds this is byte-for-byte what the SLA would sample for a cycle
+  /// with no external events.
+  [[nodiscard]] const BitVec& crBits() const { return cr_; }
+
+  /// True when a configuration cycle with no external events would reach
+  /// the SLA decode with the CR exactly as crBits() reads now: no pending
+  /// internal events, no matured hardware timer, no attached observer
+  /// (sinks see per-cycle callbacks the batched path does not emit).
+  [[nodiscard]] bool nextCycleIsPureDecode() const;
+
+  /// Apply one quiescent configuration cycle without re-running the
+  /// decode: identical state/stats updates to configurationCycleIds when
+  /// the SLA selects nothing. Only valid when the caller has already
+  /// established that (batched decode over crBits() selected no lane).
+  void applyQuiescentCycle(CycleStats* stats);
 
   /// Hardware timer (paper Sec. 6 future work): raises `event` every
   /// `period` reference-clock cycles of machine time. Timer events are

@@ -1,0 +1,129 @@
+#include "sla/batch.hpp"
+
+namespace pscp::sla {
+
+namespace detail {
+
+uint32_t maskKernelScalar(const BatchedSla::Flat& flat, const uint64_t* words,
+                          size_t laneStride, size_t laneBase) {
+  const uint64_t* base = words + laneBase;
+  uint64_t anyEvent = 0;
+  for (size_t w = 0; w < flat.crWords; ++w) {
+    if (flat.eventMasks[w] == 0) continue;
+    anyEvent |= base[w * laneStride] & flat.eventMasks[w];
+  }
+  for (const BatchedSla::Flat::Term& term : flat.terms) {
+    if (term.needsEvent != 0 && anyEvent == 0) continue;
+    bool hit = true;
+    const uint32_t end = term.firstMask + term.maskCount;
+    for (uint32_t m = term.firstMask; m < end; ++m) {
+      if ((base[static_cast<size_t>(flat.maskWord[m]) * laneStride] &
+           flat.maskCare[m]) != flat.maskValue[m]) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit) return 1;
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+BatchedSla::BatchedSla(const Sla& sla, SimdLevel level) {
+  kernel_ = detail::maskKernelFor(level);
+  if (kernel_ == nullptr) {
+    // Build without the vector kernels (non-x86): everything runs scalar.
+    level = SimdLevel::kScalar;
+    kernel_ = detail::maskKernelScalar;
+  }
+  level_ = level;
+
+  const CrLayout& layout = sla.layout();
+  flat_.crWords = static_cast<size_t>((layout.totalBits() + 63) / 64);
+  const int eventCount = layout.eventCount();
+  flat_.eventMasks.assign(flat_.crWords, 0);
+  for (int b = 0; b < eventCount; ++b)
+    flat_.eventMasks[static_cast<size_t>(b) / 64] |= uint64_t{1} << (b % 64);
+
+  const auto& transitionTerms = sla.transitionTerms();
+  for (size_t t = 0; t < transitionTerms.size(); ++t) {
+    for (const ProductTerm& pt : transitionTerms[t]) {
+      Flat::Term term;
+      term.firstMask = static_cast<uint32_t>(flat_.maskWord.size());
+      term.maskCount = static_cast<uint32_t>(pt.masks.size());
+      term.transition = static_cast<int32_t>(t);
+      for (const Literal& lit : pt.literals) {
+        if (lit.polarity && lit.bit < eventCount) {
+          term.needsEvent = 1;
+          break;
+        }
+      }
+      for (const ProductTerm::WordMask& m : pt.masks) {
+        flat_.maskWord.push_back(m.word);
+        flat_.maskCare.push_back(m.care);
+        flat_.maskValue.push_back(m.value);
+      }
+      flat_.terms.push_back(term);
+    }
+  }
+}
+
+uint64_t BatchedSla::selectedLanes(const CrSoa& soa, size_t laneBase,
+                                   size_t laneCount) const {
+  const auto width = static_cast<size_t>(laneWidth());
+  uint64_t result = 0;
+  size_t l = 0;
+  for (; l + width <= laneCount; l += width) {
+    result |= static_cast<uint64_t>(
+                  kernel_(flat_, soa.words, soa.laneStride, laneBase + l))
+              << l;
+  }
+  // Tail lanes below the vector width run scalar: a full-width kernel call
+  // here would read past the populated lanes of the last block.
+  for (; l < laneCount; ++l) {
+    result |= static_cast<uint64_t>(detail::maskKernelScalar(
+                  flat_, soa.words, soa.laneStride, laneBase + l))
+              << l;
+  }
+  return result;
+}
+
+void BatchedSla::selectLanesInto(const CrSoa& soa, size_t laneBase,
+                                 size_t laneCount,
+                                 std::vector<statechart::TransitionId>* outs) const {
+  for (size_t l = 0; l < laneCount; ++l) {
+    std::vector<statechart::TransitionId>& out = outs[l];
+    out.clear();
+    const uint64_t* base = soa.words + laneBase + l;
+    uint64_t anyEvent = 0;
+    for (size_t w = 0; w < flat_.crWords; ++w) {
+      if (flat_.eventMasks[w] == 0) continue;
+      anyEvent |= base[w * soa.laneStride] & flat_.eventMasks[w];
+    }
+    // Terms are grouped by ascending transition; one hit per transition
+    // suffices (select signals are ORs), so skip a transition's remaining
+    // terms once it is selected — output stays ascending, matching
+    // Sla::selectInto exactly.
+    int32_t lastSelected = -1;
+    for (const Flat::Term& term : flat_.terms) {
+      if (term.transition == lastSelected) continue;
+      if (term.needsEvent != 0 && anyEvent == 0) continue;
+      bool hit = true;
+      const uint32_t end = term.firstMask + term.maskCount;
+      for (uint32_t m = term.firstMask; m < end; ++m) {
+        if ((base[static_cast<size_t>(flat_.maskWord[m]) * soa.laneStride] &
+             flat_.maskCare[m]) != flat_.maskValue[m]) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) {
+        out.push_back(static_cast<statechart::TransitionId>(term.transition));
+        lastSelected = term.transition;
+      }
+    }
+  }
+}
+
+}  // namespace pscp::sla

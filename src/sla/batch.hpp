@@ -1,0 +1,113 @@
+// Batched (SoA) evaluation of the mask-compiled SLA.
+//
+// The hardware PLA decodes one CR per access; a fleet holds thousands of
+// CRs over the *same* array. When those CRs are packed structure-of-arrays
+// (word w of lane l at words[w * laneStride + l], lanes contiguous), one
+// product-term word test — (cr & careMask) == valueMask — becomes a single
+// vector compare across 2 (SSE2) or 4 (AVX2) instances, and the whole
+// AND plane sweeps a lane block in one pass.
+//
+// BatchedSla is the flattened compile product: every transition's product
+// terms in ascending transition order, each term a (word, care, value)
+// mask run plus a needs-event flag. Two evaluators share it:
+//   - selectedLanes(): per-lane "would select() return anything" bitmask —
+//     the fleet's quiescence test. Runs the dispatched vector kernel on
+//     full lane blocks and the scalar loop on the tail; allocation-free.
+//   - selectLanesInto(): per-lane selection lists, bit-identical to
+//     Sla::selectInto on every lane (the property-test surface).
+// Both skip event-gated terms wholesale when no lane in the block has any
+// event bit sampled — the dominant case, since event bits live only
+// between sampling and decode and a quiescent fleet samples none.
+//
+// Kernel selection: construction latches support/simd's activeSimdLevel()
+// (PSCP_SIMD caps it), or a test pins an explicit level. Every level is
+// bit-identical by contract; tests/sla_batch_test.cpp holds all of them to
+// the scalar selectInto oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sla/sla.hpp"
+#include "support/simd.hpp"
+
+namespace pscp::sla {
+
+/// Borrowed view of an SoA CR arena: word w of lane l at
+/// words[w * laneStride + l]. The arena owner guarantees laneStride lanes
+/// are readable per word row (padding lanes included).
+struct CrSoa {
+  const uint64_t* words = nullptr;
+  size_t laneStride = 0;
+  size_t wordCount = 0;
+};
+
+class BatchedSla {
+ public:
+  /// Flattened AND plane (exposed for the target-attribute kernel TU).
+  struct Flat {
+    struct Term {
+      uint32_t firstMask = 0;  ///< index into maskWord/maskCare/maskValue
+      uint32_t maskCount = 0;
+      int32_t transition = 0;
+      /// Term has a positive event literal: it cannot match a CR with no
+      /// event bits sampled, so a block with no events skips it outright.
+      uint8_t needsEvent = 0;
+    };
+    std::vector<uint32_t> maskWord;
+    std::vector<uint64_t> maskCare;
+    std::vector<uint64_t> maskValue;
+    std::vector<Term> terms;  ///< ascending by transition id
+    /// Per CR word, the subset of bits holding events (tail-masked); used
+    /// to compute the per-lane "any event sampled" predicate.
+    std::vector<uint64_t> eventMasks;
+    size_t crWords = 0;
+  };
+
+  /// Kernel contract: evaluate exactly simdLaneWidth(level) lanes starting
+  /// at laneBase; bit l of the result = lane (laneBase + l) selected at
+  /// least one transition.
+  using MaskKernel = uint32_t (*)(const Flat& flat, const uint64_t* words,
+                                  size_t laneStride, size_t laneBase);
+
+  explicit BatchedSla(const Sla& sla) : BatchedSla(sla, activeSimdLevel()) {}
+  BatchedSla(const Sla& sla, SimdLevel level);
+
+  [[nodiscard]] SimdLevel level() const { return level_; }
+  /// Lanes one vector op covers (1 scalar / 2 SSE2 / 4 AVX2).
+  [[nodiscard]] int laneWidth() const { return simdLaneWidth(level_); }
+
+  /// Per-lane quiescence predicate over lanes [laneBase, laneBase +
+  /// laneCount): bit l set when lane (laneBase + l) selects at least one
+  /// transition. laneCount <= 64. Full vector-width blocks go through the
+  /// dispatched kernel; the tail runs the scalar loop. Never allocates.
+  [[nodiscard]] uint64_t selectedLanes(const CrSoa& soa, size_t laneBase,
+                                       size_t laneCount) const;
+
+  /// Batched selectInto: fills outs[l] (cleared, capacity kept) with
+  /// exactly what Sla::selectInto would return for lane (laneBase + l)'s
+  /// CR — ascending transition ids.
+  void selectLanesInto(const CrSoa& soa, size_t laneBase, size_t laneCount,
+                       std::vector<statechart::TransitionId>* outs) const;
+
+  [[nodiscard]] const Flat& flat() const { return flat_; }
+
+ private:
+  Flat flat_;
+  SimdLevel level_ = SimdLevel::kScalar;
+  MaskKernel kernel_ = nullptr;
+};
+
+namespace detail {
+
+/// Scalar reference kernel (also the tail path of every vector level).
+uint32_t maskKernelScalar(const BatchedSla::Flat& flat, const uint64_t* words,
+                          size_t laneStride, size_t laneBase);
+
+/// The kernel for `level`, or scalar when the build lacks x86 intrinsics.
+/// Defined in batch_kernels.cpp (the only TU built with target attributes).
+[[nodiscard]] BatchedSla::MaskKernel maskKernelFor(SimdLevel level);
+
+}  // namespace detail
+
+}  // namespace pscp::sla

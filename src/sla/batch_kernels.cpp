@@ -1,0 +1,136 @@
+// Vector builds of the batched SLA mask kernel (see batch.hpp).
+//
+// This is the only TU with vector code, and it is compiled WITHOUT any
+// -march flag beyond the project default: each kernel carries a
+// function-level target attribute instead, so the library links and runs
+// on any x86-64 host and the AVX2 path only executes when runtime dispatch
+// (support/simd) selected it. Non-x86 builds compile the dispatch stub
+// only; BatchedSla then falls back to the scalar kernel.
+//
+// Both kernels implement the identical decode as detail::maskKernelScalar:
+//   1. OR the event-bit subsets of every CR word per lane; lanes with no
+//     event sampled make every needs-event term skippable.
+//   2. For each product term, AND together 64-bit (cr & care) == value
+//     compares across the lane block; accumulate per-lane match bits.
+//   3. Early-out when every lane has selected something.
+// SSE2 has no 64-bit integer compare; eq64 builds one from the 32-bit
+// compare ANDed with its half-swapped self.
+
+#include "sla/batch.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pscp::sla::detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+using Flat = BatchedSla::Flat;
+
+__attribute__((target("avx2"))) uint32_t maskKernelAvx2(const Flat& flat,
+                                                        const uint64_t* words,
+                                                        size_t laneStride,
+                                                        size_t laneBase) {
+  const uint64_t* base = words + laneBase;
+  __m256i anyEvent = _mm256_setzero_si256();
+  for (size_t w = 0; w < flat.crWords; ++w) {
+    if (flat.eventMasks[w] == 0) continue;
+    const __m256i crw = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + w * laneStride));
+    anyEvent = _mm256_or_si256(
+        anyEvent, _mm256_and_si256(crw, _mm256_set1_epi64x(static_cast<long long>(
+                                            flat.eventMasks[w]))));
+  }
+  const auto noEventLanes = static_cast<uint32_t>(_mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(anyEvent, _mm256_setzero_si256()))));
+  const uint32_t eventLanes = 0xFu & ~noEventLanes;
+
+  uint32_t selected = 0;
+  for (const Flat::Term& term : flat.terms) {
+    if (term.needsEvent != 0 && eventLanes == 0) continue;
+    __m256i acc = _mm256_set1_epi64x(-1);
+    const uint32_t end = term.firstMask + term.maskCount;
+    for (uint32_t m = term.firstMask; m < end; ++m) {
+      const __m256i crw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          base + static_cast<size_t>(flat.maskWord[m]) * laneStride));
+      const __m256i masked = _mm256_and_si256(
+          crw, _mm256_set1_epi64x(static_cast<long long>(flat.maskCare[m])));
+      acc = _mm256_and_si256(
+          acc, _mm256_cmpeq_epi64(masked, _mm256_set1_epi64x(static_cast<long long>(
+                                      flat.maskValue[m]))));
+      if (_mm256_testz_si256(acc, acc) != 0) break;  // every lane rejected
+    }
+    selected |= static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(acc)));
+    if (selected == 0xFu) break;  // every lane already selected
+  }
+  return selected;
+}
+
+// 64-bit equality out of SSE2 parts: 32-bit compare ANDed with its
+// half-swapped self is all-ones per 64-bit lane iff both halves matched.
+__attribute__((target("sse2"))) __m128i eq64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+__attribute__((target("sse2"))) uint32_t maskKernelSse2(const Flat& flat,
+                                                        const uint64_t* words,
+                                                        size_t laneStride,
+                                                        size_t laneBase) {
+  const uint64_t* base = words + laneBase;
+  __m128i anyEvent = _mm_setzero_si128();
+  for (size_t w = 0; w < flat.crWords; ++w) {
+    if (flat.eventMasks[w] == 0) continue;
+    const __m128i crw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + w * laneStride));
+    anyEvent = _mm_or_si128(
+        anyEvent, _mm_and_si128(crw, _mm_set1_epi64x(static_cast<long long>(
+                                         flat.eventMasks[w]))));
+  }
+  const auto noEventLanes = static_cast<uint32_t>(
+      _mm_movemask_pd(_mm_castsi128_pd(eq64(anyEvent, _mm_setzero_si128()))));
+  const uint32_t eventLanes = 0x3u & ~noEventLanes;
+
+  uint32_t selected = 0;
+  for (const Flat::Term& term : flat.terms) {
+    if (term.needsEvent != 0 && eventLanes == 0) continue;
+    __m128i acc = _mm_set1_epi64x(-1);
+    const uint32_t end = term.firstMask + term.maskCount;
+    for (uint32_t m = term.firstMask; m < end; ++m) {
+      const __m128i crw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          base + static_cast<size_t>(flat.maskWord[m]) * laneStride));
+      const __m128i masked = _mm_and_si128(
+          crw, _mm_set1_epi64x(static_cast<long long>(flat.maskCare[m])));
+      acc = _mm_and_si128(acc, eq64(masked, _mm_set1_epi64x(static_cast<long long>(
+                                       flat.maskValue[m]))));
+      if (_mm_movemask_epi8(acc) == 0) break;  // every lane rejected
+    }
+    selected |= static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(acc)));
+    if (selected == 0x3u) break;  // every lane already selected
+  }
+  return selected;
+}
+
+}  // namespace
+
+BatchedSla::MaskKernel maskKernelFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2: return maskKernelAvx2;
+    case SimdLevel::kSse2: return maskKernelSse2;
+    case SimdLevel::kScalar: return maskKernelScalar;
+  }
+  return maskKernelScalar;
+}
+
+#else  // non-x86: scalar only
+
+BatchedSla::MaskKernel maskKernelFor(SimdLevel level) {
+  return level == SimdLevel::kScalar ? maskKernelScalar : nullptr;
+}
+
+#endif
+
+}  // namespace pscp::sla::detail

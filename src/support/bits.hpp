@@ -64,6 +64,16 @@ class BitVec {
   [[nodiscard]] size_t wordCount() const { return words_.size(); }
   [[nodiscard]] uint64_t word(size_t w) const { return words_[w]; }
 
+  /// Whole-word store (the SoA unpack path). Bits beyond size() are
+  /// dropped so the all-zero tail invariant — which any()/operator== rely
+  /// on — holds regardless of the incoming word.
+  void setWord(size_t w, uint64_t value) {
+    PSCP_ASSERT(w < words_.size());
+    const int tail = bits_ - static_cast<int>(w) * 64;
+    if (tail < 64) value &= (uint64_t{1} << tail) - 1;
+    words_[w] = value;
+  }
+
   [[nodiscard]] bool test(int i) const {
     PSCP_ASSERT(i >= 0 && i < bits_);
     return (words_[static_cast<size_t>(i) >> 6] >> (static_cast<size_t>(i) & 63)) & 1u;

@@ -7,6 +7,12 @@
 #include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "support/simd.hpp"
+
 namespace pscp {
 
 namespace {
@@ -67,7 +73,21 @@ JsonValue hostInfoJson(const HostInfo& info) {
   host.set("logical_cpus", JsonValue::makeNumber(info.logicalCpus));
   host.set("physical_cores", JsonValue::makeNumber(info.physicalCores));
   host.set("governor", JsonValue::makeString(info.governor));
+  host.set("simd_dispatch", JsonValue::makeString(simdLevelName(activeSimdLevel())));
   return host;
+}
+
+bool pinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(cpu) % CPU_SETSIZE, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
 }
 
 }  // namespace pscp

@@ -1,0 +1,63 @@
+#include "support/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pscp {
+
+SimdLevel detectSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads CPUID once and caches (both GCC and
+  // Clang); "avx2" implies the OS saved YMM state via xgetbv.
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+bool parseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  // Tiny fixed vocabulary: accept exact lower/upper-case spellings.
+  const auto eq = [name](const char* want) {
+    const char* p = name;
+    for (; *p != '\0' && *want != '\0'; ++p, ++want) {
+      const char c = (*p >= 'A' && *p <= 'Z') ? static_cast<char>(*p - 'A' + 'a') : *p;
+      if (c != *want) return false;
+    }
+    return *p == '\0' && *want == '\0';
+  };
+  if (eq("scalar")) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (eq("sse2")) {
+    *out = SimdLevel::kSse2;
+    return true;
+  }
+  if (eq("avx2")) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+SimdLevel activeSimdLevel() {
+  static const SimdLevel cached = [] {
+    SimdLevel level = detectSimdLevel();
+    SimdLevel cap = SimdLevel::kAvx2;
+    if (parseSimdLevel(std::getenv("PSCP_SIMD"), &cap) && cap < level) level = cap;
+    return level;
+  }();
+  return cached;
+}
+
+const char* simdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace pscp

@@ -1,0 +1,43 @@
+// Runtime SIMD dispatch for the batched hot paths (the SLA's SoA decode).
+//
+// The batched SLA kernel exists in one scalar and two vector builds
+// (SSE2: 2 CR-word lanes, AVX2: 4 lanes); which one runs is decided once
+// per process from CPUID, never per call. Policy:
+//   - detectSimdLevel() probes the host CPU (highest supported level).
+//   - The PSCP_SIMD environment variable caps it: "scalar", "sse2" or
+//     "avx2". CI's forced-scalar job sets PSCP_SIMD=scalar to run the
+//     whole fleet/determinism suite through the fallback kernels, which
+//     must be bit-identical to the vector ones.
+//   - activeSimdLevel() caches the capped result for the process.
+// The vector kernels are compiled with function-level target attributes
+// (src/sla/batch_kernels.cpp), so the library builds and runs on any
+// x86-64 regardless of -march, and non-x86 builds get the scalar path.
+#pragma once
+
+namespace pscp {
+
+enum class SimdLevel {
+  kScalar = 0,  ///< portable word-at-a-time loop
+  kSse2 = 1,    ///< 128-bit: 2 uint64 CR lanes per op
+  kAvx2 = 2,    ///< 256-bit: 4 uint64 CR lanes per op
+};
+
+/// Highest level the host CPU supports (no environment cap applied).
+[[nodiscard]] SimdLevel detectSimdLevel();
+
+/// Parse a level name ("scalar"/"sse2"/"avx2", case-insensitive). Returns
+/// false (and leaves *out* alone) for anything else.
+[[nodiscard]] bool parseSimdLevel(const char* name, SimdLevel* out);
+
+/// detectSimdLevel() capped by PSCP_SIMD, computed once per process.
+[[nodiscard]] SimdLevel activeSimdLevel();
+
+/// "scalar" / "sse2" / "avx2" — recorded in BENCH json host blocks.
+[[nodiscard]] const char* simdLevelName(SimdLevel level);
+
+/// uint64 lanes one vector op covers at `level` (1 / 2 / 4).
+[[nodiscard]] constexpr int simdLaneWidth(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? 4 : level == SimdLevel::kSse2 ? 2 : 1;
+}
+
+}  // namespace pscp

@@ -277,11 +277,14 @@ struct ScriptedRun {
 };
 
 ScriptedRun runScriptedFleet(const Fleet::ChartImagePtr& image, int workers,
-                             size_t instances, int epochs) {
+                             size_t instances, int epochs, bool soa = true,
+                             int batchWidth = 0) {
   FleetConfig config;
   config.workerThreads = workers;
   config.capturePortWrites = true;
   config.stealChunk = 4;
+  config.soaBatching = soa;
+  config.batchWidth = batchWidth;
   Fleet fleet(image, config);
   const std::vector<InstanceId> ids = fleet.spawnMany(instances);
   const int go = fleet.eventId("GO");
@@ -347,6 +350,72 @@ TEST_F(FleetTest, PortWriteLogsAreBitIdenticalAcrossWorkerCounts) {
       ASSERT_EQ(run.snapshots[i].activeStates, base.snapshots[i].activeStates);
     }
   }
+}
+
+TEST_F(FleetTest, SoaBatchedSteppingIsBitIdenticalToAosStepping) {
+  // The SoA fast path (pack CRs into the shard arena, evaluate the
+  // BatchedSla kernel, apply quiescent cycles in bulk) must be
+  // indistinguishable from per-instance AoS stepping: same port-write
+  // logs, same cycle counts, same active states. 37 instances leaves a
+  // tail under every vector width and batch width below.
+  constexpr size_t kInstances = 37;
+  constexpr int kEpochs = 20;
+  const ScriptedRun aos =
+      runScriptedFleet(image_, 1, kInstances, kEpochs, /*soa=*/false);
+
+  int64_t totalWrites = 0;
+  for (size_t i = 0; i < kInstances; ++i)
+    totalWrites += static_cast<int64_t>(aos.portLogs[i].size());
+  ASSERT_GT(totalWrites, 0) << "script must actually exercise port writes";
+
+  for (const int workers : {1, 3}) {
+    for (const int batchWidth : {1, 3, 64}) {
+      const ScriptedRun soa = runScriptedFleet(image_, workers, kInstances,
+                                               kEpochs, /*soa=*/true, batchWidth);
+      for (size_t i = 0; i < kInstances; ++i) {
+        ASSERT_EQ(soa.portLogs[i], aos.portLogs[i])
+            << "SoA diverged from AoS for instance " << i << " at "
+            << workers << " workers, batch width " << batchWidth;
+        ASSERT_EQ(soa.snapshots[i].machineCycles, aos.snapshots[i].machineCycles)
+            << "instance " << i << " batch width " << batchWidth;
+        ASSERT_EQ(soa.snapshots[i].firedTransitions,
+                  aos.snapshots[i].firedTransitions);
+        ASSERT_EQ(soa.snapshots[i].activeStates, aos.snapshots[i].activeStates);
+      }
+    }
+  }
+}
+
+TEST_F(FleetTest, RetirementHolesKeepSoaAndAosIdentical) {
+  // Retiring instances mid-run forces shard rebuilds (block placement
+  // re-packs the arena) and leaves shards of unequal size; the batched
+  // path must still match AoS exactly.
+  auto runHoles = [&](bool soa) {
+    FleetConfig config;
+    config.workerThreads = 2;
+    config.capturePortWrites = true;
+    config.soaBatching = soa;
+    Fleet fleet(image_, config);
+    const std::vector<InstanceId> ids = fleet.spawnMany(24);
+    std::vector<std::vector<machine::PortWrite>> logs;
+    for (int epoch = 0; epoch < 12; ++epoch) {
+      if (epoch == 4)
+        for (size_t i = 0; i < ids.size(); i += 3) {
+          logs.push_back(fleet.portWrites(ids[i]));
+          fleet.retire(ids[i]);
+        }
+      for (InstanceId id : ids) {
+        if (!fleet.isLive(id)) continue;
+        fleet.machine(id).setCondition("ARMED", true);
+        fleet.injectByName(id, epoch % 3 == 0 ? "GO" : "TICK");
+      }
+      fleet.step(2);
+    }
+    for (InstanceId id : ids)
+      if (fleet.isLive(id)) logs.push_back(fleet.portWrites(id));
+    return logs;
+  };
+  ASSERT_EQ(runHoles(true), runHoles(false));
 }
 
 TEST_F(FleetTest, StealingFleetMatchesSingleThreadWithSkewedShards) {

@@ -562,6 +562,73 @@ TEST(BenchCompare, OneSidedHostIsNoteOnly) {
   EXPECT_TRUE(noted);
 }
 
+TEST(BenchCompare, OversubscribedScalingMetricsAreSkipped) {
+  // A 4-thread sweep captured on a 1-hardware-thread host: its
+  // speedup/efficiency numbers are scheduler noise, so even a huge
+  // "regression" in them must not gate — while real throughput metrics
+  // in the same sweep still do.
+  const JsonValue baseline = parseFixture(
+      R"({"hardware_threads":1,"sweeps":[
+          {"threads":4,"config_cycles_per_sec":1000.0,
+           "speedup_vs_1t":1.0,"efficiency":0.25}]})");
+  const JsonValue current = parseFixture(
+      R"({"hardware_threads":1,"sweeps":[
+          {"threads":4,"config_cycles_per_sec":1000.0,
+           "speedup_vs_1t":0.2,"efficiency":0.05}]})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_EQ(r.regressions, 0);
+  bool speedupSkipped = false;
+  bool efficiencySkipped = false;
+  for (const MetricDelta& d : r.deltas) {
+    if (d.path == "sweeps[0].speedup_vs_1t") speedupSkipped = d.ignored;
+    if (d.path == "sweeps[0].efficiency") efficiencySkipped = d.ignored;
+  }
+  EXPECT_TRUE(speedupSkipped);
+  EXPECT_TRUE(efficiencySkipped);
+  bool noted = false;
+  for (const std::string& note : r.notes)
+    noted = noted || note.find("not gated") != std::string::npos;
+  EXPECT_TRUE(noted);
+
+  // Throughput in the same oversubscribed sweep still gates.
+  const JsonValue slower = parseFixture(
+      R"({"hardware_threads":1,"sweeps":[
+          {"threads":4,"config_cycles_per_sec":100.0,
+           "speedup_vs_1t":1.0,"efficiency":0.25}]})");
+  EXPECT_GT(compareBenchJson(baseline, slower, {}).regressions, 0);
+}
+
+TEST(BenchCompare, ScalingMetricsGateWhenHostHasTheThreads) {
+  const JsonValue baseline = parseFixture(
+      R"({"hardware_threads":8,"sweeps":[
+          {"threads":4,"speedup_vs_1t":3.0,"efficiency":0.75}]})");
+  const JsonValue current = parseFixture(
+      R"({"hardware_threads":8,"sweeps":[
+          {"threads":4,"speedup_vs_1t":1.0,"efficiency":0.25}]})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_GT(r.regressions, 0);
+  for (const MetricDelta& d : r.deltas)
+    if (d.path == "sweeps[0].speedup_vs_1t") EXPECT_TRUE(d.regression);
+}
+
+TEST(BenchCompare, CurrentHostOversubscriptionAlsoSkips) {
+  // Baseline captured on a big host, current run on a starved CI
+  // container: the current document's own numbers are the noisy ones.
+  const JsonValue baseline = parseFixture(
+      R"({"hardware_threads":8,"sweeps":[
+          {"threads":4,"speedup_vs_1t":3.0}]})");
+  const JsonValue current = parseFixture(
+      R"({"hardware_threads":2,"sweeps":[
+          {"threads":4,"speedup_vs_1t":0.9}]})");
+  BenchCompareOptions options;
+  // The hardware_threads leaf itself is provenance; CI ignores it too.
+  options.ignore = {"hardware_threads"};
+  const BenchCompareResult r = compareBenchJson(baseline, current, options);
+  EXPECT_EQ(r.regressions, 0);
+  for (const MetricDelta& d : r.deltas)
+    if (d.path == "sweeps[0].speedup_vs_1t") EXPECT_TRUE(d.ignored);
+}
+
 TEST(BenchCompare, DirectionHeuristic) {
   EXPECT_EQ(metricDirection("charts[0].speedup"), MetricDirection::kHigherIsBetter);
   EXPECT_EQ(metricDirection("totals.machine_cycles"), MetricDirection::kLowerIsBetter);

@@ -1,0 +1,294 @@
+// Property tests for the SoA batched SLA path: the ShardArena pack /
+// unpack word shuffle must round-trip CRs exactly, and every dispatch
+// level of BatchedSla (scalar, SSE2, AVX2 — as far as the host supports)
+// must agree bit-for-bit with the scalar Sla::selectInto oracle on
+// arbitrary CR patterns, at lane counts deliberately not divisible by
+// any vector width. CI's forced-scalar job (PSCP_SIMD=scalar) runs the
+// same suite with the fallback kernel pinned.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fleet/arena.hpp"
+#include "sla/batch.hpp"
+#include "sla/sla.hpp"
+#include "statechart/parser.hpp"
+#include "support/simd.hpp"
+#include "support/text.hpp"
+#include "workloads/smd.hpp"
+
+namespace pscp::sla {
+namespace {
+
+using fleet::ShardArena;
+using statechart::Chart;
+using statechart::parseChart;
+using statechart::TransitionId;
+
+const char* kDemo = R"chart(
+chart Demo;
+event GO; event STOP; event TICK;
+condition READY;
+
+orstate Top {
+  contains IdleS, Work;
+  default IdleS;
+}
+basicstate IdleS {
+  transition { target Work; label "GO [READY]"; }
+}
+andstate Work {
+  transition { target IdleS; label "STOP or not (GO or TICK)"; }
+  orstate L { default L1;
+    basicstate L1 { transition { target L2; label "TICK"; } }
+    basicstate L2 { }
+  }
+  orstate R { default R1;
+    basicstate R1 { transition { target R2; label "TICK [not R_DONE]"; } }
+    basicstate R2 { }
+  }
+}
+condition R_DONE;
+)chart";
+
+/// Same generator as sla_packed_test: `n` basic states in one OR ring,
+/// wide enough that the CR spans multiple 64-bit words.
+std::string wideChartText(int n) {
+  std::string text = "chart Wide;\n";
+  for (int e = 0; e < 8; ++e) text += strfmt("event E%d;\n", e);
+  for (int c = 0; c < 4; ++c) text += strfmt("condition C%d;\n", c);
+  text += "orstate Top {\n  contains ";
+  for (int i = 0; i < n; ++i) text += strfmt(i == 0 ? "S%d" : ", S%d", i);
+  text += ";\n  default S0;\n}\n";
+  for (int i = 0; i < n; ++i) {
+    std::string label;
+    switch (i % 4) {
+      case 0: label = strfmt("E%d [C%d]", i % 8, i % 4); break;
+      case 1: label = strfmt("E%d or E%d", i % 8, (i + 3) % 8); break;
+      case 2: label = strfmt("E%d [not C%d]", i % 8, i % 4); break;
+      default: label = strfmt("not E%d [C%d and not C%d]", i % 8, i % 4, (i + 1) % 4);
+    }
+    text += strfmt("basicstate S%d { transition { target S%d; label \"%s\"; } }\n",
+                   i, (i + 1) % n, label.c_str());
+  }
+  return text;
+}
+
+BitVec randomCr(int bits, std::mt19937* rng) {
+  // Vary fill density so sparse and dense CRs both get coverage.
+  const uint32_t density = 1 + (*rng)() % 7;  // P(bit) = density/8
+  std::vector<bool> bools(static_cast<size_t>(bits), false);
+  for (int b = 0; b < bits; ++b) bools[static_cast<size_t>(b)] = (*rng)() % 8 < density;
+  return BitVec::fromBools(bools);
+}
+
+/// Dispatch levels the host can actually execute (activeSimdLevel() is
+/// already capped by PSCP_SIMD, so the forced-scalar CI job shrinks this
+/// list to {scalar} and re-proves the fallback).
+std::vector<SimdLevel> testableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (activeSimdLevel() >= SimdLevel::kSse2) levels.push_back(SimdLevel::kSse2);
+  if (activeSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+TEST(ShardArena, PackUnpackRoundTripsRandomizedCrs) {
+  std::mt19937 rng(0xA5EED);
+  // Lane counts straddle the 8-lane stride rounding; bit widths straddle
+  // word boundaries (63/64/65) and multi-word CRs.
+  for (const size_t lanes : {size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                             size_t{9}, size_t{63}}) {
+    for (const int bits : {1, 17, 63, 64, 65, 130}) {
+      const size_t crWords = (static_cast<size_t>(bits) + 63) / 64;
+      ShardArena arena;
+      arena.resize(lanes, crWords);
+      ASSERT_EQ(arena.lanes(), lanes);
+      ASSERT_EQ(arena.crWords(), crWords);
+      // Stride rounds to whole cachelines of lanes.
+      EXPECT_EQ(arena.laneStride() % 8, 0u);
+      EXPECT_GE(arena.laneStride(), lanes);
+
+      std::vector<BitVec> crs;
+      for (size_t l = 0; l < lanes; ++l) {
+        crs.push_back(randomCr(bits, &rng));
+        arena.pack(l, crs.back());
+      }
+      for (size_t l = 0; l < lanes; ++l) {
+        BitVec out(bits);
+        arena.unpack(l, &out);
+        for (size_t w = 0; w < crWords; ++w)
+          EXPECT_EQ(out.word(w), crs[l].word(w))
+              << "lanes=" << lanes << " bits=" << bits << " lane=" << l
+              << " word=" << w;
+      }
+      // Padding lanes stay zero: vector kernels read them but their
+      // selection bits are ignored, so they must at least be defined.
+      const sla::CrSoa view = arena.view();
+      for (size_t l = lanes; l < arena.laneStride(); ++l)
+        for (size_t w = 0; w < crWords; ++w)
+          EXPECT_EQ(view.words[w * view.laneStride + l], 0u);
+    }
+  }
+}
+
+TEST(ShardArena, ResizeReusesCapacityAndZeroes) {
+  ShardArena arena;
+  arena.resize(64, 4);
+  const uint64_t* big = arena.words();
+  BitVec cr(256);
+  cr.setWord(0, ~uint64_t{0});
+  cr.setWord(3, 0x1234u);
+  arena.pack(63, cr);
+  // Shrinking reuses the buffer (steady-state rebuilds never allocate
+  // unless the fleet grew) and wipes prior contents.
+  arena.resize(8, 2);
+  EXPECT_EQ(arena.words(), big);
+  EXPECT_EQ(arena.laneStride(), 8u);
+  for (size_t l = 0; l < arena.laneStride(); ++l)
+    for (size_t w = 0; w < arena.crWords(); ++w)
+      EXPECT_EQ(arena.words()[w * arena.laneStride() + l], 0u);
+}
+
+/// Core property: for every dispatch level the host supports, pack
+/// randomized CRs SoA and hold selectLanesInto / selectedLanes to the
+/// per-lane Sla::selectInto oracle — including lane counts that leave
+/// vector-width tails (1, 3, 5, 7, 9) and nonzero lane bases.
+void checkBatchedAgreement(const Chart& chart, uint32_t seed) {
+  const CrLayout layout(chart);
+  const Sla sla(chart, layout);
+  const int bits = layout.totalBits();
+  const size_t crWords = (static_cast<size_t>(bits) + 63) / 64;
+  std::mt19937 rng(seed);
+
+  for (const SimdLevel level : testableLevels()) {
+    const BatchedSla batched(sla, level);
+    ASSERT_EQ(batched.level(), level);
+    for (const size_t lanes : {size_t{1}, size_t{3}, size_t{5}, size_t{7},
+                               size_t{9}, size_t{40}}) {
+      ShardArena arena;
+      arena.resize(lanes, crWords);
+      std::vector<BitVec> crs;
+      for (size_t l = 0; l < lanes; ++l) {
+        crs.push_back(randomCr(bits, &rng));
+        arena.pack(l, crs.back());
+      }
+      std::vector<std::vector<TransitionId>> outs(lanes);
+      std::vector<TransitionId> oracle;
+
+      // Whole-arena batch.
+      batched.selectLanesInto(arena.view(), 0, lanes, outs.data());
+      const uint64_t selected = batched.selectedLanes(arena.view(), 0, lanes);
+      for (size_t l = 0; l < lanes; ++l) {
+        sla.selectInto(crs[l], oracle);
+        EXPECT_EQ(outs[l], oracle)
+            << simdLevelName(level) << " lanes=" << lanes << " lane=" << l;
+        EXPECT_EQ((selected >> l) & 1u, oracle.empty() ? 0u : 1u)
+            << simdLevelName(level) << " lanes=" << lanes << " lane=" << l;
+      }
+
+      // Misaligned sub-range: laneBase not a multiple of the vector width.
+      if (lanes > 2) {
+        const size_t base = 1;
+        const size_t count = lanes - 2;
+        batched.selectLanesInto(arena.view(), base, count, outs.data());
+        const uint64_t sub = batched.selectedLanes(arena.view(), base, count);
+        for (size_t l = 0; l < count; ++l) {
+          sla.selectInto(crs[base + l], oracle);
+          EXPECT_EQ(outs[l], oracle) << simdLevelName(level) << " sub lane " << l;
+          EXPECT_EQ((sub >> l) & 1u, oracle.empty() ? 0u : 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(SlaBatch, AllDispatchLevelsMatchScalarOracleOnDemoChart) {
+  checkBatchedAgreement(parseChart(kDemo), /*seed=*/0xBA7C4);
+}
+
+TEST(SlaBatch, AllDispatchLevelsMatchScalarOracleOnWideChart) {
+  const Chart chart = parseChart(wideChartText(72));
+  ASSERT_GE(chart.transitions().size(), 64u);
+  checkBatchedAgreement(chart, /*seed=*/0x50A50A);
+}
+
+TEST(SlaBatch, AllDispatchLevelsMatchScalarOracleOnSmdChart) {
+  checkBatchedAgreement(parseChart(workloads::smdChartText()), /*seed=*/7);
+}
+
+TEST(SlaBatch, EventFreeCrsTakeTheNoEventFastPathCorrectly) {
+  // With no event bits sampled, terms with positive event literals are
+  // skipped wholesale — the dominant fleet case. Prove the skip changes
+  // nothing: zero the event bits of random CRs and re-check the oracle.
+  const Chart chart = parseChart(kDemo);
+  const CrLayout layout(chart);
+  const Sla sla(chart, layout);
+  const int bits = layout.totalBits();
+  const size_t crWords = (static_cast<size_t>(bits) + 63) / 64;
+  std::mt19937 rng(0xE0E0);
+
+  for (const SimdLevel level : testableLevels()) {
+    const BatchedSla batched(sla, level);
+    const size_t lanes = 11;
+    ShardArena arena;
+    arena.resize(lanes, crWords);
+    std::vector<BitVec> crs;
+    for (size_t l = 0; l < lanes; ++l) {
+      std::vector<bool> bools(static_cast<size_t>(bits), false);
+      // Events cleared, conditions/state random.
+      for (int b = layout.eventCount(); b < bits; ++b)
+        bools[static_cast<size_t>(b)] = rng() % 2 == 0;
+      crs.push_back(BitVec::fromBools(bools));
+      arena.pack(l, crs.back());
+    }
+    std::vector<std::vector<TransitionId>> outs(lanes);
+    std::vector<TransitionId> oracle;
+    batched.selectLanesInto(arena.view(), 0, lanes, outs.data());
+    for (size_t l = 0; l < lanes; ++l) {
+      sla.selectInto(crs[l], oracle);
+      EXPECT_EQ(outs[l], oracle) << simdLevelName(level) << " lane " << l;
+    }
+  }
+}
+
+TEST(SlaBatch, LaneWidthTracksDispatchLevel) {
+  const Sla sla(parseChart(kDemo), CrLayout(parseChart(kDemo)));
+  EXPECT_EQ(BatchedSla(sla, SimdLevel::kScalar).laneWidth(), 1);
+  if (activeSimdLevel() >= SimdLevel::kSse2) {
+    EXPECT_EQ(BatchedSla(sla, SimdLevel::kSse2).laneWidth(), 2);
+  }
+  if (activeSimdLevel() >= SimdLevel::kAvx2) {
+    EXPECT_EQ(BatchedSla(sla, SimdLevel::kAvx2).laneWidth(), 4);
+  }
+  // Default construction latches the process-wide dispatch decision.
+  EXPECT_EQ(BatchedSla(sla).level(), activeSimdLevel());
+}
+
+TEST(SimdDispatch, ParseLevelNamesCaseInsensitive) {
+  SimdLevel level = SimdLevel::kAvx2;
+  EXPECT_TRUE(parseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  EXPECT_TRUE(parseSimdLevel("SSE2", &level));
+  EXPECT_EQ(level, SimdLevel::kSse2);
+  EXPECT_TRUE(parseSimdLevel("Avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_FALSE(parseSimdLevel("neon", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);  // left alone on failure
+  EXPECT_FALSE(parseSimdLevel("", &level));
+}
+
+TEST(SimdDispatch, ActiveLevelNeverExceedsDetected) {
+  // PSCP_SIMD can only cap, never raise: whatever the active level is,
+  // the hardware must support it.
+  EXPECT_LE(static_cast<int>(activeSimdLevel()),
+            static_cast<int>(detectSimdLevel()));
+  EXPECT_STREQ(simdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simdLevelName(SimdLevel::kSse2), "sse2");
+  EXPECT_STREQ(simdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace pscp::sla
