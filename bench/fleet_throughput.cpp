@@ -14,10 +14,16 @@
 //   --batch-width N  lanes per batched decode group (FleetConfig)
 //   --pin            pin the main thread to CPU 0 and pool worker w to
 //                    CPU w (stops scheduler migration mid-measurement)
+//   --journal        arm the record/replay journal for every sweep (its
+//                    cost is gated separately by bench/telemetry_overhead;
+//                    here it marks the run's numbers as journal-inclusive)
+//   --seed N         workload seed, recorded verbatim for provenance
 //
 // Prints a markdown table (cycles/sec, speedup vs 1 thread, scaling
 // efficiency) and writes BENCH_fleet_throughput.json; the host block
-// records the effective SIMD dispatch level (scalar/sse2/avx2). In full
+// records the effective SIMD dispatch level (scalar/sse2/avx2) plus the
+// seed and journal arming, so any BENCH json can be tied back to a
+// reproducible configuration. In full
 // mode on a machine with >= 4 hardware threads, the run fails unless the
 // >= 256-instance sweep reaches >= 3x aggregate throughput at 4 threads.
 #include <benchmark/benchmark.h>
@@ -47,6 +53,14 @@ struct BenchOptions {
   bool soa = true;
   int batchWidth = 0;  ///< 0 = FleetConfig auto
   bool pin = false;
+  /// Run every sweep with the record/replay journal armed — measures the
+  /// recording overhead under the same duty cycle bench_compare gates.
+  bool journal = false;
+  /// Run provenance: recorded in the BENCH json host block so a journal
+  /// captured alongside a bench run can be correlated with its numbers
+  /// (host.* fields never gate in bench_compare). The SMD duty cycle
+  /// itself is deterministic; the seed tags the run, it does not vary it.
+  int64_t seed = 0;
 };
 
 struct SweepResult {
@@ -78,6 +92,7 @@ SweepResult runSweep(const fleet::Fleet::ChartImagePtr& image, size_t instances,
   config.soaBatching = soa;
   config.batchWidth = opts.batchWidth;
   config.pinWorkers = opts.pin;
+  config.journal = opts.journal;
   fleet::Fleet fleet(image, config);
   // Per epoch every instance receives one X and one Y step pulse through
   // its SPSC queue (delivered at the epoch's first cycle: both DeltaT
@@ -139,10 +154,14 @@ int main(int argc, char** argv) {
       opts.pin = true;
     } else if (std::strcmp(argv[i], "--batch-width") == 0 && i + 1 < argc) {
       opts.batchWidth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      opts.journal = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::atoll(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: fleet_throughput [--quick] [--no-soa] "
-                   "[--batch-width N] [--pin]\n");
+                   "[--batch-width N] [--pin] [--journal] [--seed N]\n");
       return 2;
     }
   }
@@ -217,7 +236,13 @@ int main(int argc, char** argv) {
   json += strfmt("  \"mode\": \"%s\",\n  \"stepping\": \"%s\",\n"
                  "  \"hardware_threads\": %u,\n",
                  opts.quick ? "quick" : "full", opts.soa ? "soa" : "aos", hwThreads);
-  json += "  \"host\": " + hostInfoJson().dump() + ",\n  \"sweeps\": [\n";
+  // Provenance rides in the host block: host.* is informational in
+  // bench_compare, so changing the seed or arming the journal never trips
+  // a numeric gate by itself.
+  JsonValue host = hostInfoJson();
+  host.set("seed", JsonValue::makeNumber(static_cast<double>(opts.seed)));
+  host.set("journal", JsonValue::makeBool(opts.journal));
+  json += "  \"host\": " + host.dump() + ",\n  \"sweeps\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     json += strfmt(

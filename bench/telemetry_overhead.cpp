@@ -1,18 +1,18 @@
-// Telemetry-overhead microbench: prove the armed telemetry plane (flight
-// recorder rings + health atomics) costs < 3% of fleet stepping
-// throughput. Runs the same SMD steady-state duty cycle as
-// bench/fleet_throughput with telemetry off and on in *interleaved* A/B
-// rounds (off, on, off, on, ...) so slow drift — thermal, frequency,
-// noisy neighbours — hits both arms equally, then reports the ratio of
-// median machine-cycles/sec.
+// Observability-overhead microbench: prove the armed telemetry plane
+// (flight recorder rings + health atomics) AND the armed record/replay
+// journal each cost < 3% of fleet stepping throughput. Runs the same SMD
+// steady-state duty cycle as bench/fleet_throughput in *interleaved*
+// rounds (disarmed, telemetry, journal, disarmed, ...) so slow drift —
+// thermal, frequency, noisy neighbours — hits every arm equally, then
+// reports ratios of median machine-cycles/sec.
 //
 // Emits BENCH_telemetry_overhead.json with `telemetry_throughput_ratio`
-// (armed / disarmed; ~1.0 when the plane is cheap, and a *throughput*
-// metric so bench_compare gates it higher-is-better) which CI gates at
-// --tol-metric telemetry_throughput_ratio=0.03 against the committed
-// baseline. Full mode additionally self-checks ratio >= 0.97 and that the
-// armed run actually recorded flight data (no vacuous pass by a dead
-// recorder).
+// and `journal_throughput_ratio` (armed / disarmed; ~1.0 when the plane
+// is cheap, and *throughput* metrics so bench_compare gates them
+// higher-is-better) which CI gates at --tol-metric <name>=0.03 against
+// the committed baseline. Full mode additionally self-checks both ratios
+// >= 0.97 and that the armed runs actually recorded data (no vacuous
+// pass by a dead recorder or an empty journal).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,18 +31,22 @@ using namespace pscp;
 
 namespace {
 
+enum class Arm { kDisarmed, kTelemetry, kJournal };
+
 struct RoundResult {
   double machineCyclesPerSec = 0.0;
   int64_t flightRecords = 0;
+  int64_t journalOps = 0;
 };
 
 /// One timed round: fresh fleet, warm-up, `epochs` timed epochs.
-RoundResult runRound(const fleet::Fleet::ChartImagePtr& image, bool telemetry,
+RoundResult runRound(const fleet::Fleet::ChartImagePtr& image, Arm arm,
                      size_t instances, int threads, int epochs,
                      int cyclesPerEpoch, bool* ok) {
   fleet::FleetConfig config;
   config.workerThreads = threads;
-  config.telemetry = telemetry;
+  config.telemetry = arm == Arm::kTelemetry;
+  config.journal = arm == Arm::kJournal;
   fleet::Fleet fleet(image, config);
   const workloads::SmdPulseIds pulses = workloads::resolveSmdPulseIds(fleet);
   if (!workloads::warmUpSmdFleet(fleet, instances, pulses)) {
@@ -66,9 +70,11 @@ RoundResult runRound(const fleet::Fleet::ChartImagePtr& image, bool telemetry,
           .count();
   if (seconds > 0.0)
     r.machineCyclesPerSec = static_cast<double>(after - before) / seconds;
-  if (telemetry && fleet.flightRecorder() != nullptr)
+  if (arm == Arm::kTelemetry && fleet.flightRecorder() != nullptr)
     r.flightRecords =
         static_cast<int64_t>(fleet.flightRecorder()->snapshot().size());
+  if (arm == Arm::kJournal && fleet.journal() != nullptr)
+    r.journalOps = static_cast<int64_t>(fleet.journal()->ops().size());
   return r;
 }
 
@@ -103,35 +109,49 @@ int main(int argc, char** argv) {
 
   const auto image = workloads::makeSmdFleetImage();
   bool ok = true;
-  std::vector<double> off, on;
+  std::vector<double> off, tele, jour;
   int64_t flightRecords = 0;
-  // A/B interleaved: drift hits both arms symmetrically. One extra
-  // untimed leading pair warms caches and the allocator.
-  (void)runRound(image, false, instances, threads, 4, cyclesPerEpoch, &ok);
-  (void)runRound(image, true, instances, threads, 4, cyclesPerEpoch, &ok);
+  int64_t journalOps = 0;
+  // Interleaved arms: drift hits all three symmetrically. One extra
+  // untimed leading set warms caches and the allocator.
+  (void)runRound(image, Arm::kDisarmed, instances, threads, 4, cyclesPerEpoch, &ok);
+  (void)runRound(image, Arm::kTelemetry, instances, threads, 4, cyclesPerEpoch, &ok);
+  (void)runRound(image, Arm::kJournal, instances, threads, 4, cyclesPerEpoch, &ok);
   for (int r = 0; r < rounds; ++r) {
-    off.push_back(runRound(image, false, instances, threads, epochs,
+    off.push_back(runRound(image, Arm::kDisarmed, instances, threads, epochs,
                            cyclesPerEpoch, &ok)
                       .machineCyclesPerSec);
-    const RoundResult armed =
-        runRound(image, true, instances, threads, epochs, cyclesPerEpoch, &ok);
-    on.push_back(armed.machineCyclesPerSec);
+    const RoundResult armed = runRound(image, Arm::kTelemetry, instances,
+                                       threads, epochs, cyclesPerEpoch, &ok);
+    tele.push_back(armed.machineCyclesPerSec);
     flightRecords = std::max(flightRecords, armed.flightRecords);
+    const RoundResult journaled = runRound(image, Arm::kJournal, instances,
+                                           threads, epochs, cyclesPerEpoch, &ok);
+    jour.push_back(journaled.machineCyclesPerSec);
+    journalOps = std::max(journalOps, journaled.journalOps);
   }
 
   const double offMedian = median(off);
-  const double onMedian = median(on);
+  const double onMedian = median(tele);
+  const double journalMedian = median(jour);
   const double ratio = offMedian > 0.0 ? onMedian / offMedian : 0.0;
   const double overheadPct = 100.0 * (1.0 - ratio);
+  const double journalRatio = offMedian > 0.0 ? journalMedian / offMedian : 0.0;
+  const double journalOverheadPct = 100.0 * (1.0 - journalRatio);
 
-  std::printf("| arm      | median mach cycles/s |\n");
-  std::printf("|----------|----------------------|\n");
-  std::printf("| disarmed | %20.0f |\n", offMedian);
-  std::printf("| armed    | %20.0f |\n", onMedian);
+  std::printf("| arm       | median mach cycles/s |\n");
+  std::printf("|-----------|----------------------|\n");
+  std::printf("| disarmed  | %20.0f |\n", offMedian);
+  std::printf("| telemetry | %20.0f |\n", onMedian);
+  std::printf("| journal   | %20.0f |\n", journalMedian);
   std::printf("\ntelemetry_throughput_ratio: %.4f (overhead %.2f%%)\n", ratio,
               overheadPct);
+  std::printf("journal_throughput_ratio: %.4f (overhead %.2f%%)\n",
+              journalRatio, journalOverheadPct);
   std::printf("flight records resident after armed run: %lld\n",
               static_cast<long long>(flightRecords));
+  std::printf("journal ops recorded in armed run: %lld\n",
+              static_cast<long long>(journalOps));
 
   std::string json = "{\n  \"benchmark\": \"telemetry_overhead\",\n";
   json += strfmt("  \"mode\": \"%s\",\n", quick ? "quick" : "full");
@@ -140,10 +160,16 @@ int main(int argc, char** argv) {
       "  \"instances\": %zu,\n  \"rounds\": %d,\n"
       "  \"disarmed_machine_cycles_per_sec\": %.0f,\n"
       "  \"armed_machine_cycles_per_sec\": %.0f,\n"
+      "  \"journal_machine_cycles_per_sec\": %.0f,\n"
       "  \"telemetry_throughput_ratio\": %.4f,\n"
-      "  \"overhead_pct\": %.2f,\n  \"flight_records\": %lld\n}\n",
-      instances, rounds, offMedian, onMedian, ratio, overheadPct,
-      static_cast<long long>(flightRecords));
+      "  \"journal_throughput_ratio\": %.4f,\n"
+      "  \"overhead_pct\": %.2f,\n"
+      "  \"journal_overhead_pct\": %.2f,\n"
+      "  \"flight_records\": %lld,\n  \"journal_ops\": %lld\n}\n",
+      instances, rounds, offMedian, onMedian, journalMedian, ratio,
+      journalRatio, overheadPct, journalOverheadPct,
+      static_cast<long long>(flightRecords),
+      static_cast<long long>(journalOps));
   std::FILE* f = std::fopen("BENCH_telemetry_overhead.json", "wb");
   if (f != nullptr) {
     std::fwrite(json.data(), 1, json.size(), f);
@@ -158,12 +184,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: armed run recorded no flight data\n");
     ok = false;
   }
+  if (journalOps <= 0) {
+    std::fprintf(stderr, "FAIL: journal-armed run recorded no ops\n");
+    ok = false;
+  }
   if (!ok) return 1;
   // Quick mode (CI smoke) leaves the verdict to the bench_compare gate —
   // single short rounds on shared runners are too noisy for a hard fail.
   if (!quick && ratio < 0.97) {
     std::fprintf(stderr, "FAIL: telemetry overhead %.2f%% exceeds 3%% budget\n",
                  overheadPct);
+    return 1;
+  }
+  if (!quick && journalRatio < 0.97) {
+    std::fprintf(stderr, "FAIL: journal overhead %.2f%% exceeds 3%% budget\n",
+                 journalOverheadPct);
     return 1;
   }
   return 0;

@@ -2,7 +2,11 @@
 // Figs. 5/6) on a 2-TEP PSCP with a TraceRecorder attached, then exports
 //   smd.trace.json — Chrome trace-event format; open in chrome://tracing
 //                    or https://ui.perfetto.dev (one lane per TEP plus the
-//                    scheduler/SLA lane)
+//                    scheduler/SLA lane). Cycles whose sampled CR carries
+//                    an external event bit get causal flow arrows from the
+//                    event's arrival to the dispatches it triggered — no
+//                    journal needed (for full per-event spans, see
+//                    tools/pscp_replay trace).
 //   smd.vcd        — VCD waveform of the CR (events, conditions, states),
 //                    TEP busy wires and port values; open in GTKWave
 // and prints the MetricsRegistry report.

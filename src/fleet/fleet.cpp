@@ -10,6 +10,7 @@
 #include "fleet/arena.hpp"
 #include "support/diag.hpp"
 #include "support/hostinfo.hpp"
+#include "support/simd.hpp"
 
 namespace pscp::fleet {
 
@@ -183,6 +184,16 @@ Fleet::Fleet(ChartImagePtr image, FleetConfig config)
         workerCount_, config_.flightRecordsPerShard);
     shardTelemetry_ = std::make_unique<ShardTelemetry[]>(workerCount_);
   }
+  if (config_.journal) {
+    journal_ = std::make_unique<obs::journal::Journal>(config_.journalConfig);
+    journal_->setChartName(image_->chart().name());
+    journal_->setImageHash(obs::journal::imageContentHash(*image_));
+    journal_->setEventQueueCapacity(
+        static_cast<int64_t>(config_.eventQueueCapacity));
+    journal_->setRecordedWorkers(config_.workerThreads);
+    journal_->setRecordedSoa(config_.soaBatching);
+    journal_->setSimdLevel(simdLevelName(activeSimdLevel()));
+  }
   if (workerCount_ > 1) {
     pool_ = std::make_unique<Pool>();
     pool_->threads.reserve(workerCount_);
@@ -210,6 +221,7 @@ InstanceId Fleet::spawn() {
       std::make_unique<Instance>(image_, id, config_.eventQueueCapacity));
   liveCount_.fetch_add(1, std::memory_order_relaxed);
   shardsDirty_ = true;
+  if (journal_ != nullptr) journal_->recordSpawn(static_cast<int64_t>(id));
   return id;
 }
 
@@ -225,6 +237,7 @@ void Fleet::retire(InstanceId id) {
   instances_[static_cast<size_t>(id)].reset();
   liveCount_.fetch_sub(1, std::memory_order_relaxed);
   shardsDirty_ = true;
+  if (journal_ != nullptr) journal_->recordRetire(static_cast<int64_t>(id));
 }
 
 bool Fleet::isLive(InstanceId id) const {
@@ -567,18 +580,108 @@ void Fleet::step(int cycles) {
   if (shardsDirty_) rebuildShards();
   for (auto& shard : shards_) shard->cursor.store(0, std::memory_order_relaxed);
   const int64_t epoch = epochs_.load(std::memory_order_relaxed) + 1;
+  // Epoch-0 checkpoint: the post-setup state (after spawn/port/condition/
+  // timer/warm-up ops, before any epoch) anchors replay verification.
+  if (journal_ != nullptr && epoch == 1) takeCheckpoint(0);
   epochs_.store(epoch, std::memory_order_relaxed);
   if (pool_ == nullptr) {
     runWorkerEpoch(0, cycles, epoch);
-    return;
+  } else {
+    std::unique_lock<std::mutex> lk(pool_->mu);
+    pool_->cyclesThisEpoch = cycles;
+    pool_->epochThisGeneration = epoch;
+    pool_->running = workerCount_;
+    ++pool_->generation;
+    pool_->start.notify_all();
+    pool_->done.wait(lk, [&] { return pool_->running == 0; });
   }
-  std::unique_lock<std::mutex> lk(pool_->mu);
-  pool_->cyclesThisEpoch = cycles;
-  pool_->epochThisGeneration = epoch;
-  pool_->running = workerCount_;
-  ++pool_->generation;
-  pool_->start.notify_all();
-  pool_->done.wait(lk, [&] { return pool_->running == 0; });
+  if (journal_ != nullptr) journalEpoch(epoch, cycles);
+}
+
+// ---------------------------------------------------------- record/replay
+
+// Post-barrier capture: each instance's `drained` scratch still holds
+// exactly the events its machine consumed this epoch (it is cleared at the
+// *start* of the next epoch), and the barrier happens-before this control
+// thread read. Logging delivery instead of injection is what makes the
+// journal deterministic — whether a racing producer's event landed in this
+// epoch or the next was decided by the drain, and the journal records the
+// outcome. Span ids are assigned here in instance-ascending, queue order,
+// the same order a replay re-injects, so they are stable across runs.
+void Fleet::journalEpoch(int64_t epoch, int cycles) {
+  for (const auto& inst : instances_) {
+    if (inst == nullptr) continue;
+    for (const int event : inst->drained)
+      journal_->recordInject(static_cast<int64_t>(inst->id), event, epoch);
+  }
+  journal_->recordStep(epoch, cycles);
+  if (epoch % journal_->config().checkpointInterval == 0) takeCheckpoint(epoch);
+}
+
+void Fleet::takeCheckpoint(int64_t epoch) {
+  journal_->beginCheckpoint(epoch);
+  for (const auto& inst : instances_)
+    if (inst != nullptr)
+      journal_->addCheckpointInstance(static_cast<int64_t>(inst->id),
+                                      inst->machine.crBits());
+  journal_->endCheckpoint();
+}
+
+bool Fleet::writeJournal(const std::string& path, bool binary,
+                         std::string* error) const {
+  if (journal_ == nullptr) {
+    if (error != nullptr) *error = "fleet journal is not armed";
+    return false;
+  }
+  return journal_->writeFile(path, binary, error);
+}
+
+void Fleet::setInputPort(InstanceId id, const std::string& portName,
+                         uint32_t value) {
+  Instance& inst = liveInstance(id);
+  setInputPort(id, inst.machine.portId(portName), value);
+}
+
+void Fleet::setInputPort(InstanceId id, int portAddress, uint32_t value) {
+  Instance& inst = liveInstance(id);
+  inst.machine.setInputPort(portAddress, value);
+  if (journal_ != nullptr)
+    journal_->recordSetPort(static_cast<int64_t>(id), portAddress, value);
+}
+
+void Fleet::setCondition(InstanceId id, const std::string& conditionName,
+                         bool value) {
+  Instance& inst = liveInstance(id);
+  inst.machine.setCondition(conditionName, value);
+  // The write went straight into the CR; any packed SoA row for this lane
+  // is now stale, so force a shard rebuild before the next epoch.
+  shardsDirty_ = true;
+  if (journal_ != nullptr)
+    journal_->recordSetCondition(static_cast<int64_t>(id),
+                                 image_->layout().conditionBit(conditionName),
+                                 value);
+}
+
+void Fleet::addTimer(InstanceId id, const std::string& eventName,
+                     int64_t period) {
+  Instance& inst = liveInstance(id);
+  inst.machine.addTimer(eventName, period);
+  if (journal_ != nullptr)
+    journal_->recordAddTimer(static_cast<int64_t>(id),
+                             image_->layout().eventBit(eventName), period);
+}
+
+void Fleet::warmCycle(InstanceId id, const std::vector<int>& eventBits) {
+  Instance& inst = liveInstance(id);
+  inst.machine.configurationCycleIds(eventBits, &inst.stats);
+  if (config_.capturePortWrites) {
+    const std::vector<machine::PortWrite>& writes = inst.machine.portWrites();
+    inst.portLog.insert(inst.portLog.end(), writes.begin(), writes.end());
+  }
+  inst.machine.clearPortWrites();
+  shardsDirty_ = true;  // the cycle rewrote the CR; see setCondition()
+  if (journal_ != nullptr)
+    journal_->recordWarmCycle(static_cast<int64_t>(id), eventBits);
 }
 
 // ------------------------------------------------------------- inspection

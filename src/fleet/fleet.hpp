@@ -60,6 +60,12 @@
 // one predictable null check per instance step — no virtual calls, no
 // clock reads, no atomic traffic — which the counting-operator-new test
 // and the telemetry_overhead bench both enforce.
+//
+// Record/replay journal (FleetConfig::journal): when armed, every
+// control-plane op and every delivered event is appended to a
+// pscp-journal-v1 log with periodic CR-digest checkpoints, from which
+// obs/journal/replay.hpp re-executes the run bit-identically at any
+// worker count or stepping mode. See obs/journal/journal.hpp.
 #pragma once
 
 #include <atomic>
@@ -71,6 +77,7 @@
 #include "fleet/spsc.hpp"
 #include "obs/flight.hpp"
 #include "obs/health.hpp"
+#include "obs/journal/journal.hpp"
 #include "obs/metrics.hpp"
 #include "pscp/machine.hpp"
 
@@ -122,6 +129,18 @@ struct FleetConfig {
   /// Flight-ring capacity per shard (records; rounded up to a power of
   /// two). 1024 records ≈ the last few dozen epochs of a busy shard.
   size_t flightRecordsPerShard = 1024;
+
+  /// Arm the record/replay journal (obs/journal): every control-plane op
+  /// (spawn/retire/port/condition/timer/warm cycle), every *delivered*
+  /// external event with its arrival epoch, every step, and periodic
+  /// CR-word digest checkpoints are appended to an in-memory journal,
+  /// written out with writeJournal(). Off by default — a disarmed fleet
+  /// records nothing and the stepping hot loop is untouched either way:
+  /// capture reads the per-instance drained scratch on the control thread
+  /// after the epoch barrier. Armed appends stay allocation-free within
+  /// the journalConfig reserves (the counting-new test holds it to zero).
+  bool journal = false;
+  obs::journal::JournalConfig journalConfig;
 
   /// Fault injection for telemetry tests and demos: the worker owning
   /// shard `debugStallShard` sleeps `debugStallMicros` at the start of
@@ -184,7 +203,10 @@ class Fleet {
   }
 
   // ----------------------------------------------------------- inspection
-  /// Direct access to an instance's machine (between epochs only).
+  /// Direct access to an instance's machine (between epochs only). For
+  /// *mutation*, prefer the journaled wrappers below: writes made here are
+  /// not recorded, and CR writes (setCondition and the like) can leave a
+  /// stale SoA arena row behind the batched decode's back.
   [[nodiscard]] machine::PscpMachine& machine(InstanceId id);
   [[nodiscard]] const machine::PscpMachine& machine(InstanceId id) const;
   [[nodiscard]] InstanceSnapshot snapshot(InstanceId id) const;
@@ -215,6 +237,34 @@ class Fleet {
   /// Dump the flight recorder to `path` as pscp-flight-v1 JSON. Safe from
   /// any thread; false when telemetry is disarmed or on I/O failure.
   bool writeFlightDump(const std::string& path, std::string* error = nullptr) const;
+
+  // --------------------------------------------------------- record/replay
+  /// The armed journal, or nullptr (FleetConfig::journal). Unlike the
+  /// telemetry surface this is control-thread-only, between epochs.
+  [[nodiscard]] const obs::journal::Journal* journal() const {
+    return journal_.get();
+  }
+  /// Dump the journal as pscp-journal-v1 (JSON, or the compact binary
+  /// framing). False when the journal is disarmed or on I/O failure.
+  bool writeJournal(const std::string& path, bool binary = false,
+                    std::string* error = nullptr) const;
+
+  /// Journaled machine-control surface: same effect as the corresponding
+  /// PscpMachine calls through machine(id), but logged so a replay
+  /// reproduces them, and SoA-safe (they mark the shard arenas stale, so
+  /// batched decode never reads a CR row mutated behind its back).
+  /// Replayable runs must route all pre-/inter-epoch machine mutation
+  /// through these — direct machine() writes are invisible to the journal.
+  void setInputPort(InstanceId id, const std::string& portName, uint32_t value);
+  void setInputPort(InstanceId id, int portAddress, uint32_t value);
+  void setCondition(InstanceId id, const std::string& conditionName, bool value);
+  void addTimer(InstanceId id, const std::string& eventName, int64_t period);
+  /// Run one configuration cycle directly on `id`'s machine, outside the
+  /// epoch loop, with the given interned events — the warm-up path. Port
+  /// writes from the cycle follow the fleet's epoch semantics: appended to
+  /// the portWrites(id) log when capturePortWrites is set, dropped
+  /// otherwise.
+  void warmCycle(InstanceId id, const std::vector<int>& eventBits);
 
   [[nodiscard]] const ChartImagePtr& image() const { return image_; }
   [[nodiscard]] const FleetConfig& config() const { return config_; }
@@ -258,6 +308,12 @@ class Fleet {
   // Telemetry plane (null / empty when config_.telemetry is false).
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<ShardTelemetry[]> shardTelemetry_;
+
+  // Record/replay journal (null when config_.journal is false). Appended
+  // on the control thread only; see journalEpoch()/takeCheckpoint().
+  std::unique_ptr<obs::journal::Journal> journal_;
+  void journalEpoch(int64_t epoch, int cycles);
+  void takeCheckpoint(int64_t epoch);
 
   // Epoch barrier (only used when workerCount_ > 1).
   struct Pool;

@@ -1,46 +1,37 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "support/diag.hpp"
+#include "support/json.hpp"
 
 namespace pscp::obs {
 
 namespace {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          out += strfmt("\\u%04x", static_cast<unsigned>(c));
-        else
-          out += c;
-    }
-  }
-  return out;
-}
+constexpr int kPid = kChromeTracePid;
+constexpr int kSchedulerTid = kChromeTraceSchedulerTid;
 
-constexpr int kPid = 1;
-constexpr int kSchedulerTid = 0;
+int tepTid(int tep) { return chromeTraceTepTid(tep); }
 
-int tepTid(int tep) { return tep + 1; }
-
-std::string nameOf(const std::vector<std::string>& names, size_t index,
+// Negative or out-of-range indices fall back to a synthesized name — a
+// damaged record must yield an ugly label, not an out-of-bounds read.
+std::string nameOf(const std::vector<std::string>& names, int index,
                    const char* prefix) {
-  if (index < names.size()) return names[index];
-  return strfmt("%s%zu", prefix, index);
+  if (index >= 0 && static_cast<size_t>(index) < names.size())
+    return names[static_cast<size_t>(index)];
+  return strfmt("%s%d", prefix, index);
 }
 
 }  // namespace
 
 std::string chromeTraceJson(const TraceRecorder& recorder) {
+  return chromeTraceJson(recorder, {});
+}
+
+std::string chromeTraceJson(const TraceRecorder& recorder,
+                            const std::vector<std::string>& extraEvents) {
   const TraceMeta& meta = recorder.meta();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -83,8 +74,7 @@ std::string chromeTraceJson(const TraceRecorder& recorder) {
 
   // TEP lanes: one slice per routine execution.
   for (const auto& s : recorder.slices()) {
-    const std::string name =
-        nameOf(meta.transitionNames, static_cast<size_t>(s.transition), "t");
+    const std::string name = nameOf(meta.transitionNames, s.transition, "t");
     emit(strfmt("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"dur\":%lld,"
                 "\"name\":\"%s\",\"args\":{\"instructions\":%lld,\"busStalls\":%lld,"
                 "\"tepCycles\":%lld}}",
@@ -95,13 +85,54 @@ std::string chromeTraceJson(const TraceRecorder& recorder) {
                 static_cast<long long>(s.stats.cycles)));
   }
 
+  // Causal flow arrows: for every cycle whose sampled CR carries external
+  // event bits and which dispatched routines, one flow per (event, slice)
+  // pair from the CR sample instant to the dispatch — the viewer draws
+  // event -> transition arrows without any journal armed. Flow start and
+  // finish bind on matching cat/id/name.
+  {
+    const auto& cycles = recorder.cycles();
+    const auto& slices = recorder.slices();
+    const auto& samples = recorder.crSamples();
+    size_t slice = 0;
+    int flowId = 0;
+    for (const auto& c : cycles) {
+      while (slice < slices.size() && slices[slice].dispatchTime < c.beginTime)
+        ++slice;
+      const size_t sliceBegin = slice;
+      while (slice < slices.size() && slices[slice].dispatchTime < c.endTime)
+        ++slice;
+      if (sliceBegin == slice || c.crSample < 0) continue;
+      const TraceRecorder::CrSample& sample =
+          samples[static_cast<size_t>(c.crSample)];
+      const int eventBits =
+          std::min(sample.bits.size(), static_cast<int>(meta.eventNames.size()));
+      for (int e = 0; e < eventBits; ++e) {
+        if (!sample.bits.test(e)) continue;
+        const std::string flowName =
+            jsonEscape("evt " + nameOf(meta.eventNames, e, "ev"));
+        for (size_t s = sliceBegin; s < slice; ++s) {
+          ++flowId;
+          emit(strfmt("{\"ph\":\"s\",\"cat\":\"causal\",\"id\":%d,\"pid\":%d,"
+                      "\"tid\":%d,\"ts\":%lld,\"name\":\"%s\"}",
+                      flowId, kPid, kSchedulerTid,
+                      static_cast<long long>(sample.time), flowName.c_str()));
+          emit(strfmt("{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"causal\",\"id\":%d,"
+                      "\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"name\":\"%s\"}",
+                      flowId, kPid, tepTid(slices[s].tep),
+                      static_cast<long long>(slices[s].dispatchTime),
+                      flowName.c_str()));
+        }
+      }
+    }
+  }
+
   // Instants: timer fires and port writes on the scheduler lane.
   for (const auto& [time, bit] : recorder.timerFires())
     emit(strfmt("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"s\":\"p\","
                 "\"name\":\"timer %s\"}",
                 kPid, kSchedulerTid, static_cast<long long>(time),
-                jsonEscape(nameOf(meta.eventNames, static_cast<size_t>(bit), "ev"))
-                    .c_str()));
+                jsonEscape(nameOf(meta.eventNames, bit, "ev")).c_str()));
   for (const auto& w : recorder.portWrites()) {
     std::string portName = strfmt("port 0x%X", w.port);
     for (const auto& [addr, name] : meta.portNames)
@@ -126,6 +157,8 @@ std::string chromeTraceJson(const TraceRecorder& recorder) {
                 kPid, static_cast<long long>(c.endTime),
                 static_cast<long long>(stallAccum)));
   }
+
+  for (const std::string& e : extraEvents) emit(e);
 
   out += "]}";
   return out;

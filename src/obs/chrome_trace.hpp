@@ -10,18 +10,38 @@
 //   - TEP lanes: one "X" slice per dispatched routine (transition name,
 //     instruction/stall counts in args);
 //   - counter ("C") tracks: Transition Address Table depth and cumulative
-//     external-bus stalls.
+//     external-bus stalls;
+//   - flow ("s"/"f") arrows, category "causal": each configuration cycle
+//     whose sampled CR carries external-event bits flows from the CR
+//     sample on the scheduler lane to every routine the cycle dispatched,
+//     so the viewer draws the event -> transition causality. The journal
+//     plane (obs/journal/spans.hpp) adds finer per-span arrows on top via
+//     the extraEvents overload.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/recorder.hpp"
 
 namespace pscp::obs {
 
+/// The exporter's fixed lane ids, shared with anything that splices extra
+/// events into the same trace (obs/journal/spans.hpp).
+inline constexpr int kChromeTracePid = 1;
+inline constexpr int kChromeTraceSchedulerTid = 0;
+/// TEP t renders as thread t+1 (the scheduler holds thread 0).
+[[nodiscard]] constexpr int chromeTraceTepTid(int tep) { return tep + 1; }
+
 /// Serialize a recorded run as a Chrome trace-event JSON object
 /// ({"traceEvents": [...]}). The result is valid standalone JSON.
 [[nodiscard]] std::string chromeTraceJson(const TraceRecorder& recorder);
+
+/// Same, splicing pre-rendered trace-event objects (each a complete JSON
+/// object, no trailing comma) into the traceEvents array — the journal's
+/// causal-span flow arrows use this.
+[[nodiscard]] std::string chromeTraceJson(
+    const TraceRecorder& recorder, const std::vector<std::string>& extraEvents);
 
 /// Convenience: write chromeTraceJson() to `path`.
 void writeChromeTrace(const TraceRecorder& recorder, const std::string& path);

@@ -1,0 +1,129 @@
+#include "obs/journal/spans.hpp"
+
+#include "obs/chrome_trace.hpp"
+#include "support/diag.hpp"
+#include "support/json.hpp"
+
+namespace pscp::obs::journal {
+
+void SpanTracker::beginEpoch(int64_t epoch, const std::vector<DeliveredSpan>& delivered) {
+  (void)epoch;
+  // Any spans still open from the previous epoch are complete now.
+  for (Span& s : active_) spans_.push_back(std::move(s));
+  active_.clear();
+  pending_ = delivered;
+  armed_ = true;
+}
+
+void SpanTracker::onCycleBegin(int64_t configCycle, int64_t time) {
+  (void)configCycle;
+  (void)time;
+  // The first cycle after arming is the drain cycle: delivery happens at
+  // the epoch's first configuration cycle by the fleet contract.
+  if (armed_) {
+    inDrainCycle_ = true;
+    armed_ = false;
+  }
+}
+
+void SpanTracker::onCrSampled(const BitVec& crBits, int64_t time) {
+  if (!inDrainCycle_ || pending_.empty()) return;
+  for (const DeliveredSpan& d : pending_) {
+    Span s;
+    s.id = d.spanId;
+    s.eventBit = d.eventBit;
+    s.epoch = d.epoch;
+    // The sample proves the event bit reached the decode window; an event
+    // that somehow did not land still gets a span, with drainTime -1.
+    if (d.eventBit >= 0 && d.eventBit < crBits.size() && crBits.test(d.eventBit))
+      s.drainTime = time;
+    active_.push_back(std::move(s));
+  }
+  pending_.clear();
+}
+
+void SpanTracker::onSlaSelect(const std::vector<int>& selected,
+                              const std::vector<int>& chosen,
+                              int64_t termsEvaluated, int64_t time) {
+  (void)selected;
+  (void)termsEvaluated;
+  if (!inDrainCycle_) return;
+  for (Span& s : active_) {
+    s.selectTime = time;
+    s.chosenTransitions = chosen;
+  }
+}
+
+void SpanTracker::onDispatch(int tep, int transition, int tatDepth, int64_t time) {
+  (void)tatDepth;
+  if (!inDrainCycle_) return;
+  for (Span& s : active_)
+    s.dispatches.push_back({tep, transition, time, -1});
+}
+
+void SpanTracker::onRetire(int tep, int transition, const RoutineStats& stats,
+                           int64_t time) {
+  (void)stats;
+  if (!inDrainCycle_) return;
+  for (Span& s : active_)
+    for (Dispatch& d : s.dispatches)
+      if (d.tep == tep && d.transition == transition && d.retireTime < 0)
+        d.retireTime = time;
+}
+
+void SpanTracker::onPortWrite(int port, uint32_t value, int64_t configCycle,
+                              int64_t time) {
+  (void)configCycle;
+  if (!inDrainCycle_) return;
+  for (Span& s : active_) s.ports.push_back({port, value, time});
+}
+
+void SpanTracker::onCycleEnd(int64_t configCycle, int64_t cycles,
+                             int64_t busStalls, int firedCount, bool quiescent,
+                             int64_t time) {
+  (void)configCycle;
+  (void)cycles;
+  (void)busStalls;
+  (void)firedCount;
+  (void)quiescent;
+  (void)time;
+  if (!inDrainCycle_) return;
+  inDrainCycle_ = false;
+  for (Span& s : active_) spans_.push_back(std::move(s));
+  active_.clear();
+}
+
+std::string chromeTraceJsonWithSpans(const TraceRecorder& recorder,
+                                     const SpanTracker& tracker) {
+  std::vector<std::string> extra;
+  for (const SpanTracker::Span& span : tracker.spans()) {
+    if (span.drainTime < 0 || span.dispatches.empty()) continue;
+    std::string name = strfmt("span %llu", static_cast<unsigned long long>(span.id));
+    if (span.eventBit >= 0 &&
+        static_cast<size_t>(span.eventBit) < tracker.meta().eventNames.size())
+      name += " " + tracker.meta().eventNames[static_cast<size_t>(span.eventBit)];
+    name = jsonEscape(name);
+    // One flow per span: start at the drain sample on the scheduler lane,
+    // step/finish at each linked dispatch on its TEP lane.
+    extra.push_back(strfmt(
+        "{\"ph\":\"s\",\"cat\":\"span\",\"id\":%llu,\"pid\":%d,\"tid\":%d,"
+        "\"ts\":%lld,\"name\":\"%s\",\"args\":{\"epoch\":%lld}}",
+        static_cast<unsigned long long>(span.id), kChromeTracePid,
+        kChromeTraceSchedulerTid, static_cast<long long>(span.drainTime),
+        name.c_str(), static_cast<long long>(span.epoch)));
+    for (size_t i = 0; i < span.dispatches.size(); ++i) {
+      const SpanTracker::Dispatch& d = span.dispatches[i];
+      const bool last = i + 1 == span.dispatches.size();
+      extra.push_back(strfmt(
+          "{\"ph\":\"%s\",%s\"cat\":\"span\",\"id\":%llu,\"pid\":%d,\"tid\":%d,"
+          "\"ts\":%lld,\"name\":\"%s\"}",
+          last ? "f" : "t", last ? "\"bp\":\"e\"," : "",
+          static_cast<unsigned long long>(span.id), kChromeTracePid,
+          chromeTraceTepTid(d.tep), static_cast<long long>(d.dispatchTime),
+          name.c_str()));
+    }
+  }
+  return chromeTraceJson(recorder, extra);
+}
+
+}  // namespace pscp::obs::journal

@@ -1,0 +1,102 @@
+// Causal spans: journal span ids threaded through a machine's ObsSink
+// callbacks down to Chrome-trace flow arrows.
+//
+// Every event a journal records gets a stable span id at delivery (see
+// journal.hpp). During a replay the Replayer primes a SpanTracker with the
+// spans about to be delivered to the traced instance, then steps the
+// epoch; the tracker — attached to that instance's machine as an ObsSink
+// — watches the delivery cycle unfold and links the chain
+//
+//   enqueue (span id) -> queue drain (the CR sample that carried the
+//   event bit) -> SLA selection -> TEP transition dispatch/retire ->
+//   port writes
+//
+// Attribution is cycle-scoped: everything the delivery cycle selects,
+// dispatches and writes is attributed to each event span delivered that
+// cycle (the hardware decodes the whole CR at once — finer attribution
+// would be guessing). Follow-on internal-event cycles are not chained.
+//
+// chromeTraceJsonWithSpans() lowers completed spans onto a TraceRecorder's
+// Chrome trace as flow events ("s" at the drain sample on the scheduler
+// lane, "t"/"f" at each linked dispatch on its TEP lane, category "span"),
+// so chrome://tracing draws one arrow per recorded event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
+
+namespace pscp::obs::journal {
+
+/// One event about to be delivered to the traced instance this epoch.
+struct DeliveredSpan {
+  uint64_t spanId = 0;
+  int eventBit = 0;
+  int64_t epoch = 0;
+};
+
+class SpanTracker : public ObsSink {
+ public:
+  struct Dispatch {
+    int tep = 0;
+    int transition = 0;
+    int64_t dispatchTime = 0;
+    int64_t retireTime = -1;
+  };
+  struct PortEffect {
+    int port = 0;
+    uint32_t value = 0;
+    int64_t time = 0;
+  };
+  struct Span {
+    uint64_t id = 0;
+    int eventBit = 0;
+    int64_t epoch = 0;
+    int64_t drainTime = -1;   ///< CR-sample machine time; -1 = never sampled
+    int64_t selectTime = -1;  ///< SLA selection instant of the drain cycle
+    std::vector<int> chosenTransitions;
+    std::vector<Dispatch> dispatches;
+    std::vector<PortEffect> ports;
+  };
+
+  /// Arm the tracker for the next configuration cycle: `delivered` are the
+  /// spans whose events that cycle will drain. Called by the Replayer
+  /// before each step of the traced instance's fleet.
+  void beginEpoch(int64_t epoch, const std::vector<DeliveredSpan>& delivered);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+
+  // ---------------------------------------------------- ObsSink overrides
+  void onAttach(const TraceMeta& meta) override { meta_ = meta; }
+  void onCycleBegin(int64_t configCycle, int64_t time) override;
+  void onCrSampled(const BitVec& crBits, int64_t time) override;
+  void onSlaSelect(const std::vector<int>& selected, const std::vector<int>& chosen,
+                   int64_t termsEvaluated, int64_t time) override;
+  void onDispatch(int tep, int transition, int tatDepth, int64_t time) override;
+  void onRetire(int tep, int transition, const RoutineStats& stats,
+                int64_t time) override;
+  void onPortWrite(int port, uint32_t value, int64_t configCycle,
+                   int64_t time) override;
+  void onCycleEnd(int64_t configCycle, int64_t cycles, int64_t busStalls,
+                  int firedCount, bool quiescent, int64_t time) override;
+
+ private:
+  TraceMeta meta_;
+  std::vector<Span> spans_;      ///< completed
+  std::vector<Span> active_;     ///< delivered this drain cycle, still open
+  std::vector<DeliveredSpan> pending_;  ///< primed, waiting for the drain cycle
+  bool armed_ = false;           ///< beginEpoch called, drain cycle not begun
+  bool inDrainCycle_ = false;
+};
+
+/// Render `recorder`'s Chrome trace with one flow arrow per completed span
+/// (category "span"). The recorder and tracker must have observed the same
+/// machine (tee them; see obs/tee.hpp).
+[[nodiscard]] std::string chromeTraceJsonWithSpans(const TraceRecorder& recorder,
+                                                   const SpanTracker& tracker);
+
+}  // namespace pscp::obs::journal

@@ -21,10 +21,20 @@ std::string idCode(int index) {
   return code;
 }
 
+// VCD identifiers must be space-free printable tokens; readers commonly
+// require [A-Za-z_][A-Za-z0-9_]*. Map everything else to '_' and prefix
+// names that are empty or start with a digit — chart authors use event
+// names like "DATA VALID:1" or "42up" freely.
 std::string sanitize(const std::string& name) {
-  std::string out = name;
-  for (char& c : out)
-    if (c == ' ' || c == '$' || c == ':') c = '_';
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+    out.insert(out.begin(), '_');
   return out;
 }
 
@@ -43,8 +53,12 @@ std::string vcdDump(const TraceRecorder& recorder) {
 
   // --------------------------------------------------- signal declaration
   int nextId = 0;
+  std::map<std::string, int> taken;  // distinct names may sanitize alike
   auto makeSignal = [&](const std::string& name, int width) {
-    return Signal{sanitize(name), idCode(nextId++), width};
+    std::string clean = sanitize(name);
+    const int seen = ++taken[clean];
+    if (seen > 1) clean += strfmt("_%d", seen);
+    return Signal{std::move(clean), idCode(nextId++), width};
   };
   std::vector<Signal> eventSig, condSig, stateSig, tepSig, portSig;
   for (const std::string& n : meta.eventNames) eventSig.push_back(makeSignal("ev_" + n, 1));
@@ -63,7 +77,7 @@ std::string vcdDump(const TraceRecorder& recorder) {
   std::string out;
   out += "$date\n  (machine run)\n$end\n";
   out += strfmt("$version\n  PSCP observability exporter (chart %s)\n$end\n",
-                meta.chartName.c_str());
+                sanitize(meta.chartName).c_str());
   out += "$timescale 1 ns $end\n";
   out += "$scope module pscp $end\n";
   auto declare = [&](const char* module, const std::vector<Signal>& sigs) {

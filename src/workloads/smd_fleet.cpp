@@ -56,9 +56,22 @@ SmdPulseIds resolveSmdPulseIds(const fleet::Fleet& fleet) {
 
 bool warmUpSmdFleet(fleet::Fleet& fleet, size_t instances,
                     const SmdPulseIds& ids) {
+  // Same recipe as warmUpSmdInstance, but routed through the fleet's
+  // journaled control surface so a journal-armed fleet records its own
+  // warm-up and a replay reproduces it (direct machine() writes would be
+  // invisible to the journal).
   bool ok = true;
-  for (fleet::InstanceId id : fleet.spawnMany(instances))
-    ok = warmUpSmdInstance(fleet.machine(id), ids.dataValid) && ok;
+  const std::vector<int> power{fleet.eventId("POWER")};
+  const std::vector<int> data{ids.dataValid};
+  const std::vector<int> none;
+  for (fleet::InstanceId id : fleet.spawnMany(instances)) {
+    fleet.setInputPort(id, "Buffer", 255);
+    fleet.warmCycle(id, power);                          // Off -> Idle1
+    for (int i = 0; i < 4; ++i) fleet.warmCycle(id, data);  // ... -> NoData
+    for (int i = 0; i < 4; ++i) fleet.warmCycle(id, none);  // ... -> Start*
+    const machine::PscpMachine& m = fleet.machine(id);
+    ok = m.isActive("RunX") && m.isActive("RunY") && m.isActive("RunPhi") && ok;
+  }
   injectSmdPulses(fleet, ids);
   return ok;
 }

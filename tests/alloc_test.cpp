@@ -221,5 +221,55 @@ TEST(SteadyStateAllocations, FleetEpochLoopIsAllocationFreeWhenArmed) {
   EXPECT_GT(f.flightRecorder()->ring(0).pushed(), 200u);
 }
 
+// The record/replay journal holds the bar too: armed appends are plain
+// pushes into vectors reserved at construction (JournalConfig::reserve*),
+// checkpoints write into the flat CR-word arena, and all of it happens on
+// the control thread after the epoch barrier — zero allocations across
+// the measured loop, checkpoints included.
+TEST(SteadyStateAllocations, FleetEpochLoopIsAllocationFreeWithJournalArmed) {
+  const statechart::Chart chart = statechart::parseChart(kChart);
+  const actionlang::Program actions = actionlang::parseActionSource(kActions);
+  hwlib::ArchConfig arch;
+  arch.numTeps = 2;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.hasComparator = true;
+  arch.registerFileSize = 12;
+  const auto image = std::make_shared<const ChartImage>(chart, actions, arch);
+
+  fleet::FleetConfig config;
+  config.workerThreads = 1;
+  config.journal = true;
+  config.journalConfig.checkpointInterval = 4;  // checkpoints inside the loop
+  fleet::Fleet f(image, config);
+  const std::vector<fleet::InstanceId> ids = f.spawnMany(16);
+  const int go = f.eventId("GO");
+  const int tick = f.eventId("TICK");
+  for (fleet::InstanceId id : ids) {
+    f.setCondition(id, "ARMED", true);
+    f.setInputPort(id, "Sense", 0u);
+    f.inject(id, go);
+  }
+  f.step(1);
+  for (int e = 0; e < 32; ++e) {
+    for (fleet::InstanceId id : ids) f.inject(id, tick);
+    f.step(2);
+  }
+
+  const uint64_t before = gAllocations.load(std::memory_order_relaxed);
+  for (int e = 0; e < 200; ++e) {
+    for (fleet::InstanceId id : ids) f.inject(id, tick);
+    f.step(2);
+  }
+  const uint64_t after = gAllocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "journal-armed fleet epochs must not allocate in steady state";
+  // The loop actually recorded: injects, steps, and periodic checkpoints.
+  ASSERT_NE(f.journal(), nullptr);
+  EXPECT_GT(f.journal()->ops().size(), 200u * 17u);
+  EXPECT_GE(f.journal()->checkpointCount(), 50u);
+}
+
 }  // namespace
 }  // namespace pscp::machine

@@ -1,0 +1,217 @@
+// Exporter hardening tests: the VCD and Chrome-trace exporters must emit
+// structurally valid output for hostile chart metadata — identifiers with
+// spaces/punctuation/leading digits, duplicate names after sanitizing,
+// more than 64 ports (two-character VCD id codes), zero-cycle runs — and
+// the Chrome JSON must round-trip through support/json's strict parser.
+// The recorder is driven directly through its ObsSink interface so the
+// edge shapes don't need a compilable hostile chart.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "support/diag.hpp"
+#include "obs/recorder.hpp"
+#include "obs/vcd.hpp"
+#include "support/bits.hpp"
+#include "support/json.hpp"
+
+namespace pscp::obs {
+namespace {
+
+TraceMeta hostileMeta(int portCount) {
+  TraceMeta meta;
+  meta.chartName = "Nasty \"Chart\"\n$end  42";
+  meta.tepCount = 2;
+  meta.eventNames = {"DATA VALID:1", "42up", "DATA VALID.1", "", "ok_name"};
+  meta.conditionNames = {"HAVE DATA", "HAVE,DATA"};
+  meta.stateNames = {"Top", "A$B", "A$B"};  // identical after sanitizing too
+  meta.transitionNames = {"t \"quoted\"", "t\\back"};
+  for (int p = 0; p < portCount; ++p)
+    meta.portNames.emplace_back(0x1C0 + p, strfmt("port %d!", p));
+  return meta;
+}
+
+// Drive one complete configuration cycle with an external event, a
+// dispatch/retire pair and a port write through the sink interface.
+void driveOneCycle(TraceRecorder* recorder, const TraceMeta& meta) {
+  recorder->onCycleBegin(0, 100);
+  BitVec cr(64);
+  cr.set(0);  // external event bit 0 is set in the sampled CR
+  recorder->onCrSampled(cr, 100);
+  recorder->onSlaSelect({0}, {0}, 7, 101);
+  recorder->onDispatch(/*tep=*/0, /*transition=*/0, /*tatDepth=*/0, 102);
+  RoutineStats stats;
+  stats.cycles = 8;
+  stats.instructions = 5;
+  recorder->onRetire(0, 0, stats, 110);
+  recorder->onPortWrite(meta.portNames.empty() ? 0x1C0 : meta.portNames[0].first,
+                        0xABCD, 0, 111);
+  recorder->onCycleEnd(0, 12, 0, 1, false, 112);
+}
+
+// ------------------------------------------------------------------- VCD
+
+// Collect the identifier codes and signal names of every $var line.
+void parseVarLines(const std::string& vcd, std::vector<std::string>* ids,
+                   std::vector<std::string>* names) {
+  std::istringstream in(vcd);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tok, type, width, id, name, end;
+    if (!(ls >> tok) || tok != "$var") continue;
+    ls >> type >> width >> id >> name >> end;
+    EXPECT_EQ(end, "$end") << "malformed $var line: " << line;
+    ids->push_back(id);
+    names->push_back(name);
+  }
+}
+
+bool validVcdName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_'))
+    return false;
+  for (const char c : name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  return true;
+}
+
+TEST(ExporterEdge, VcdSanitizesHostileIdentifiersAndDedupes) {
+  TraceRecorder recorder;
+  const TraceMeta meta = hostileMeta(/*portCount=*/2);
+  recorder.onAttach(meta);
+  driveOneCycle(&recorder, meta);
+
+  const std::string vcd = vcdDump(recorder);
+  std::vector<std::string> ids, names;
+  parseVarLines(vcd, &ids, &names);
+  const size_t expected = meta.eventNames.size() + meta.conditionNames.size() +
+                          meta.stateNames.size() +
+                          static_cast<size_t>(meta.tepCount) +
+                          meta.portNames.size();
+  ASSERT_EQ(names.size(), expected);
+  std::set<std::string> uniqueNames(names.begin(), names.end());
+  EXPECT_EQ(uniqueNames.size(), names.size())
+      << "sanitized signal names must stay distinct";
+  for (const std::string& n : names)
+    EXPECT_TRUE(validVcdName(n)) << "invalid VCD identifier: '" << n << "'";
+
+  // The chart name lands in $version sanitized: no quote, newline or '$'
+  // survives to corrupt the header block.
+  const size_t ver = vcd.find("$version");
+  const size_t verEnd = vcd.find("$end", ver);
+  ASSERT_NE(ver, std::string::npos);
+  const std::string version = vcd.substr(ver, verEnd - ver);
+  EXPECT_EQ(version.find('"'), std::string::npos);
+  EXPECT_EQ(version.find("Nasty \""), std::string::npos);
+}
+
+TEST(ExporterEdge, VcdHandlesMoreThan64PortsWithUniqueIdCodes) {
+  TraceRecorder recorder;
+  const TraceMeta meta = hostileMeta(/*portCount=*/100);  // crosses base 94
+  recorder.onAttach(meta);
+  driveOneCycle(&recorder, meta);
+
+  const std::string vcd = vcdDump(recorder);
+  std::vector<std::string> ids, names;
+  parseVarLines(vcd, &ids, &names);
+  ASSERT_GT(ids.size(), 100u);
+  std::set<std::string> uniqueIds(ids.begin(), ids.end());
+  EXPECT_EQ(uniqueIds.size(), ids.size())
+      << "VCD id codes must stay unique past the single-character range";
+  bool sawTwoChar = false;
+  for (const std::string& id : ids) sawTwoChar = sawTwoChar || id.size() > 1;
+  EXPECT_TRUE(sawTwoChar);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(ExporterEdge, VcdZeroCycleRunIsStillWellFormed) {
+  TraceRecorder recorder;
+  recorder.onAttach(hostileMeta(/*portCount=*/1));
+  const std::string vcd = vcdDump(recorder);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  // No value changes: no timestamp lines after the initial snapshot
+  // (identifier codes may legitimately contain '#', so match line starts).
+  EXPECT_EQ(vcd.find("\n#"), std::string::npos);
+}
+
+// ---------------------------------------------------------- Chrome trace
+
+TEST(ExporterEdge, ChromeTraceWithHostileNamesRoundTripsThroughJson) {
+  TraceRecorder recorder;
+  const TraceMeta meta = hostileMeta(/*portCount=*/3);
+  recorder.onAttach(meta);
+  driveOneCycle(&recorder, meta);
+  recorder.onTimerFire(/*eventBit=*/1, 115);
+
+  const std::string json = chromeTraceJson(recorder);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parseJson(json, &doc, &error)) << error << "\n" << json;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 4u);
+}
+
+TEST(ExporterEdge, ChromeTraceZeroCycleRunRoundTripsThroughJson) {
+  TraceRecorder recorder;
+  recorder.onAttach(hostileMeta(/*portCount=*/1));
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parseJson(chromeTraceJson(recorder), &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata records (process/thread names) are still emitted.
+  EXPECT_GE(events->array.size(), 2u);
+}
+
+TEST(ExporterEdge, ChromeTraceEmitsCausalFlowArrowsForEventCycles) {
+  TraceRecorder recorder;
+  const TraceMeta meta = hostileMeta(/*portCount=*/1);
+  recorder.onAttach(meta);
+  driveOneCycle(&recorder, meta);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parseJson(chromeTraceJson(recorder), &doc, &error)) << error;
+  int starts = 0, finishes = 0;
+  for (const JsonValue& event : doc.find("traceEvents")->array) {
+    const JsonValue* cat = event.find("cat");
+    if (cat == nullptr || cat->string != "causal") continue;
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "s") ++starts;
+    if (ph->string == "f") {
+      ++finishes;
+      const JsonValue* bp = event.find("bp");
+      ASSERT_NE(bp, nullptr);
+      EXPECT_EQ(bp->string, "e");
+    }
+  }
+  EXPECT_EQ(starts, 1) << "one event bit, one dispatching cycle";
+  EXPECT_EQ(finishes, 1);
+}
+
+TEST(ExporterEdge, ChromeTraceNegativeTransitionIndexDoesNotCrash) {
+  TraceRecorder recorder;
+  const TraceMeta meta = hostileMeta(/*portCount=*/1);
+  recorder.onAttach(meta);
+  recorder.onCycleBegin(0, 10);
+  recorder.onDispatch(/*tep=*/0, /*transition=*/-3, 0, 11);
+  RoutineStats stats;
+  recorder.onRetire(0, -3, stats, 15);
+  recorder.onCycleEnd(0, 6, 0, 1, false, 16);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parseJson(chromeTraceJson(recorder), &doc, &error)) << error;
+}
+
+}  // namespace
+}  // namespace pscp::obs

@@ -1,0 +1,260 @@
+// Replay engine tests (src/obs/journal/replay): the acceptance matrix —
+// bit-identical replay of a recorded SMD fleet across worker counts and
+// stepping modes — plus retire-mid-interval, empty journals, wrong-image
+// refusal, exact-epoch bisection of a corrupted journal, and the causal
+// span tracker's Chrome-trace lowering.
+//
+// On unexpected divergence the failing journal is written to
+// JOURNAL_repro_*.json next to the test binary so CI can upload it as an
+// artifact for offline bisection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "obs/journal/journal.hpp"
+#include "obs/journal/replay.hpp"
+#include "obs/journal/spans.hpp"
+#include "obs/recorder.hpp"
+#include "obs/tee.hpp"
+#include "support/json.hpp"
+#include "workloads/smd_fleet.hpp"
+
+namespace pscp::obs::journal {
+namespace {
+
+struct Recording {
+  std::shared_ptr<const machine::ChartImage> image;
+  std::unique_ptr<Journal> journal;
+};
+
+// Record the steady-state SMD duty cycle with the journal armed.
+Recording recordSmdRun(size_t instances, int epochs, int64_t checkpointInterval,
+                       int64_t retireAtEpoch = -1) {
+  Recording rec;
+  rec.image = workloads::makeSmdFleetImage();
+  fleet::FleetConfig config;
+  config.journal = true;
+  config.journalConfig.checkpointInterval = checkpointInterval;
+  fleet::Fleet fleet(rec.image, config);
+
+  const workloads::SmdPulseIds ids = workloads::resolveSmdPulseIds(fleet);
+  EXPECT_TRUE(workloads::warmUpSmdFleet(fleet, instances, ids));
+  for (int e = 0; e < epochs; ++e) {
+    fleet.step(2);
+    if (fleet.epochs() == retireAtEpoch) fleet.retire(instances / 2);
+    workloads::injectSmdPulses(fleet, ids);
+  }
+  fleet.step(2);
+
+  // Round-trip through the wire format so every replay test also covers
+  // serialization of a real fleet journal.
+  rec.journal = std::make_unique<Journal>();
+  std::string error;
+  EXPECT_TRUE(Journal::parse(fleet.journal()->dumpJson(), rec.journal.get(),
+                             &error))
+      << error;
+  return rec;
+}
+
+void saveRepro(const Journal& journal, const std::string& name) {
+  std::string error;
+  if (!journal.writeFile(name, /*binary=*/false, &error))
+    ADD_FAILURE() << "could not write repro journal " << name << ": " << error;
+}
+
+TEST(Replay, BitIdenticalAcrossWorkersAndSteppingModes) {
+  const Recording rec = recordSmdRun(64, 12, 4);
+  const Replayer replayer(rec.journal.get(), rec.image);
+  for (const int workers : {1, 2, 8}) {
+    for (const bool soa : {true, false}) {
+      ReplayOptions options;
+      options.workerThreads = workers;
+      options.soaBatching = soa;
+      const ReplayResult result = replayer.run(options);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_GT(result.checkpointsChecked, 0);
+      if (!result.verified) {
+        saveRepro(*rec.journal, "JOURNAL_repro_bitident.json");
+        FAIL() << "replay diverged at workers=" << workers << " soa=" << soa
+               << " checkpoint epoch " << result.firstMismatch.epoch;
+      }
+    }
+  }
+}
+
+TEST(Replay, AllConfigurationsAgreeOnTheFinalDigest) {
+  const Recording rec = recordSmdRun(16, 8, 100);  // no mid-run checkpoints
+  const Replayer replayer(rec.journal.get(), rec.image);
+  uint64_t expected = 0;
+  bool first = true;
+  for (const int workers : {1, 3, 8}) {
+    for (const bool soa : {true, false}) {
+      ReplayOptions options;
+      options.workerThreads = workers;
+      options.soaBatching = soa;
+      const ReplayResult result = replayer.run(options);
+      ASSERT_TRUE(result.ok) << result.error;
+      if (first) expected = result.finalDigest;
+      first = false;
+      EXPECT_EQ(result.finalDigest, expected)
+          << "workers=" << workers << " soa=" << soa;
+    }
+  }
+  EXPECT_NE(expected, kFleetDigestSeed) << "16 live instances must fold in";
+}
+
+TEST(Replay, RetireMidCheckpointIntervalReplaysCleanly) {
+  const Recording rec = recordSmdRun(8, 10, 4, /*retireAtEpoch=*/6);
+  const Replayer replayer(rec.journal.get(), rec.image);
+  ReplayOptions options;
+  options.workerThreads = 2;
+  const ReplayResult result = replayer.run(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  if (!result.verified) {
+    saveRepro(*rec.journal, "JOURNAL_repro_retire.json");
+    FAIL() << "retire-mid-interval replay diverged at epoch "
+           << result.firstMismatch.epoch;
+  }
+  // The checkpoint after the retire must cover one instance fewer.
+  bool sawShrunk = false;
+  for (size_t c = 0; c < rec.journal->checkpointCount(); ++c) {
+    const Journal::CheckpointView view = rec.journal->checkpoint(c);
+    if (view.epoch > 6) {
+      EXPECT_EQ(view.instanceCount, 7u);
+      sawShrunk = true;
+    }
+  }
+  EXPECT_TRUE(sawShrunk);
+}
+
+TEST(Replay, EmptyJournalReplaysToAnEmptyFleet) {
+  const auto image = workloads::makeSmdFleetImage();
+  Journal journal;
+  journal.setImageHash(imageContentHash(*image));
+  journal.setEventQueueCapacity(256);
+  const Replayer replayer(&journal, image);
+  const ReplayResult result = replayer.run({});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.epochsReplayed, 0);
+  EXPECT_EQ(result.checkpointsChecked, 0);
+  EXPECT_EQ(result.finalDigest, kFleetDigestSeed);
+}
+
+TEST(Replay, MismatchedImageHashIsRefused) {
+  const auto image = workloads::makeSmdFleetImage();
+  Journal journal;
+  journal.setImageHash(0xdeadbeefu);
+  journal.setChartName("SomethingElse");
+  const Replayer replayer(&journal, image);
+  const ReplayResult result = replayer.run({});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("image content hash mismatch"), std::string::npos)
+      << result.error;
+}
+
+TEST(Replay, BisectPinpointsTheExactCorruptedEpoch) {
+  Recording rec = recordSmdRun(8, 20, 1);
+  // Damage the journal: rewrite the first inject delivered at epoch 13
+  // into X_STEPS, a CR-visible fault (RunX -> XEnd2 + XFINISH set).
+  const int xSteps = rec.image->layout().eventBit("X_STEPS");
+  bool corrupted = false;
+  for (Op& op : rec.journal->mutableOps()) {
+    if (op.kind != OpKind::kInject || op.b != 13) continue;
+    op.a = xSteps;
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted) << "the recording must deliver events at epoch 13";
+
+  ReplayOptions target;
+  target.workerThreads = 2;
+  const BisectResult result =
+      bisectDivergence(*rec.journal, rec.image, target);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.diverged);
+  EXPECT_EQ(result.kind, "recorded-vs-replay");
+  EXPECT_EQ(result.epoch, 13);
+  EXPECT_TRUE(result.epochExact);
+  EXPECT_EQ(result.windowLo, 12);
+  ASSERT_FALSE(result.divergingInstances.empty());
+  ASSERT_FALSE(result.actual.empty());
+  // The corrupted inject itself must be among the causal spans.
+  bool causal = false;
+  for (const Op& op : result.causalInjects)
+    if (op.b == 13 && op.a == xSteps) causal = true;
+  EXPECT_TRUE(causal);
+  // The report decodes both CR states.
+  const std::string report = formatBisectReport(result, *rec.image);
+  EXPECT_NE(report.find("first divergent epoch: 13"), std::string::npos);
+  EXPECT_NE(report.find("XEnd2"), std::string::npos) << report;
+  EXPECT_NE(report.find("RunX"), std::string::npos) << report;
+  EXPECT_NE(report.find("X_STEPS"), std::string::npos) << report;
+}
+
+TEST(Replay, BisectReportsCleanJournalsAsClean) {
+  const Recording rec = recordSmdRun(4, 6, 2);
+  const BisectResult result = bisectDivergence(*rec.journal, rec.image, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.diverged);
+}
+
+TEST(Replay, SpanTrackerLinksDeliveryToDispatches) {
+  const Recording rec = recordSmdRun(4, 6, 4);
+  const Replayer replayer(rec.journal.get(), rec.image);
+
+  TraceRecorder recorder;
+  SpanTracker tracker;
+  TeeSink tee{&recorder, &tracker};
+  ReplayOptions options;
+  options.traceSink = &tee;
+  options.spanTracker = &tracker;
+  options.traceInstance = 0;
+  const ReplayResult result = replayer.run(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.verified);
+
+  ASSERT_FALSE(tracker.spans().empty());
+  size_t linked = 0;
+  uint64_t lastSpan = 0;
+  for (const SpanTracker::Span& span : tracker.spans()) {
+    EXPECT_GT(span.id, lastSpan) << "span ids stay monotonic in replay order";
+    lastSpan = span.id;
+    if (span.drainTime < 0) continue;
+    ++linked;
+    EXPECT_GE(span.selectTime, span.drainTime);
+    for (const SpanTracker::Dispatch& d : span.dispatches) {
+      EXPECT_GE(d.dispatchTime, span.drainTime);
+      EXPECT_GE(d.retireTime, d.dispatchTime);
+    }
+  }
+  EXPECT_GT(linked, 0u) << "the SMD pulses must drain into visible spans";
+
+  // The Chrome lowering is well-formed JSON with flow arrows of both
+  // categories: per-span ("span") and the journal-free causal sweep.
+  const std::string json = chromeTraceJsonWithSpans(recorder, tracker);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parseJson(json, &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int spanStarts = 0, spanFinishes = 0, causalFlows = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* catValue = event.find("cat");
+    const JsonValue* phValue = event.find("ph");
+    const std::string cat = catValue != nullptr ? catValue->string : "";
+    const std::string ph = phValue != nullptr ? phValue->string : "";
+    if (cat == "span" && ph == "s") ++spanStarts;
+    if (cat == "span" && ph == "f") ++spanFinishes;
+    if (cat == "causal") ++causalFlows;
+  }
+  EXPECT_GT(spanStarts, 0);
+  EXPECT_EQ(spanStarts, spanFinishes) << "every span flow must terminate";
+  EXPECT_GT(causalFlows, 0);
+}
+
+}  // namespace
+}  // namespace pscp::obs::journal

@@ -1,0 +1,329 @@
+// pscp_replay: record, replay, verify and bisect pscp-journal-v1 logs.
+//
+//   pscp_replay record --out J.json [--instances N] [--threads N]
+//                      [--epochs N] [--cycles N] [--checkpoint-interval N]
+//                      [--no-soa] [--binary] [--faulty-epoch E]
+//       Run the SMD pickup-head fleet workload with the journal armed and
+//       write the log. --faulty-epoch deliberately corrupts the journal's
+//       inject record for that epoch before writing (bisect demo fodder).
+//
+//   pscp_replay replay J [--threads N] [--no-soa] [--batch-width N]
+//       Re-execute the journal at the given configuration and print the
+//       final fleet digest. Checkpoints are verified along the way.
+//
+//   pscp_replay verify J [--threads N] [--no-soa] [--batch-width N]
+//       Like replay, but the exit status is the verdict: 0 iff every
+//       recorded checkpoint matched bit-for-bit.
+//
+//   pscp_replay bisect J [--threads N] [--no-soa] [--batch-width N]
+//       Locate the first divergent epoch of the given configuration
+//       against the journal, print both CR states decoded and the causal
+//       event spans in the divergence window.
+//
+//   pscp_replay trace J --instance ID --out T.json
+//       Replay with a trace recorder + span tracker attached to one
+//       instance and write a Chrome trace whose flow arrows follow each
+//       recorded event's span (enqueue -> drain -> dispatch).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/journal/journal.hpp"
+#include "obs/journal/replay.hpp"
+#include "obs/journal/spans.hpp"
+#include "obs/recorder.hpp"
+#include "obs/tee.hpp"
+#include "support/diag.hpp"
+#include "support/simd.hpp"
+#include "workloads/smd_fleet.hpp"
+
+using namespace pscp;
+using namespace pscp::obs::journal;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string journalPath;
+  std::string outPath;
+  size_t instances = 64;
+  int threads = 1;
+  int epochs = 64;
+  int cycles = 4;
+  int64_t checkpointInterval = 16;
+  bool soa = true;
+  int batchWidth = 0;
+  bool binary = false;
+  int64_t traceInstance = -1;
+  int64_t faultyEpoch = -1;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s record --out PATH [--instances N] [--threads N] [--epochs N]\n"
+      "          [--cycles N] [--checkpoint-interval N] [--no-soa] [--binary]\n"
+      "          [--faulty-epoch E]\n"
+      "       %s replay JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "       %s verify JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "       %s bisect JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "       %s trace JOURNAL --instance ID --out PATH\n",
+      argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+bool parseOptions(int argc, char** argv, Options* opt) {
+  if (argc < 2) return false;
+  opt->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--no-soa") {
+      opt->soa = false;
+    } else if (arg == "--binary") {
+      opt->binary = true;
+    } else if (arg == "--out" && (v = next())) {
+      opt->outPath = v;
+    } else if (arg == "--instances" && (v = next())) {
+      opt->instances = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--threads" && (v = next())) {
+      opt->threads = std::atoi(v);
+    } else if (arg == "--epochs" && (v = next())) {
+      opt->epochs = std::atoi(v);
+    } else if (arg == "--cycles" && (v = next())) {
+      opt->cycles = std::atoi(v);
+    } else if (arg == "--checkpoint-interval" && (v = next())) {
+      opt->checkpointInterval = std::atoll(v);
+    } else if (arg == "--batch-width" && (v = next())) {
+      opt->batchWidth = std::atoi(v);
+    } else if (arg == "--instance" && (v = next())) {
+      opt->traceInstance = std::atoll(v);
+    } else if (arg == "--faulty-epoch" && (v = next())) {
+      opt->faultyEpoch = std::atoll(v);
+    } else if (!arg.empty() && arg[0] != '-' && opt->journalPath.empty()) {
+      opt->journalPath = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int runRecord(const Options& opt) {
+  if (opt.outPath.empty()) {
+    std::fprintf(stderr, "record: --out PATH is required\n");
+    return 2;
+  }
+  auto image = workloads::makeSmdFleetImage();
+  fleet::FleetConfig config;
+  config.workerThreads = opt.threads;
+  config.soaBatching = opt.soa;
+  config.journal = true;
+  config.journalConfig.checkpointInterval = opt.checkpointInterval;
+  fleet::Fleet fleet(image, config);
+
+  const workloads::SmdPulseIds ids = workloads::resolveSmdPulseIds(fleet);
+  if (!workloads::warmUpSmdFleet(fleet, opt.instances, ids)) {
+    std::fprintf(stderr, "record: SMD warm-up failed\n");
+    return 1;
+  }
+  for (int e = 0; e < opt.epochs; ++e) {
+    fleet.step(opt.cycles);
+    workloads::injectSmdPulses(fleet, ids);
+  }
+  fleet.step(opt.cycles);  // drain the last pulse pair
+
+  if (opt.faultyEpoch >= 0) {
+    // Deliberate damage for the bisect walkthrough: rewrite the first
+    // inject delivered at the given epoch into an X_STEPS event — a
+    // CR-visible fault (state moves to XEnd2, XFINISH set), so every
+    // checkpoint recorded from that epoch on disagrees with any faithful
+    // replay of the damaged log.
+    Journal damaged(fleet.journal()->config());
+    std::string err;
+    if (!Journal::parse(fleet.journal()->dumpJson(), &damaged, &err)) {
+      std::fprintf(stderr, "record: internal round-trip failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    const int xSteps = fleet.eventId("X_STEPS");
+    bool flipped = false;
+    for (Op& op : damaged.mutableOps()) {
+      if (op.kind != OpKind::kInject || op.b != opt.faultyEpoch) continue;
+      op.a = xSteps;
+      flipped = true;
+      break;
+    }
+    if (!flipped) {
+      std::fprintf(stderr, "record: no inject at epoch %lld to corrupt\n",
+                   static_cast<long long>(opt.faultyEpoch));
+      return 1;
+    }
+    if (!damaged.writeFile(opt.outPath, opt.binary, &err)) {
+      std::fprintf(stderr, "record: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("recorded %zu instances x %d epochs to %s "
+                "(CORRUPTED at epoch %lld)\n",
+                opt.instances, opt.epochs, opt.outPath.c_str(),
+                static_cast<long long>(opt.faultyEpoch));
+    return 0;
+  }
+
+  std::string err;
+  if (!fleet.writeJournal(opt.outPath, opt.binary, &err)) {
+    std::fprintf(stderr, "record: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf(
+      "recorded %zu instances x %d epochs (%d cycles each) to %s\n"
+      "  ops %zu, spans %llu, checkpoints %zu, simd %s, workers %d, soa %s\n",
+      opt.instances, opt.epochs, opt.cycles, opt.outPath.c_str(),
+      fleet.journal()->ops().size(),
+      static_cast<unsigned long long>(fleet.journal()->spanCount()),
+      fleet.journal()->checkpointCount(), fleet.journal()->simdLevel().c_str(),
+      fleet.journal()->recordedWorkers(),
+      fleet.journal()->recordedSoa() ? "on" : "off");
+  return 0;
+}
+
+bool loadJournal(const Options& opt, Journal* journal) {
+  if (opt.journalPath.empty()) {
+    std::fprintf(stderr, "%s: a JOURNAL path is required\n",
+                 opt.command.c_str());
+    return false;
+  }
+  std::string err;
+  if (!Journal::readFile(opt.journalPath, journal, &err)) {
+    std::fprintf(stderr, "%s: %s\n", opt.command.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+ReplayOptions targetOptions(const Options& opt) {
+  ReplayOptions options;
+  options.workerThreads = opt.threads;
+  options.soaBatching = opt.soa;
+  options.batchWidth = opt.batchWidth;
+  return options;
+}
+
+int runReplayOrVerify(const Options& opt) {
+  Journal journal;
+  if (!loadJournal(opt, &journal)) return 1;
+  auto image = workloads::makeSmdFleetImage();
+  Replayer replayer(&journal, image);
+  const ReplayResult result = replayer.run(targetOptions(opt));
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: %s\n", opt.command.c_str(),
+                 result.error.c_str());
+    return 1;
+  }
+  std::printf("replayed %lld epochs, %lld checkpoints checked, final epoch "
+              "%lld, final digest 0x%016llx\n",
+              static_cast<long long>(result.epochsReplayed),
+              static_cast<long long>(result.checkpointsChecked),
+              static_cast<long long>(result.finalEpoch),
+              static_cast<unsigned long long>(result.finalDigest));
+  if (result.verified) {
+    // The replaying process's dispatch level, not the recorded one — a
+    // scalar-pinned verify of an avx2 recording is exactly the cross-SIMD
+    // bit-identity proof, so say which kernels actually ran.
+    std::printf("verdict: bit-identical (threads %d, soa %s, simd %s vs "
+                "recorded %s)\n",
+                opt.threads, opt.soa ? "on" : "off",
+                simdLevelName(activeSimdLevel()), journal.simdLevel().c_str());
+    return 0;
+  }
+  const CheckpointMismatch& m = result.firstMismatch;
+  std::printf("verdict: DIVERGED at checkpoint epoch %lld "
+              "(recorded 0x%016llx, replayed 0x%016llx, %zu instances)\n",
+              static_cast<long long>(m.epoch),
+              static_cast<unsigned long long>(m.recordedDigest),
+              static_cast<unsigned long long>(m.replayedDigest),
+              m.divergingInstances.size());
+  for (size_t i = 0; i < m.recorded.size() && i < 8; ++i) {
+    std::printf("  instance %lld recorded %s\n",
+                static_cast<long long>(m.recorded[i].instance),
+                m.recorded[i].words.empty()
+                    ? "(digest only)"
+                    : describeCrWords(*image, m.recorded[i].words).c_str());
+    std::printf("  instance %lld replayed %s\n",
+                static_cast<long long>(m.replayed[i].instance),
+                describeCrWords(*image, m.replayed[i].words).c_str());
+  }
+  std::printf("run `pscp_replay bisect %s` to pinpoint the first divergent "
+              "epoch\n", opt.journalPath.c_str());
+  return opt.command == "verify" ? 1 : 0;
+}
+
+int runBisect(const Options& opt) {
+  Journal journal;
+  if (!loadJournal(opt, &journal)) return 1;
+  auto image = workloads::makeSmdFleetImage();
+  const BisectResult result =
+      bisectDivergence(journal, image, targetOptions(opt));
+  std::fputs(formatBisectReport(result, *image).c_str(), stdout);
+  return result.ok ? 0 : 1;
+}
+
+int runTrace(const Options& opt) {
+  Journal journal;
+  if (!loadJournal(opt, &journal)) return 1;
+  if (opt.traceInstance < 0 || opt.outPath.empty()) {
+    std::fprintf(stderr, "trace: --instance ID and --out PATH are required\n");
+    return 2;
+  }
+  auto image = workloads::makeSmdFleetImage();
+  obs::TraceRecorder recorder;
+  SpanTracker tracker;
+  obs::TeeSink tee{&recorder, &tracker};
+
+  Replayer replayer(&journal, image);
+  ReplayOptions options = targetOptions(opt);
+  options.traceSink = &tee;
+  options.spanTracker = &tracker;
+  options.traceInstance = opt.traceInstance;
+  const ReplayResult result = replayer.run(options);
+  if (!result.ok) {
+    std::fprintf(stderr, "trace: %s\n", result.error.c_str());
+    return 1;
+  }
+  const std::string json = chromeTraceJsonWithSpans(recorder, tracker);
+  std::FILE* f = std::fopen(opt.outPath.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open '%s' for writing\n",
+                 opt.outPath.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  size_t spansLinked = 0;
+  for (const SpanTracker::Span& s : tracker.spans())
+    if (s.drainTime >= 0 && !s.dispatches.empty()) ++spansLinked;
+  std::printf("traced instance %lld over %lld epochs: %zu spans recorded, "
+              "%zu linked to dispatches -> %s\n",
+              static_cast<long long>(opt.traceInstance),
+              static_cast<long long>(result.epochsReplayed),
+              tracker.spans().size(), spansLinked, opt.outPath.c_str());
+  return result.verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parseOptions(argc, argv, &opt)) return usage(argv[0]);
+  if (opt.command == "record") return runRecord(opt);
+  if (opt.command == "replay" || opt.command == "verify")
+    return runReplayOrVerify(opt);
+  if (opt.command == "bisect") return runBisect(opt);
+  if (opt.command == "trace") return runTrace(opt);
+  return usage(argv[0]);
+}
