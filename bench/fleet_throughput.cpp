@@ -61,6 +61,10 @@ struct BenchOptions {
   /// (host.* fields never gate in bench_compare). The SMD duty cycle
   /// itself is deterministic; the seed tags the run, it does not vary it.
   int64_t seed = 0;
+  /// Run the native-tier A/B arm (interpreter vs JIT over the 1-TEP SMD
+  /// image). Defaults on; forced off when the backend is unavailable or
+  /// PSCP_JIT=off, so interpreter-only hosts still produce a valid json.
+  bool jit = true;
 };
 
 struct SweepResult {
@@ -82,6 +86,20 @@ struct AosReference {
   size_t instances = 0;
   double configCyclesPerSec = 0.0;
   double soaSpeedup = 0.0;  ///< SoA 1-thread rate / AoS 1-thread rate
+};
+
+/// Native-tier A/B at one instance count: the same routine-dense duty
+/// cycle stepped once with the interpreter and once with the JIT forced
+/// on. Rates are machine (simulated) cycles per wall second — both arms
+/// simulate the identical cycle stream (bit-identity is enforced by the
+/// tier tests), so the ratio isolates the execution-tier win.
+struct JitReference {
+  size_t instances = 0;
+  double interpMachRate = 0.0;
+  double jitMachRate = 0.0;
+  double jitSpeedup = 0.0;  ///< jit rate / interp rate
+  int64_t compiledRoutines = 0;
+  double compileMs = 0.0;
 };
 
 SweepResult runSweep(const fleet::Fleet::ChartImagePtr& image, size_t instances,
@@ -141,6 +159,54 @@ SweepResult runSweep(const fleet::Fleet::ChartImagePtr& image, size_t instances,
   return r;
 }
 
+/// One arm of the JIT A/B: machine cycles per wall second over the
+/// single-TEP SMD image (every configuration cycle is serial-equivalent,
+/// so kAlways runs each routine natively). Two simulated cycles per
+/// epoch with a pulse pair injected every epoch keeps the duty cycle
+/// routine-dense — the tier being measured, not quiescent decode.
+double runJitArm(const fleet::Fleet::ChartImagePtr& image, size_t instances,
+                 int epochs, tep::jit::JitMode mode, bool* ok,
+                 JitReference* residencyOut) {
+  fleet::FleetConfig config;
+  config.workerThreads = 1;
+  config.jitMode = mode;
+  config.jitThreshold = 1;
+  fleet::Fleet fleet(image, config);
+  const workloads::SmdPulseIds pulses = workloads::resolveSmdPulseIds(fleet);
+  if (!workloads::warmUpSmdFleet(fleet, instances, pulses)) {
+    std::fprintf(stderr, "FAIL: jit arm i=%zu instance(s) did not reach Moving\n",
+                 instances);
+    *ok = false;
+  }
+  fleet.step(2);  // settle + compile warm-up outside the timed window
+  const int64_t cyclesBefore = fleet.mergedMetrics().value("fleet.machine_cycles");
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int e = 0; e < epochs; ++e) {
+    workloads::injectSmdPulses(fleet, pulses);
+    fleet.step(2);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+
+  const obs::MetricsRegistry metrics = fleet.mergedMetrics();
+  const int64_t timedCycles = metrics.value("fleet.machine_cycles") - cyclesBefore;
+  if (mode == tep::jit::JitMode::kAlways && residencyOut != nullptr) {
+    const tep::jit::TierResidency tier = fleet.tierResidency();
+    residencyOut->compiledRoutines = tier.nativeRoutines;
+    residencyOut->compileMs = static_cast<double>(tier.compileMicros) / 1000.0;
+    if (tep::jit::jitBackendAvailable() &&
+        metrics.value("fleet.jit_native_routines") <= 0) {
+      std::fprintf(stderr, "FAIL: jit arm i=%zu executed no native routines\n",
+                   instances);
+      *ok = false;
+    }
+  }
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(timedCycles) / seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,13 +224,24 @@ int main(int argc, char** argv) {
       opts.journal = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opts.seed = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jit") == 0) {
+      opts.jit = true;
+    } else if (std::strcmp(argv[i], "--no-jit") == 0) {
+      opts.jit = false;
     } else {
       std::fprintf(stderr,
                    "usage: fleet_throughput [--quick] [--no-soa] "
-                   "[--batch-width N] [--pin] [--journal] [--seed N]\n");
+                   "[--batch-width N] [--pin] [--journal] [--seed N] "
+                   "[--jit | --no-jit]\n");
       return 2;
     }
   }
+  // The JIT A/B needs the native tier: skip it (emitting no jit metrics,
+  // which bench_compare reports as informational notes, not gate
+  // failures) when the backend is unavailable or PSCP_JIT=off.
+  if (!tep::jit::jitBackendAvailable() ||
+      tep::jit::jitModeFromEnv() == tep::jit::JitMode::kOff)
+    opts.jit = false;
   if (opts.pin) pinCurrentThreadToCpu(0);
 
   const std::vector<size_t> instanceCounts =
@@ -218,6 +295,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Native-tier A/B: separate sweep over the single-TEP image so every
+  // configuration cycle is serial-equivalent and the kAlways arm runs
+  // each routine natively. Epoch count is its own knob — the arm's cost
+  // is per-routine wall time, not the main sweep's pool scaling.
+  std::vector<JitReference> jitRefs;
+  if (opts.jit) {
+    const auto jitImage = workloads::makeSmdFleetImage(/*numTeps=*/1);
+    const std::vector<size_t> jitInstances =
+        opts.quick ? std::vector<size_t>{32} : std::vector<size_t>{64, 256};
+    const int jitEpochs = opts.quick ? 200 : 400;
+    for (size_t instances : jitInstances) {
+      JitReference ref;
+      ref.instances = instances;
+      ref.interpMachRate = runJitArm(jitImage, instances, jitEpochs,
+                                     tep::jit::JitMode::kOff, &ok, nullptr);
+      ref.jitMachRate = runJitArm(jitImage, instances, jitEpochs,
+                                  tep::jit::JitMode::kAlways, &ok, &ref);
+      if (ref.interpMachRate > 0.0 && ref.jitMachRate > 0.0)
+        ref.jitSpeedup = ref.jitMachRate / ref.interpMachRate;
+      jitRefs.push_back(ref);
+    }
+  }
+
   std::printf("| instances | threads | cfg cycles/s | mach cycles/s | speedup | efficiency |\n");
   std::printf("|-----------|---------|--------------|---------------|---------|------------|\n");
   for (const SweepResult& r : results)
@@ -230,6 +330,15 @@ int main(int argc, char** argv) {
     for (const AosReference& ref : aosRefs)
       std::printf("| %9zu | %15.0f | %17.2fx |\n", ref.instances,
                   ref.configCyclesPerSec, ref.soaSpeedup);
+  }
+  if (!jitRefs.empty()) {
+    std::printf("\n| instances | interp mach/s | jit mach/s | jit speedup | compiled | compile ms |\n");
+    std::printf("|-----------|---------------|------------|-------------|----------|------------|\n");
+    for (const JitReference& ref : jitRefs)
+      std::printf("| %9zu | %13.0f | %10.0f | %10.2fx | %8lld | %10.2f |\n",
+                  ref.instances, ref.interpMachRate, ref.jitMachRate,
+                  ref.jitSpeedup, static_cast<long long>(ref.compiledRoutines),
+                  ref.compileMs);
   }
 
   std::string json = "{\n  \"benchmark\": \"fleet_throughput\",\n";
@@ -260,6 +369,19 @@ int main(int argc, char** argv) {
         "\"config_cycles_per_sec\": %.0f, \"soa_speedup_vs_aos\": %.3f}%s\n",
         ref.instances, ref.configCyclesPerSec, ref.soaSpeedup,
         i + 1 < aosRefs.size() ? "," : "");
+  }
+  json += "  ],\n  \"jit_reference\": [\n";
+  for (size_t i = 0; i < jitRefs.size(); ++i) {
+    const JitReference& ref = jitRefs[i];
+    json += strfmt(
+        "    {\"instances\": %zu, \"threads\": 1, "
+        "\"interp_machine_cycles_per_sec\": %.0f, "
+        "\"jit_machine_cycles_per_sec\": %.0f, "
+        "\"jit_speedup_vs_interp\": %.3f, \"jit_compiled_routines\": %lld, "
+        "\"jit_compile_ms\": %.3f}%s\n",
+        ref.instances, ref.interpMachRate, ref.jitMachRate, ref.jitSpeedup,
+        static_cast<long long>(ref.compiledRoutines), ref.compileMs,
+        i + 1 < jitRefs.size() ? "," : "");
   }
   json += "  ]\n}\n";
   std::FILE* f = std::fopen("BENCH_fleet_throughput.json", "wb");

@@ -219,6 +219,8 @@ InstanceId Fleet::spawn() {
   const InstanceId id = static_cast<InstanceId>(instances_.size());
   instances_.push_back(
       std::make_unique<Instance>(image_, id, config_.eventQueueCapacity));
+  instances_.back()->machine.setJitMode(config_.jitMode);
+  instances_.back()->machine.setJitThreshold(config_.jitThreshold);
   liveCount_.fetch_add(1, std::memory_order_relaxed);
   shardsDirty_ = true;
   if (journal_ != nullptr) journal_->recordSpawn(static_cast<int64_t>(id));
@@ -723,10 +725,29 @@ obs::MetricsRegistry Fleet::mergedMetrics() const {
   for (const auto& inst : instances_)
     if (inst != nullptr) dropped += inst->dropped.load(std::memory_order_relaxed);
   merged.counter("fleet.events_dropped") += dropped;
+  // Tier residency: per-instance routine-run split plus the image-wide
+  // compile cache (shared across every instance over the chart).
+  int64_t nativeRuns = 0;
+  int64_t interpRuns = 0;
+  for (const auto& inst : instances_) {
+    if (inst == nullptr) continue;
+    nativeRuns += inst->machine.jitNativeRuns();
+    interpRuns += inst->machine.jitInterpRuns();
+  }
+  merged.counter("fleet.jit_native_routines") += nativeRuns;
+  merged.counter("fleet.jit_interp_routines") += interpRuns;
+  const tep::jit::TierResidency tier = image_->tierCache().residency();
+  merged.counter("fleet.jit_compiled_routines") += tier.nativeRoutines;
+  merged.counter("fleet.jit_rejected_routines") += tier.rejectedRoutines;
+  merged.counter("fleet.jit_compile_micros") += tier.compileMicros;
   // The telemetry plane publishes its lock-free snapshot through the same
   // registry surface (epoch-latency histogram, queue high-water, ...).
   if (flight_ != nullptr) obs::healthToMetrics(healthSnapshot(), &merged);
   return merged;
+}
+
+tep::jit::TierResidency Fleet::tierResidency() const {
+  return image_->tierCache().residency();
 }
 
 // -------------------------------------------------------------- telemetry

@@ -122,6 +122,15 @@ struct FleetConfig {
   /// steady-state memory stays flat.
   bool capturePortWrites = false;
 
+  /// Native-tier mode applied to every instance (default: the process-wide
+  /// PSCP_JIT setting). Serial-equivalent configuration cycles then run
+  /// compiled TEP routines — bit-identical to the interpreter by contract
+  /// (tests/tep_jit_test.cpp diffs the two across worker counts and
+  /// batching modes), so this is purely a perf knob.
+  tep::jit::JitMode jitMode = tep::jit::jitModeFromEnv();
+  /// Routine executions before jitMode == kAuto promotes a routine.
+  int64_t jitThreshold = tep::jit::kDefaultJitThreshold;
+
   /// Arm the telemetry plane: per-shard flight-recorder rings plus live
   /// health counters (see header comment). Off by default — a disarmed
   /// fleet pays one predictable branch per instance step and nothing else.
@@ -222,6 +231,12 @@ class Fleet {
   /// fleet.events_delivered, fleet.steal_chunks, fleet.epoch_tasks, plus
   /// the fleet.instance_cycles_per_epoch histogram.
   [[nodiscard]] obs::MetricsRegistry mergedMetrics() const;
+
+  /// Native-tier residency of the shared chart image (routine counts,
+  /// compile time, per-tier run totals). Reads only atomics in the
+  /// per-image TierCache, so — unlike mergedMetrics() — it is safe to
+  /// call from a display thread while workers are stepping.
+  [[nodiscard]] tep::jit::TierResidency tierResidency() const;
 
   // ------------------------------------------------------------ telemetry
   /// The flight recorder, or nullptr when telemetry is disarmed. Ring

@@ -57,9 +57,28 @@ BenchCompareResult compareBenchJson(const JsonValue& baseline,
   if (baseHost != nullptr && curHost != nullptr &&
       baseHost->dump() != curHost->dump()) {
     result.hostMismatch = true;
-    result.notes.push_back(strfmt("host mismatch: baseline %s vs current %s",
-                                  baseHost->dump().c_str(),
-                                  curHost->dump().c_str()));
+    // Name the differing members instead of dumping both blobs: a
+    // capability mismatch (simd_dispatch, jit) changes what the numbers
+    // *mean*, while cpu_model/governor drift merely adds noise — the
+    // reader should see which case this is at a glance.
+    const auto memberDump = [](const JsonValue* host, const std::string& key) {
+      const JsonValue* v = host->find(key);
+      return v == nullptr ? std::string("<absent>") : v->dump();
+    };
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : baseHost->object) keys.push_back(key);
+    for (const auto& [key, value] : curHost->object)
+      if (baseHost->find(key) == nullptr) keys.push_back(key);
+    for (const std::string& key : keys) {
+      const std::string baseMember = memberDump(baseHost, key);
+      const std::string curMember = memberDump(curHost, key);
+      if (baseMember == curMember) continue;
+      const bool capability = key == "simd_dispatch" || key == "jit";
+      result.notes.push_back(strfmt(
+          "host mismatch%s: %s baseline %s vs current %s",
+          capability ? " (execution capability — metrics not comparable)" : "",
+          key.c_str(), baseMember.c_str(), curMember.c_str()));
+    }
   } else if ((baseHost == nullptr) != (curHost == nullptr)) {
     result.notes.push_back(strfmt("host metadata present only in %s document",
                                   baseHost != nullptr ? "baseline" : "current"));

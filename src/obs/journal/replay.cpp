@@ -69,6 +69,8 @@ ReplayResult Replayer::run(const ReplayOptions& options) const {
   config.soaBatching = options.soaBatching;
   config.batchWidth = options.batchWidth;
   config.pinWorkers = options.pinWorkers;
+  config.jitMode = options.jitMode;
+  config.jitThreshold = options.jitThreshold;
   config.eventQueueCapacity =
       std::max<size_t>(static_cast<size_t>(journal_->eventQueueCapacity()),
                        maxInjectBurst_ + 1);

@@ -48,6 +48,13 @@ struct ReplayOptions {
   bool soaBatching = true;
   int batchWidth = 0;
   bool pinWorkers = false;
+  /// Native-tier mode for the replay fleet. Tiered execution is inside the
+  /// determinism contract (bit-identical to the interpreter), so a journal
+  /// recorded under one mode must verify under any other — the JIT
+  /// differential tests replay interpreter recordings with the native tier
+  /// forced on.
+  tep::jit::JitMode jitMode = tep::jit::jitModeFromEnv();
+  int64_t jitThreshold = tep::jit::kDefaultJitThreshold;
   /// Compare every checkpoint encountered; stop at the first mismatch.
   bool verifyCheckpoints = true;
   /// Replay only ops up to (and including) this epoch; -1 = the whole

@@ -56,6 +56,7 @@
 #include "sla/sla.hpp"
 #include "statechart/semantics.hpp"
 #include "support/bits.hpp"
+#include "tep/jit/tier.hpp"
 #include "tep/machine.hpp"
 
 namespace pscp::machine {
@@ -110,6 +111,20 @@ class ChartImage {
   [[nodiscard]] const compiler::HardwareBinding& binding() const { return binding_; }
   [[nodiscard]] const compiler::CompiledApp& app() const { return app_; }
 
+  /// The native-tier compile cache for this image's routines. Like the
+  /// image it is shared by every instance over the chart: each routine is
+  /// lowered/emitted once and the read-execute pages serve the whole
+  /// fleet. The cache is internally synchronized, so handing it out from a
+  /// const image is safe.
+  [[nodiscard]] tep::jit::TierCache& tierCache() const { return *tier_; }
+
+  /// Program entry index of the transition's TEP routine (what the
+  /// dispatcher jumps to, and what TierCache::precompile needs for
+  /// profiler-seeded ahead-of-time compilation).
+  [[nodiscard]] int routineEntry(int transition) const {
+    return routineEntry_[static_cast<size_t>(transition)];
+  }
+
  private:
   friend class PscpMachine;
 
@@ -130,6 +145,7 @@ class ChartImage {
   std::vector<int> exclusionGroup_;  ///< interned group id, -1 = none
   std::vector<int> routineEntry_;    ///< program entry index of t's routine
   int exclusionGroupCount_ = 0;
+  std::unique_ptr<tep::jit::TierCache> tier_;
 };
 
 class PscpMachine : public tep::TepHost {
@@ -185,6 +201,27 @@ class PscpMachine : public tep::TepHost {
   /// the SLA selects nothing. Only valid when the caller has already
   /// established that (batched decode over crBits() selected no lane).
   void applyQuiescentCycle(CycleStats* stats);
+
+  // ----------------------------------------------------- tiered execution
+  // The native tier (src/tep/jit) runs compiled routines when the cycle is
+  // serial-equivalent (one TEP, or one selected transition) and no
+  // observer is attached; everything else stays on the microcode
+  // interpreter. Contract: CR, ports, fired order, cycle counts and error
+  // diagnostics are bit-identical between tiers (tests/tep_jit_test.cpp).
+
+  /// Override the process-wide PSCP_JIT mode for this instance.
+  void setJitMode(tep::jit::JitMode mode) { jitMode_ = mode; }
+  [[nodiscard]] tep::jit::JitMode jitMode() const { return jitMode_; }
+  /// Routine executions before kAuto promotes a routine to native code.
+  void setJitThreshold(int64_t threshold) { jitThreshold_ = threshold; }
+  [[nodiscard]] int64_t jitThreshold() const { return jitThreshold_; }
+  /// Routine dispatches this instance ran natively / on the interpreter.
+  [[nodiscard]] int64_t jitNativeRuns() const { return jitNativeRuns_; }
+  [[nodiscard]] int64_t jitInterpRuns() const { return jitInterpRuns_; }
+  /// Image-wide tier residency (shared compile cache).
+  [[nodiscard]] tep::jit::TierResidency tierResidency() const {
+    return image_->tierCache().residency();
+  }
 
   /// Hardware timer (paper Sec. 6 future work): raises `event` every
   /// `period` reference-clock cycles of machine time. Timer events are
@@ -276,6 +313,13 @@ class PscpMachine : public tep::TepHost {
   /// Conflict resolution over `selectScratch_` into `chosenScratch_`
   /// (identical policy to statechart::Interpreter::step), allocation-free.
   void resolveConflicts();
+  /// Execute the Transition Address Table serially on TEP 0, dispatching
+  /// each routine to the native tier when compiled (interpreter
+  /// micro-loop otherwise). Only called when the cycle is
+  /// serial-equivalent; returns the cycle count (same accounting as the
+  /// lockstep loop).
+  int64_t runTatSerial(const std::vector<statechart::TransitionId>& chosen,
+                       CycleStats& stats, int64_t base);
 
   std::shared_ptr<const ChartImage> image_;
   // Aliases into the image, so the cycle logic reads image data with the
@@ -346,6 +390,12 @@ class PscpMachine : public tep::TepHost {
   int64_t totalCycles_ = 0;
   int64_t totalBusStalls_ = 0;
   int64_t configCycles_ = 0;
+
+  // Tiered execution knobs and per-instance tier counters.
+  tep::jit::JitMode jitMode_ = tep::jit::jitModeFromEnv();
+  int64_t jitThreshold_ = tep::jit::kDefaultJitThreshold;
+  int64_t jitNativeRuns_ = 0;
+  int64_t jitInterpRuns_ = 0;
 
   // Observability. machineTimeNow_ tracks absolute machine time inside a
   // configuration cycle (cycle base + local cycles) so TepHost callbacks

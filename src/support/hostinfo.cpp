@@ -12,6 +12,7 @@
 #endif
 
 #include "support/simd.hpp"
+#include "tep/jit/tier.hpp"
 
 namespace pscp {
 
@@ -74,6 +75,14 @@ JsonValue hostInfoJson(const HostInfo& info) {
   host.set("physical_cores", JsonValue::makeNumber(info.physicalCores));
   host.set("governor", JsonValue::makeString(info.governor));
   host.set("simd_dispatch", JsonValue::makeString(simdLevelName(activeSimdLevel())));
+  // Effective native-tier capability: the PSCP_JIT mode ("off" disables
+  // even on capable hosts) or "unavailable" when the backend is compiled
+  // out / the host ISA is unsupported. Like simd_dispatch this explains
+  // cross-host baseline drift, so bench_compare names it on mismatch.
+  host.set("jit", JsonValue::makeString(
+                      tep::jit::jitBackendAvailable()
+                          ? tep::jit::jitModeName(tep::jit::jitModeFromEnv())
+                          : "unavailable"));
   return host;
 }
 

@@ -1,0 +1,79 @@
+#include "tep/jit/codebuf.hpp"
+
+#include <cstring>
+
+#if PSCP_JIT_BACKEND
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace pscp::tep::jit {
+
+CodeBuf::~CodeBuf() { release(); }
+
+CodeBuf::CodeBuf(CodeBuf&& other) noexcept : base_(other.base_), size_(other.size_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+CodeBuf& CodeBuf::operator=(CodeBuf&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = other.base_;
+    size_ = other.size_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+#if PSCP_JIT_BACKEND
+
+bool CodeBuf::install(const std::vector<uint8_t>& code, std::string* error) {
+  release();
+  if (code.empty()) {
+    if (error != nullptr) *error = "empty code buffer";
+    return false;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  const size_t pageSize = page > 0 ? static_cast<size_t>(page) : 4096;
+  const size_t mapped = (code.size() + pageSize - 1) / pageSize * pageSize;
+  void* mem = mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    if (error != nullptr) *error = "mmap of code pages failed";
+    return false;
+  }
+  std::memcpy(mem, code.data(), code.size());
+  // W^X: only after the write mapping is sealed does it become executable.
+  if (mprotect(mem, mapped, PROT_READ | PROT_EXEC) != 0) {
+    munmap(mem, mapped);
+    if (error != nullptr) *error = "mprotect(RX) failed";
+    return false;
+  }
+  base_ = mem;
+  size_ = mapped;
+  return true;
+}
+
+void CodeBuf::release() noexcept {
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+#else  // !PSCP_JIT_BACKEND
+
+bool CodeBuf::install(const std::vector<uint8_t>& code, std::string* error) {
+  (void)code;
+  if (error != nullptr) *error = "native tier unavailable on this build";
+  return false;
+}
+
+void CodeBuf::release() noexcept {}
+
+#endif
+
+}  // namespace pscp::tep::jit

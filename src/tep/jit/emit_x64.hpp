@@ -1,0 +1,35 @@
+// x86-64 template emitter for lowered TEP routines.
+//
+// Register plan (SysV): rbx = ACC, r12d = OP, r15d = address temp,
+// r13 = cycle counter, r14 = JitContext*. eax/ecx/edx are scratch. All
+// five pinned registers are callee-saved, so helper calls need no
+// spills; five pushes keep rsp 16-byte aligned at every call site.
+// Z/N/C live as bytes in the JitContext and are updated with setcc only
+// where the IR says the flag is (still) live.
+//
+// Control flow stays inside the emitted routine: TEP Call/Ret use a
+// shadow stack of native return addresses in the JitContext (depth 32,
+// like the interpreter), so rsp never moves between the prologue and
+// epilogue and the ABI alignment above holds everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tep/ir.hpp"
+
+namespace pscp::tep::jit {
+
+struct EmitResult {
+  bool ok = false;
+  std::string error;
+  std::vector<uint8_t> code;
+};
+
+/// Emit native code for a lowered routine. Fails (never mis-emits) on
+/// unsupported shapes; the caller keeps the routine interpreted. Only
+/// meaningful when PSCP_JIT_BACKEND — other builds always fail.
+[[nodiscard]] EmitResult emitX64(const ir::IrRoutine& routine);
+
+}  // namespace pscp::tep::jit

@@ -8,7 +8,7 @@
 
 namespace pscp::workloads {
 
-std::shared_ptr<const machine::ChartImage> makeSmdFleetImage() {
+std::shared_ptr<const machine::ChartImage> makeSmdFleetImage(int numTeps) {
   // ChartImage keeps references into the parsed chart and action program,
   // so both must outlive it: bundle them and hand out an aliasing
   // shared_ptr whose control block owns the bundle.
@@ -20,7 +20,7 @@ std::shared_ptr<const machine::ChartImage> makeSmdFleetImage() {
   auto bundle = std::make_shared<Bundle>();
   hwlib::ArchConfig arch;
   arch.dataWidth = 16;
-  arch.numTeps = 2;
+  arch.numTeps = numTeps;
   arch.hasMulDiv = true;
   arch.hasComparator = true;
   arch.hasTwosComplement = true;

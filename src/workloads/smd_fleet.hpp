@@ -15,7 +15,11 @@ namespace pscp::workloads {
 
 /// Compile the SMD pickup-head chart against the paper's two-TEP,
 /// 16-bit arch shape (mul/div, comparator, two's complement, 12 regs).
-[[nodiscard]] std::shared_ptr<const machine::ChartImage> makeSmdFleetImage();
+/// `numTeps` overrides the TEP count: 1 makes every configuration cycle
+/// serial-equivalent, which is what the native-tier (JIT) bench arm and
+/// the tier differential tests step.
+[[nodiscard]] std::shared_ptr<const machine::ChartImage> makeSmdFleetImage(
+    int numTeps = 2);
 
 /// Drive one machine from Off into Moving with a long trapezoidal move
 /// pending on both axes (command byte 255 -> 4080 steps per axis, which

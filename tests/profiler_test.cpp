@@ -537,6 +537,36 @@ TEST(BenchCompare, HostMismatchWarnsButNeverGates) {
   EXPECT_NE(r.summaryText().find("host"), std::string::npos);
 }
 
+TEST(BenchCompare, HostMismatchNamesCapabilityFields) {
+  // The warning names each differing member; simd_dispatch and jit are
+  // execution capabilities, flagged as such (metrics not comparable).
+  const JsonValue baseline = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","simd_dispatch":"avx2","jit":"auto"},
+          "speedup":4.0})");
+  const JsonValue current = parseFixture(
+      R"({"host":{"cpu_model":"Xeon","simd_dispatch":"scalar",
+          "jit":"unavailable"},"speedup":4.0})");
+  const BenchCompareResult r = compareBenchJson(baseline, current, {});
+  EXPECT_TRUE(r.hostMismatch);
+  EXPECT_EQ(r.regressions, 0);
+  bool namedSimd = false, namedJit = false, namedCpu = false;
+  for (const std::string& note : r.notes) {
+    if (note.find("simd_dispatch") != std::string::npos) {
+      namedSimd = true;
+      EXPECT_NE(note.find("execution capability"), std::string::npos) << note;
+      EXPECT_NE(note.find("avx2"), std::string::npos) << note;
+      EXPECT_NE(note.find("scalar"), std::string::npos) << note;
+    }
+    if (note.find("\"jit\"") != std::string::npos ||
+        note.find("jit baseline") != std::string::npos)
+      namedJit = true;
+    if (note.find("cpu_model") != std::string::npos) namedCpu = true;
+  }
+  EXPECT_TRUE(namedSimd);
+  EXPECT_TRUE(namedJit);
+  EXPECT_FALSE(namedCpu);  // matching members stay out of the warning
+}
+
 TEST(BenchCompare, MatchingHostIsSilent) {
   const JsonValue baseline = parseFixture(
       R"({"host":{"cpu_model":"Xeon","logical_cpus":16},"speedup":4.0})");

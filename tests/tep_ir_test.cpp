@@ -1,0 +1,217 @@
+// Unit tests for the three-address IR: lowering shape, static cost
+// accounting, and the cleanup passes (constant folding, dead-store
+// elimination, jump threading). Bit-identity of *execution* against the
+// interpreter is covered by tep_jit_test.cpp; these tests pin the IR
+// structure itself.
+#include <gtest/gtest.h>
+
+#include "tep/ir.hpp"
+#include "tep/machine.hpp"
+#include "tep/microcode.hpp"
+
+namespace pscp::tep {
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::IrRoutine;
+using ir::LowerResult;
+
+hwlib::ArchConfig arch16() {
+  hwlib::ArchConfig c;
+  c.dataWidth = 16;
+  c.hasMulDiv = true;
+  c.registerFileSize = 8;
+  return c;
+}
+
+AsmProgram progOf(std::vector<Instr> code) {
+  AsmProgram p;
+  p.code = std::move(code);
+  return p;
+}
+
+int countOps(const IrRoutine& r, IrOp op) {
+  int n = 0;
+  for (const IrInst& i : r.code)
+    if (i.op == op) ++n;
+  return n;
+}
+
+TEST(TepIr, LowersStraightLineRoutineWithAnchors) {
+  const auto prog = progOf({
+      {Opcode::LdaMem, 16, 0x100},
+      {Opcode::LdoImm, 16, 3},
+      {Opcode::Add, 16, 0},
+      {Opcode::StaMem, 16, 0x102},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  const IrRoutine& r = res.routine;
+  EXPECT_EQ(r.stats.isaInstructions, 5);
+  // Every ISA instruction keeps its kAddCycles anchor through cleanups.
+  EXPECT_EQ(countOps(r, IrOp::kAddCycles), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_GE(r.anchorOf(i), 0) << "anchor " << i;
+  EXPECT_EQ(r.anchorOf(5), -1);
+  EXPECT_EQ(countOps(r, IrOp::kTret), 1);
+  EXPECT_FALSE(r.hasCalls);
+  EXPECT_FALSE(r.listing().empty());
+}
+
+TEST(TepIr, StaticCostMatchesMicrocodeLengths) {
+  const auto config = arch16();
+  const auto prog = progOf({
+      {Opcode::LdaImm, 16, 7},
+      {Opcode::LdoMem, 32, 0x4000},  // external, chunked
+      {Opcode::Mul, 16, 0},
+      {Opcode::Outp, 16, 2},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, config);
+  ASSERT_TRUE(res.ok) << res.reason;
+  int64_t charged = 0;
+  for (const IrInst& i : res.routine.code)
+    if (i.op == IrOp::kAddCycles) charged += i.imm;
+  int64_t expected = 0;
+  for (const Instr& in : prog.code) expected += cyclesFor(in, config);
+  // Static anchors carry exactly the microprogram lengths; external wait
+  // states are charged at runtime by the memory ops, never statically.
+  EXPECT_EQ(charged, expected);
+}
+
+TEST(TepIr, ConstantFoldingFoldsImmediateAlu) {
+  const auto prog = progOf({
+      {Opcode::LdaImm, 8, 6},
+      {Opcode::LdoImm, 8, 7},
+      {Opcode::Add, 8, 0},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  const IrRoutine& r = res.routine;
+  EXPECT_GT(r.stats.constFolded, 0);
+  EXPECT_EQ(countOps(r, IrOp::kAdd), 0);
+  // The folded ACC value must appear as an immediate load of 13.
+  bool found = false;
+  for (const IrInst& i : r.code)
+    if (i.op == IrOp::kLoadImm && i.dst == ir::kVregAcc && i.imm == 13) found = true;
+  EXPECT_TRUE(found) << r.listing();
+}
+
+TEST(TepIr, FoldsKnownConditionalJumpToUnconditional) {
+  const auto prog = progOf({
+      {Opcode::LdaImm, 8, 5},
+      {Opcode::LdoImm, 8, 5},
+      {Opcode::Sub, 8, 0},   // ACC = 0, Z = 1
+      {Opcode::Jz, 8, 5},    // always taken
+      {Opcode::Outp, 8, 0},  // skipped
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  const IrRoutine& r = res.routine;
+  EXPECT_EQ(countOps(r, IrOp::kJz), 0) << r.listing();
+  EXPECT_GE(countOps(r, IrOp::kJump), 1);
+  EXPECT_GT(r.stats.constFolded, 0);
+}
+
+TEST(TepIr, DeadStoreEliminationDropsOverwrittenValue) {
+  const auto prog = progOf({
+      {Opcode::LdaImm, 16, 1},  // dead: overwritten before any use
+      {Opcode::LdaImm, 16, 2},
+      {Opcode::StaMem, 16, 0x40},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  const IrRoutine& r = res.routine;
+  EXPECT_GT(r.stats.deadRemoved, 0);
+  bool deadLoad = false;
+  for (const IrInst& i : r.code)
+    if (i.op == IrOp::kLoadImm && i.imm == 1) deadLoad = true;
+  EXPECT_FALSE(deadLoad) << r.listing();
+  // The anchor of the dead instruction stays (cost + branch target).
+  EXPECT_EQ(countOps(r, IrOp::kAddCycles), 4);
+}
+
+TEST(TepIr, JumpThreadingCollapsesJumpChains) {
+  const auto config = arch16();
+  const auto prog = progOf({
+      {Opcode::Jmp, 8, 1},
+      {Opcode::Jmp, 8, 2},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, config);
+  ASSERT_TRUE(res.ok) << res.reason;
+  const IrRoutine& r = res.routine;
+  EXPECT_GT(r.stats.jumpsThreaded, 0);
+  // The entry jump now lands on the Tret directly, carrying the skipped
+  // jump's static cost on its taken edge.
+  bool threaded = false;
+  for (const IrInst& i : r.code)
+    if (i.op == IrOp::kJump && i.isa == 0 && i.imm == 2) {
+      threaded = true;
+      EXPECT_EQ(i.imm2, cyclesFor(prog.code[1], config));
+    }
+  EXPECT_TRUE(threaded) << r.listing();
+}
+
+TEST(TepIr, DivisionIsNeverFolded) {
+  const auto prog = progOf({
+      {Opcode::LdaImm, 16, 10},
+      {Opcode::LdoImm, 16, 0},
+      {Opcode::Div, 16, 0},  // would trap; must reach runtime unfolded
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  EXPECT_EQ(countOps(res.routine, IrOp::kDivMod), 1);
+}
+
+TEST(TepIr, RejectsInvalidWidth) {
+  const auto prog = progOf({
+      {Opcode::Add, 33, 0},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.reason.empty());
+}
+
+TEST(TepIr, RejectsOversizedRoutine) {
+  std::vector<Instr> code(64, {Opcode::Add, 32, 0});
+  code.push_back({Opcode::Tret, 8, 0});
+  ir::LowerLimits limits;
+  limits.maxIrOps = 16;
+  const LowerResult res = ir::lowerRoutine(progOf(std::move(code)), 0, arch16(), limits);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(TepIr, FallingOffTheProgramLowersToRunOff) {
+  const auto prog = progOf({
+      {Opcode::LdaImm, 8, 1},  // no Tret: interpreter would run off
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  EXPECT_EQ(countOps(res.routine, IrOp::kRunOff), 1);
+}
+
+TEST(TepIr, BackwardLoopKeepsConditionalBranch) {
+  // for (acc = 3; acc != 0; --acc) — the loop-carried value must defeat
+  // constant folding past the join point.
+  const auto prog = progOf({
+      {Opcode::LdaImm, 8, 3},
+      {Opcode::LdoImm, 8, 1},
+      {Opcode::Sub, 8, 0},
+      {Opcode::Jnz, 8, 1},
+      {Opcode::Tret, 8, 0},
+  });
+  const LowerResult res = ir::lowerRoutine(prog, 0, arch16());
+  ASSERT_TRUE(res.ok) << res.reason;
+  EXPECT_EQ(countOps(res.routine, IrOp::kJnz), 1) << res.routine.listing();
+  EXPECT_EQ(countOps(res.routine, IrOp::kSub), 1);
+}
+
+}  // namespace
+}  // namespace pscp::tep

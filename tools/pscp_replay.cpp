@@ -8,14 +8,19 @@
 //       inject record for that epoch before writing (bisect demo fodder).
 //
 //   pscp_replay replay J [--threads N] [--no-soa] [--batch-width N]
+//                        [--jit MODE]
 //       Re-execute the journal at the given configuration and print the
 //       final fleet digest. Checkpoints are verified along the way.
 //
 //   pscp_replay verify J [--threads N] [--no-soa] [--batch-width N]
+//                        [--jit MODE]
 //       Like replay, but the exit status is the verdict: 0 iff every
-//       recorded checkpoint matched bit-for-bit.
+//       recorded checkpoint matched bit-for-bit. --jit always against a
+//       journal recorded under the interpreter is the native-tier
+//       bit-identity proof.
 //
 //   pscp_replay bisect J [--threads N] [--no-soa] [--batch-width N]
+//                        [--jit MODE]
 //       Locate the first divergent epoch of the given configuration
 //       against the journal, print both CR states decoded and the causal
 //       event spans in the divergence window.
@@ -36,6 +41,7 @@
 #include "obs/tee.hpp"
 #include "support/diag.hpp"
 #include "support/simd.hpp"
+#include "tep/jit/tier.hpp"
 #include "workloads/smd_fleet.hpp"
 
 using namespace pscp;
@@ -54,6 +60,7 @@ struct Options {
   int64_t checkpointInterval = 16;
   bool soa = true;
   int batchWidth = 0;
+  tep::jit::JitMode jitMode = tep::jit::jitModeFromEnv();
   bool binary = false;
   int64_t traceInstance = -1;
   int64_t faultyEpoch = -1;
@@ -66,8 +73,11 @@ int usage(const char* argv0) {
       "          [--cycles N] [--checkpoint-interval N] [--no-soa] [--binary]\n"
       "          [--faulty-epoch E]\n"
       "       %s replay JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "          [--jit off|auto|always]\n"
       "       %s verify JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "          [--jit off|auto|always]\n"
       "       %s bisect JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
+      "          [--jit off|auto|always]\n"
       "       %s trace JOURNAL --instance ID --out PATH\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
@@ -100,6 +110,11 @@ bool parseOptions(int argc, char** argv, Options* opt) {
       opt->checkpointInterval = std::atoll(v);
     } else if (arg == "--batch-width" && (v = next())) {
       opt->batchWidth = std::atoi(v);
+    } else if (arg == "--jit" && (v = next())) {
+      if (!tep::jit::parseJitMode(v, &opt->jitMode)) {
+        std::fprintf(stderr, "bad --jit mode: %s (off|auto|always)\n", v);
+        return false;
+      }
     } else if (arg == "--instance" && (v = next())) {
       opt->traceInstance = std::atoll(v);
     } else if (arg == "--faulty-epoch" && (v = next())) {
@@ -211,6 +226,7 @@ ReplayOptions targetOptions(const Options& opt) {
   options.workerThreads = opt.threads;
   options.soaBatching = opt.soa;
   options.batchWidth = opt.batchWidth;
+  options.jitMode = opt.jitMode;
   return options;
 }
 
@@ -235,9 +251,10 @@ int runReplayOrVerify(const Options& opt) {
     // The replaying process's dispatch level, not the recorded one — a
     // scalar-pinned verify of an avx2 recording is exactly the cross-SIMD
     // bit-identity proof, so say which kernels actually ran.
-    std::printf("verdict: bit-identical (threads %d, soa %s, simd %s vs "
-                "recorded %s)\n",
+    std::printf("verdict: bit-identical (threads %d, soa %s, jit %s, simd %s "
+                "vs recorded %s)\n",
                 opt.threads, opt.soa ? "on" : "off",
+                tep::jit::jitModeName(opt.jitMode),
                 simdLevelName(activeSimdLevel()), journal.simdLevel().c_str());
     return 0;
   }

@@ -115,17 +115,26 @@ double shardQuantile(const obs::ShardHealth& s, double q) {
 
 std::string renderDashboard(const obs::FleetHealth& health,
                             const std::vector<obs::HealthAnomaly>& anomalies,
-                            double elapsedSec) {
+                            double elapsedSec, pscp::tep::jit::JitMode jitMode,
+                            const pscp::tep::jit::TierResidency& tier) {
   std::string out;
   out += strfmt(
       "pscp_top — %lld instances, %d workers, epoch %lld, %.1fs elapsed\n",
       static_cast<long long>(health.liveInstances), health.workerThreads,
       static_cast<long long>(health.epochs), elapsedSec);
   out += strfmt(
-      "fleet: %lld machine cycles, %lld drops, %lld steal chunks\n\n",
+      "fleet: %lld machine cycles, %lld drops, %lld steal chunks\n",
       static_cast<long long>(health.totalMachineCycles()),
       static_cast<long long>(health.totalEventsDropped()),
       static_cast<long long>(health.totalStealChunks()));
+  out += strfmt(
+      "tier:  jit=%s — %d native / %d interp / %d rejected routines, "
+      "%lld native runs, %lld interp runs, compile %s\n\n",
+      pscp::tep::jit::jitModeName(jitMode), tier.nativeRoutines,
+      tier.interpretedRoutines, tier.rejectedRoutines,
+      static_cast<long long>(tier.nativeRuns),
+      static_cast<long long>(tier.interpRuns),
+      nanosText(tier.compileMicros * 1000).c_str());
 
   std::vector<std::vector<std::string>> rows;
   for (const obs::ShardHealth& s : health.shards) {
@@ -232,7 +241,9 @@ int main(int argc, char** argv) {
       // ANSI home+clear keeps the table in place; fall through cleanly when
       // stdout is a pipe.
       std::printf("\x1b[H\x1b[2J%s",
-                  renderDashboard(health, anomalies, elapsed()).c_str());
+                  renderDashboard(health, anomalies, elapsed(), config.jitMode,
+                                  fleet.tierResidency())
+                      .c_str());
       std::fflush(stdout);
       if (done) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(opt.refreshMs));
