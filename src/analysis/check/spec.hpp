@@ -1,0 +1,110 @@
+// Property specification language for the bounded model checker.
+//
+// A spec file attaches declarative properties to a chart: safety
+// invariants over states/conditions/events ("state A unreachable while
+// condition C") and bounded temporal queries ("port X never pulses twice
+// within N cycles", "REQ is served within N cycles"). The checker
+// (checker.hpp) explores the chart's event-labelled configuration graph
+// and decides each property within a bound.
+//
+// Grammar (comments run `#` or `//` to end of line):
+//
+//   spec       := { decl }
+//   decl       := "spec" IDENT ";"                      chart binding
+//              |  "env" "events" IDENT {"," IDENT} ";"  environment alphabet
+//              |  "bound" "states" INT ";"              search bounds
+//              |  "bound" "depth" INT ";"
+//              |  "expect" ("pass"|"violations") ";"    CI gate polarity
+//              |  property
+//   property   := ("invariant"|"always") IDENT ":" expr ";"
+//              |  "never"   IDENT ":" expr ";"
+//              |  "leadsto" IDENT ":" expr "=>" expr "within" INT ";"
+//              |  "pulse"   IDENT ":" "port" IDENT "max" INT "within" INT ";"
+//   expr       := or [ "->" expr ]                      (right associative)
+//   or         := and { ("||"|"or") and }
+//   and        := unary { ("&&"|"and") unary }
+//   unary      := ("!"|"not") unary | primary
+//   primary    := "(" expr ")" | "true" | "false"
+//              |  "state" IDENT | "cond" IDENT | "event" IDENT
+//
+// Atom semantics — every expression is evaluated over one configuration
+// cycle's observables: `state S` / `cond C` read the *post-cycle*
+// configuration and condition valuation (what the CR holds after
+// write-back), `event E` is true when E was sampled into the CR at the
+// start of that cycle (external or internal).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "statechart/chart.hpp"
+#include "support/diag.hpp"
+
+namespace pscp::analysis::check {
+
+/// Boolean observation over one configuration cycle (see header comment).
+struct PropExpr {
+  enum class Kind { True, False, State, Cond, Event, Not, And, Or, Implies };
+  Kind kind = Kind::True;
+  std::string name;  ///< State/Cond/Event atoms
+  /// Resolved by bindSpec for State atoms (kNoState until bound).
+  statechart::StateId stateId = statechart::kNoState;
+  std::vector<PropExpr> kids;
+  SourceLoc loc;
+
+  /// Source-shaped rendering ("!(state Bad && cond ARMED)").
+  [[nodiscard]] std::string str() const;
+};
+
+enum class PropKind {
+  Invariant,  ///< expr must hold in every reachable cycle ("always")
+  Never,      ///< expr must hold in no reachable cycle
+  LeadsTo,    ///< whenever trigger holds, goal must hold within N cycles
+  Pulse,      ///< port pulses at most K times in any N-cycle window
+};
+
+[[nodiscard]] const char* propKindName(PropKind k);
+
+struct Property {
+  std::string name;
+  PropKind kind = PropKind::Invariant;
+  SourceLoc loc;
+  PropExpr expr;      ///< invariant/never body; leadsto trigger
+  PropExpr goal;      ///< leadsto only
+  int within = 0;     ///< leadsto deadline / pulse window, in cycles
+  std::string port;   ///< pulse only: watched port name
+  int maxPulses = 0;  ///< pulse only: allowed writes per window
+
+  /// True when the property's runtime monitor carries state across cycles
+  /// (leadsto deadline countdown, pulse shift register).
+  [[nodiscard]] bool temporal() const {
+    return kind == PropKind::LeadsTo || kind == PropKind::Pulse;
+  }
+  /// One-line source-shaped description for findings and reports.
+  [[nodiscard]] std::string describe() const;
+};
+
+struct SpecFile {
+  std::string file;                    ///< logical name for diagnostics
+  std::string chartName;               ///< `spec NAME;` — empty = any chart
+  std::vector<std::string> envEvents;  ///< `env events ...;` alphabet
+  std::optional<int> boundStates;      ///< `bound states N;`
+  std::optional<int> boundDepth;       ///< `bound depth N;`
+  /// `expect violations;` — the spec is a seeded-violation scenario: the
+  /// CI gate passes when the checker *finds* (and replay-verifies) a
+  /// violation, and fails when everything passes. Default: expect pass.
+  bool expectViolations = false;
+  std::vector<Property> properties;
+};
+
+/// Parse spec text. Throws pscp::Error (with a SourceLoc) on syntax
+/// errors; names are not resolved yet — call bindSpec next.
+[[nodiscard]] SpecFile parseSpec(const std::string& text, const std::string& file);
+
+/// Resolve every atom against the chart. Throws pscp::Error on an unknown
+/// state/condition/event/port name, a chart-name mismatch, or a property
+/// the checker cannot monitor (pulse window outside 1..63, within < 1).
+void bindSpec(SpecFile* spec, const statechart::Chart& chart);
+
+}  // namespace pscp::analysis::check

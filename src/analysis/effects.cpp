@@ -68,16 +68,32 @@ class Walker {
       return i < call.args.size() ? call.args[i] : std::string();
     };
     if (call.function == "raise") {
-      out_->eventsRaised.insert(arg(0));
+      noteRaise(arg(0));
     } else if (call.function == "set_cond") {
-      EffectSet::recordWrite(&out_->condWrites, arg(0), labelArgConstant(arg(1)));
+      noteCondWrite(arg(0), labelArgConstant(arg(1)));
     } else if (call.function == "test_cond") {
       out_->condReads.insert(arg(0));
     } else if (call.function == "read_port") {
       out_->portReads.insert(arg(0));
     } else if (call.function == "write_port") {
-      EffectSet::recordWrite(&out_->portWrites, arg(0), labelArgConstant(arg(1)));
+      notePortWrite(arg(0), labelArgConstant(arg(1)));
     }
+  }
+
+  // Effect recorders: inside an unresolved branch (unresolvedDepth_ > 0)
+  // the effect may or may not happen at run time, which the conditional
+  // sets carry to the checker.
+  void noteRaise(const std::string& name) {
+    out_->eventsRaised.insert(name);
+    if (unresolvedDepth_ > 0) out_->conditionalRaises.insert(name);
+  }
+  void noteCondWrite(const std::string& name, std::optional<int64_t> value) {
+    EffectSet::recordWrite(&out_->condWrites, name, value);
+    if (unresolvedDepth_ > 0) out_->conditionalCondWrites.insert(name);
+  }
+  void notePortWrite(const std::string& name, std::optional<int64_t> value) {
+    EffectSet::recordWrite(&out_->portWrites, name, value);
+    if (unresolvedDepth_ > 0) out_->conditionalPortWrites.insert(name);
   }
 
   /// Label arguments are raw strings: decimal literals and enum constants
@@ -135,19 +151,27 @@ class Walker {
         walkExpr(*s.expr, env, *locals);
         // Path sensitivity: a branch condition that folds under the static
         // call binding selects exactly one arm (dispatchers of the
-        // `if (which == MX)` shape bind per call site).
+        // `if (which == MX)` shape bind per call site). A condition that
+        // does not fold walks both arms with the arms' effects marked
+        // conditional — they depend on run-time data.
         const std::optional<int64_t> cond = constantOf(*s.expr, env);
-        if (!cond.has_value() || *cond != 0)
+        const bool unresolved = !cond.has_value();
+        if (unresolved) ++unresolvedDepth_;
+        if (unresolved || *cond != 0)
           for (const auto& c : s.body) walkStmt(*c, env, locals);
-        if (!cond.has_value() || *cond == 0)
+        if (unresolved || *cond == 0)
           for (const auto& c : s.elseBody) walkStmt(*c, env, locals);
+        if (unresolved) --unresolvedDepth_;
         break;
       }
       case StmtKind::While: {
         walkExpr(*s.expr, env, *locals);
         const std::optional<int64_t> cond = constantOf(*s.expr, env);
-        if (!cond.has_value() || *cond != 0)
+        const bool unresolved = !cond.has_value();
+        if (unresolved) ++unresolvedDepth_;
+        if (unresolved || *cond != 0)
           for (const auto& c : s.body) walkStmt(*c, env, locals);
+        if (unresolved) --unresolvedDepth_;
         break;
       }
       case StmtKind::Return:
@@ -319,13 +343,12 @@ class Walker {
     };
     if (actionlang::isIntrinsicName(callee)) {
       if (callee == "raise") {
-        if (const Expr* a = arg(0)) out_->eventsRaised.insert(hardwareArg(*a, env));
+        if (const Expr* a = arg(0)) noteRaise(hardwareArg(*a, env));
       } else if (callee == "set_cond") {
         const Expr* c = arg(0);
         const Expr* v = arg(1);
         if (c != nullptr && v != nullptr) {
-          EffectSet::recordWrite(&out_->condWrites, hardwareArg(*c, env),
-                                 constantOf(*v, env));
+          noteCondWrite(hardwareArg(*c, env), constantOf(*v, env));
           walkExpr(*v, env, locals);
         }
       } else if (callee == "test_cond") {
@@ -336,8 +359,7 @@ class Walker {
         const Expr* p = arg(0);
         const Expr* v = arg(1);
         if (p != nullptr && v != nullptr) {
-          EffectSet::recordWrite(&out_->portWrites, hardwareArg(*p, env),
-                                 constantOf(*v, env));
+          notePortWrite(hardwareArg(*p, env), constantOf(*v, env));
           walkExpr(*v, env, locals);
         }
       }
@@ -366,6 +388,7 @@ class Walker {
   const Program& program_;
   EffectSet* out_;
   std::set<std::string> visiting_;
+  int unresolvedDepth_ = 0;  ///< nesting of branches that did not fold
 };
 
 }  // namespace
@@ -374,6 +397,16 @@ void EffectSet::recordWrite(std::map<std::string, std::optional<int64_t>>* map,
                             const std::string& name, std::optional<int64_t> value) {
   auto [it, inserted] = map->emplace(name, value);
   if (!inserted && it->second != value) it->second = std::nullopt;
+}
+
+bool EffectSet::exact() const {
+  if (!astComplete) return false;
+  if (!conditionalRaises.empty() || !conditionalCondWrites.empty() ||
+      !conditionalPortWrites.empty())
+    return false;
+  for (const auto& [name, value] : condWrites)
+    if (!value.has_value()) return false;
+  return true;
 }
 
 EffectSet transitionEffects(const statechart::Transition& t,
@@ -414,16 +447,25 @@ void augmentFromRoutine(const tep::AsmProgram& program, const std::string& routi
       visited[static_cast<size_t>(pc)] = true;
       const tep::Instr& instr = program.code[static_cast<size_t>(pc)];
       switch (instr.op) {
+        // The scan is branch-blind (it visits both sides of every jump),
+        // so anything it contributes that the AST walk did not already
+        // prove definite is recorded as conditional: it may execute.
         case tep::Opcode::EvSet:
-          if (effects != nullptr)
-            effects->eventsRaised.insert(lookup(names.eventByBit, instr.operand));
+          if (effects != nullptr) {
+            const std::string name = lookup(names.eventByBit, instr.operand);
+            if (effects->eventsRaised.insert(name).second)
+              effects->conditionalRaises.insert(name);
+          }
           break;
         case tep::Opcode::CSet:
         case tep::Opcode::CClr:
-          if (effects != nullptr)
-            EffectSet::recordWrite(&effects->condWrites,
-                                   lookup(names.conditionByBit, instr.operand),
+          if (effects != nullptr) {
+            const std::string name = lookup(names.conditionByBit, instr.operand);
+            if (effects->condWrites.count(name) == 0)
+              effects->conditionalCondWrites.insert(name);
+            EffectSet::recordWrite(&effects->condWrites, name,
                                    instr.op == tep::Opcode::CSet ? 1 : 0);
+          }
           break;
         case tep::Opcode::CTst:
           if (effects != nullptr)
@@ -436,9 +478,11 @@ void augmentFromRoutine(const tep::AsmProgram& program, const std::string& routi
         case tep::Opcode::Outp:
           // The written value lives in ACC. Keep the AST-derived constant if
           // the port is already known; only record the write's existence.
-          if (effects != nullptr)
-            effects->portWrites.emplace(lookup(names.portByAddress, instr.operand),
-                                        std::nullopt);
+          if (effects != nullptr) {
+            const std::string name = lookup(names.portByAddress, instr.operand);
+            if (effects->portWrites.emplace(name, std::nullopt).second)
+              effects->conditionalPortWrites.insert(name);
+          }
           break;
         case tep::Opcode::Jmp:
         case tep::Opcode::Jz:

@@ -41,10 +41,27 @@ struct EffectSet {
   /// statically bound ("motors[0]"); a bare name means "some element".
   std::set<std::string> globalWrites;
   std::set<std::string> globalReads;
+  /// Subsets of the maps above recorded on a control path the static walk
+  /// could not prove taken: under an If/While whose condition does not
+  /// fold under the call binding, or contributed by the (branch-blind)
+  /// code scan. A name here *may* fire at run time; a name in the maps
+  /// above but absent here is definite. The race pass keeps treating every
+  /// effect as definite (over-approximating hazards is sound there); the
+  /// bounded model checker (src/analysis/check) branches over these.
+  std::set<std::string> conditionalRaises;
+  std::set<std::string> conditionalCondWrites;
+  std::set<std::string> conditionalPortWrites;
+
   /// True when every label action resolved to a known function — the AST
   /// summary then covers the routine exactly and the (data-flow-blind)
   /// code scan is not needed as a fallback.
   bool astComplete = true;
+
+  /// True when the summary is an exact model of the routine: the AST walk
+  /// was complete, nothing was recorded under an unresolved branch, and
+  /// every condition write has a known value. The checker's abstract step
+  /// is then deterministic for this transition.
+  [[nodiscard]] bool exact() const;
 
   /// Record a write, collapsing repeated writes with differing constants to
   /// "non-constant" (the pairwise comparison must then assume a race).

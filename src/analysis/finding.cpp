@@ -61,6 +61,11 @@ std::string AnalysisResult::renderJson(int indent) const {
   JsonValue doc = JsonValue::makeObject();
   doc.set("schema", JsonValue::makeString("pscp-lint-v1"));
   doc.set("chart", JsonValue::makeString(chartName));
+  // Same format as the journal header's image_hash, for cross-referencing.
+  if (imageHash != 0)
+    doc.set("image_hash",
+            JsonValue::makeString(strfmt(
+                "0x%016llx", static_cast<unsigned long long>(imageHash))));
 
   JsonValue list = JsonValue::makeArray();
   for (const Finding& f : findings) {

@@ -9,6 +9,7 @@
 // document (support/json).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@ inline constexpr const char* kCodeTruncatingAssign = "PSCP-AL001";
 inline constexpr const char* kCodeUninitializedRead = "PSCP-AL002";
 inline constexpr const char* kCodeJumpOutOfRange = "PSCP-AL003";
 inline constexpr const char* kCodeUnreferencedPort = "PSCP-AL004";
+// MC = bounded model checker (src/analysis/check). MC000 extends the
+// RE000 truncation contract: when it is present, every undecided property
+// is Unknown rather than Pass — the bound, not the property, decided.
+inline constexpr const char* kCodeCheckTruncated = "PSCP-MC000";  ///< search hit a bound
+inline constexpr const char* kCodeCheckSafety = "PSCP-MC001";     ///< invariant/never violated
+inline constexpr const char* kCodeCheckLeadsTo = "PSCP-MC002";    ///< bounded response violated
+inline constexpr const char* kCodeCheckPulse = "PSCP-MC003";      ///< pulse window violated
+inline constexpr const char* kCodeCheckSpurious = "PSCP-MC004";   ///< abstract cex refuted concretely
+inline constexpr const char* kCodeCheckUnknown = "PSCP-MC005";    ///< undecided within the bound
 
 struct Finding {
   std::string code;     ///< one of the kCode* constants
@@ -51,6 +61,12 @@ struct Finding {
 struct AnalysisResult {
   std::string chartName;
   std::vector<Finding> findings;
+
+  /// Content hash of the compiled ChartImage the verdicts refer to
+  /// (obs::journal::imageContentHash) — the same value every journal
+  /// records, so lint/check findings are traceable to the exact compiled
+  /// image. 0 when the chart was not compiled (AST-only analysis).
+  uint64_t imageHash = 0;
 
   // Reachability-pass statistics (also serialized into the JSON report).
   int configurationsExplored = 0;

@@ -81,6 +81,16 @@ double sharedArea(const ArchConfig& config, const ChartHardwareStats& stats) {
   return sla + cr + tat + portArea + scheduler;
 }
 
+ArchConfig analysisArch() {
+  ArchConfig arch;
+  arch.dataWidth = 16;
+  arch.hasMulDiv = true;
+  arch.registerFileSize = 8;
+  arch.internalRamBytes = 1024;
+  arch.numTeps = 2;
+  return arch;
+}
+
 double systemArea(const ArchConfig& config, const ChartHardwareStats& stats,
                   int microWords) {
   return sharedArea(config, stats) + config.numTeps * tepArea(config, microWords);

@@ -85,6 +85,14 @@ struct ArchConfig {
   [[nodiscard]] bool operator==(const ArchConfig&) const = default;
 };
 
+/// The reference configuration the static-analysis front ends compile
+/// charts under (pscp_lint, pscp_check, pscp_replay --chart): roomy enough
+/// that any reasonable chart builds, and — critically — a single shared
+/// definition, because the journal image content hash covers the compiled
+/// TEP program: a witness journal emitted by one tool only replays in
+/// another if both compiled the chart under the same arch.
+[[nodiscard]] ArchConfig analysisArch();
+
 /// Statistics of the synthesized statechart front end needed for the
 /// shared (non-TEP) area: SLA product terms, CR bits, ports, transitions.
 struct ChartHardwareStats {

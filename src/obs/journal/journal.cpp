@@ -340,6 +340,7 @@ JsonValue Journal::toJson() const {
   doc.set("recorded_workers", JsonValue::makeNumber(recordedWorkers_));
   doc.set("recorded_soa", JsonValue::makeBool(recordedSoa_));
   doc.set("simd", JsonValue::makeString(simdLevel_));
+  if (!note_.empty()) doc.set("note", JsonValue::makeString(note_));
   doc.set("span_count", JsonValue::makeNumber(static_cast<double>(nextSpan_)));
 
   JsonValue ops = JsonValue::makeArray();
@@ -441,6 +442,8 @@ bool Journal::fromJson(const JsonValue& doc, Journal* out, std::string* error) {
     j.recordedSoa_ = soa->boolean;
   if (const JsonValue* simd = doc.find("simd"); simd != nullptr && simd->isString())
     j.simdLevel_ = simd->string;
+  if (const JsonValue* note = doc.find("note"); note != nullptr && note->isString())
+    j.note_ = note->string;
 
   const JsonValue* ops = doc.find("ops");
   if (ops == nullptr || !ops->isArray()) return fail("missing ops array");

@@ -133,6 +133,10 @@ class Journal {
   void setRecordedWorkers(int workers) { recordedWorkers_ = workers; }
   void setRecordedSoa(bool soa) { recordedSoa_ = soa; }
   void setSimdLevel(std::string level) { simdLevel_ = std::move(level); }
+  /// Free-form provenance annotation ("counterexample for property X of
+  /// spec Y"). Carried by the JSON form only; the binary framing — a
+  /// fixed-layout wire format — drops it. Never affects replay.
+  void setNote(std::string note) { note_ = std::move(note); }
 
   [[nodiscard]] const std::string& chartName() const { return chartName_; }
   [[nodiscard]] uint64_t imageHash() const { return imageHash_; }
@@ -140,6 +144,7 @@ class Journal {
   [[nodiscard]] int recordedWorkers() const { return recordedWorkers_; }
   [[nodiscard]] bool recordedSoa() const { return recordedSoa_; }
   [[nodiscard]] const std::string& simdLevel() const { return simdLevel_; }
+  [[nodiscard]] const std::string& note() const { return note_; }
   [[nodiscard]] const JournalConfig& config() const { return config_; }
 
   // -------------------------------------------------- recording surface
@@ -205,6 +210,7 @@ class Journal {
   int recordedWorkers_ = 1;
   bool recordedSoa_ = true;
   std::string simdLevel_;
+  std::string note_;
 
   std::vector<Op> ops_;
   uint64_t nextSpan_ = 0;

@@ -27,6 +27,16 @@ void Interpreter::setCondition(const std::string& name, bool value) {
   conditions_[name] = value;
 }
 
+InterpreterState Interpreter::saveState() const {
+  return InterpreterState{active_, conditions_, pendingInternalEvents_};
+}
+
+void Interpreter::restoreState(InterpreterState state) {
+  active_ = std::move(state.active);
+  conditions_ = std::move(state.conditions);
+  pendingInternalEvents_ = std::move(state.pendingEvents);
+}
+
 std::vector<std::string> Interpreter::activeNames() const {
   std::vector<std::string> names;
   names.reserve(active_.size());

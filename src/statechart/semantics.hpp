@@ -48,6 +48,26 @@ class StepEffects {
 /// interpreter and the TEP-code execution both implement this.
 using ActionHandler = std::function<void(const ActionCall&, StepEffects&)>;
 
+/// Complete mutable interpreter state — enough to re-enter step() from an
+/// arbitrary point. The bounded model checker (src/analysis/check) drives
+/// one Interpreter through every node of its search frontier by
+/// save/restore instead of constructing an interpreter per node; the
+/// fields are plain containers so a checker can also synthesize states
+/// (e.g. to inject the pending-event set an effect summary predicts).
+struct InterpreterState {
+  std::set<StateId> active;
+  std::map<std::string, bool> conditions;
+  /// Events raised last cycle, visible to the next step().
+  std::set<std::string> pendingEvents;
+
+  [[nodiscard]] bool operator==(const InterpreterState&) const = default;
+  [[nodiscard]] bool operator<(const InterpreterState& o) const {
+    if (active != o.active) return active < o.active;
+    if (conditions != o.conditions) return conditions < o.conditions;
+    return pendingEvents < o.pendingEvents;
+  }
+};
+
 /// Result of one configuration cycle.
 struct StepResult {
   std::vector<TransitionId> fired;       ///< in firing order
@@ -73,6 +93,15 @@ class Interpreter {
 
   /// Names of active states, sorted — convenient for tests/goldens.
   [[nodiscard]] std::vector<std::string> activeNames() const;
+
+  /// Events raised last cycle, pending sampling at the next step().
+  [[nodiscard]] const std::set<std::string>& pendingEvents() const {
+    return pendingInternalEvents_;
+  }
+
+  /// Snapshot / restore the complete mutable state (see InterpreterState).
+  [[nodiscard]] InterpreterState saveState() const;
+  void restoreState(InterpreterState state);
 
   /// Execute one configuration cycle with the given external events.
   /// Internally raised events from the *previous* cycle are merged in

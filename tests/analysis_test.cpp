@@ -10,6 +10,7 @@
 #include "analysis/analyzer.hpp"
 #include "hwlib/arch_config.hpp"
 #include "analysis/effects.hpp"
+#include "obs/journal/journal.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
 #include "support/json.hpp"
@@ -288,6 +289,40 @@ basicstate B { transition { target A; label "GO"; } }
   EXPECT_GE(countCode(r, kCodeConstFalseGuard), 1);
 }
 
+// RE000 boundary semantics: `Tiny` has exactly 2 reachable
+// configurations (A, B). A bound one below truncates; a bound exactly at
+// the reachable-set size completes (the cap gates *admission of a new
+// config*, not re-visits); anything above completes trivially.
+TEST(AnalysisReach, TruncationBoundaryIsExact) {
+  const char* tiny = R"chart(
+chart Tiny;
+event GO;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart";
+  const auto withBound = [&](int bound) {
+    AnalyzerOptions options;
+    options.maxConfigurations = bound;
+    return analyze(tiny, "", /*compile=*/true, options);
+  };
+
+  const AnalysisResult below = withBound(1);  // one below reachable size
+  EXPECT_FALSE(below.reachabilityComplete);
+  EXPECT_GE(countCode(below, kCodeReachTruncated), 1);
+  EXPECT_EQ(countCode(below, kCodeUnreachableState), 0);
+
+  const AnalysisResult at = withBound(2);  // exactly the reachable size
+  EXPECT_TRUE(at.reachabilityComplete) << at.renderText();
+  EXPECT_EQ(countCode(at, kCodeReachTruncated), 0);
+  EXPECT_EQ(at.configurationsExplored, 2);
+
+  const AnalysisResult above = withBound(3);  // one above
+  EXPECT_TRUE(above.reachabilityComplete);
+  EXPECT_EQ(countCode(above, kCodeReachTruncated), 0);
+  EXPECT_EQ(above.configurationsExplored, 2);
+}
+
 // The exploration cap reports RE000 and withholds unreachable findings.
 TEST(AnalysisReach, TruncationIsReportedNotMisreported) {
   AnalyzerOptions options;
@@ -469,6 +504,41 @@ basicstate Island { }
   EXPECT_GE(parsed.findPath("summary.warnings")->number, 1.0);
   // Compact form parses too.
   ASSERT_TRUE(parseJson(r.renderJson(0), &parsed, &error)) << error;
+}
+
+// The lint report carries the compiled image's content hash in the same
+// "0x%016llx" shape as the journal header, so a finding and a journal can
+// be cross-referenced to the exact bits they were produced from.
+TEST(AnalysisReport, ImageHashMatchesJournalHashFormat) {
+  const statechart::Chart chart = statechart::parseChart(R"chart(
+chart Hashed;
+event GO;
+port Out data out width 8 address 0x10;
+orstate Top { contains A, B; default A; }
+basicstate A { transition { target B; label "GO/Ping()"; } }
+basicstate B { transition { target A; label "GO"; } }
+)chart");
+  actionlang::Program program = actionlang::parseActionSource(R"act(
+void Ping() { write_port(Out, 1); }
+)act");
+  Analyzer analyzer(chart, program, {});
+  machine::ChartImage image(chart, program, testArch());
+  analyzer.attachCompiled(image.app());
+  AnalysisResult r = analyzer.run();
+  r.imageHash = obs::journal::imageContentHash(image);  // as pscp_lint does
+  ASSERT_NE(r.imageHash, 0u);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(parseJson(r.renderJson(), &parsed, &error)) << error;
+  const JsonValue* hash = parsed.findPath("image_hash");
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->string,
+            strfmt("0x%016llx", static_cast<unsigned long long>(r.imageHash)));
+  // Without a compiled image the key is absent, not zero.
+  AnalysisResult bare = analyzer.run();
+  ASSERT_TRUE(parseJson(bare.renderJson(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.findPath("image_hash"), nullptr);
 }
 
 TEST(AnalysisReport, TextReportNamesCodesAndLocations) {

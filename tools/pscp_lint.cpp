@@ -15,6 +15,8 @@
 //   --no-conflicts / --no-races / --no-reach / --no-lints
 //                        disable individual passes
 //   --max-configs N      reachability exploration bound (default 65536)
+//   --check SPEC         run the bounded model checker with the given spec
+//                        file and merge its MC0xx findings into the report
 //   --runtime-check [N]  also run the machine for N fuzzed configuration
 //                        cycles (default 2000) and fail if an observed
 //                        same-cycle port collision was not flagged WR001
@@ -34,7 +36,10 @@
 
 #include "actionlang/parser.hpp"
 #include "analysis/analyzer.hpp"
+#include "analysis/check/checker.hpp"
+#include "analysis/check/spec.hpp"
 #include "hwlib/arch_config.hpp"
+#include "obs/journal/journal.hpp"
 #include "pscp/machine.hpp"
 #include "statechart/parser.hpp"
 #include "support/diag.hpp"
@@ -45,7 +50,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--chart FILE [--actions FILE] | --builtin smd)\n"
-               "          [--json FILE] [--werror] [--quiet]\n"
+               "          [--json FILE] [--werror] [--quiet] [--check SPEC]\n"
                "          [--no-conflicts] [--no-races] [--no-reach] [--no-lints]\n"
                "          [--max-configs N] [--runtime-check [CYCLES]]\n",
                argv0);
@@ -63,18 +68,6 @@ bool readFile(const std::string& path, std::string* out) {
   return true;
 }
 
-/// Arch roomy enough that any reasonable chart compiles; the analyzer's
-/// verdicts do not depend on datapath sizing.
-pscp::hwlib::ArchConfig lintArch() {
-  pscp::hwlib::ArchConfig arch;
-  arch.dataWidth = 16;
-  arch.hasMulDiv = true;
-  arch.registerFileSize = 8;
-  arch.internalRamBytes = 1024;
-  arch.numTeps = 2;
-  return arch;
-}
-
 /// Deterministic event fuzz for the runtime cross-check: drive the machine
 /// with pseudo-random subsets of its external events and compare observed
 /// same-cycle port collisions against the static WR001 verdict.
@@ -89,7 +82,7 @@ int runtimeCrossCheck(const pscp::statechart::Chart& chart,
   if (events.empty())
     for (const auto& [name, decl] : chart.events()) events.push_back(name);
 
-  pscp::machine::PscpMachine machine(chart, actions, lintArch());
+  pscp::machine::PscpMachine machine(chart, actions, pscp::hwlib::analysisArch());
   uint64_t lcg = 0x243F6A8885A308D3ull;  // fixed seed: runs are reproducible
   for (int i = 0; i < cycles; ++i) {
     std::set<std::string> fire;
@@ -154,6 +147,7 @@ int main(int argc, char** argv) {
   std::string actionsFile;
   std::string builtin;
   std::string jsonFile;
+  std::string specFile;
   bool werror = false;
   bool quiet = false;
   bool runtimeCheck = false;
@@ -173,6 +167,7 @@ int main(int argc, char** argv) {
     else if (arg == "--actions") actionsFile = value("--actions");
     else if (arg == "--builtin") builtin = value("--builtin");
     else if (arg == "--json") jsonFile = value("--json");
+    else if (arg == "--check") specFile = value("--check");
     else if (arg == "--werror") werror = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--no-conflicts") options.conflicts = false;
@@ -222,10 +217,11 @@ int main(int argc, char** argv) {
     pscp::analysis::Analyzer analyzer(chart, actions, options);
 
     // Compile for the microcode-level checks; charts whose actions do not
-    // compile under the lint arch still get the AST-level passes.
-    std::unique_ptr<pscp::machine::ChartImage> image;
+    // compile under the analysis arch still get the AST-level passes.
+    std::shared_ptr<pscp::machine::ChartImage> image;
     try {
-      image = std::make_unique<pscp::machine::ChartImage>(chart, actions, lintArch());
+      image = std::make_shared<pscp::machine::ChartImage>(
+          chart, actions, pscp::hwlib::analysisArch());
       analyzer.attachCompiled(image->app());
     } catch (const pscp::Error& e) {
       if (!quiet)
@@ -235,7 +231,29 @@ int main(int argc, char** argv) {
                      e.what());
     }
 
-    const pscp::analysis::AnalysisResult result = analyzer.run();
+    pscp::analysis::AnalysisResult result = analyzer.run();
+    if (image != nullptr)
+      result.imageHash = pscp::obs::journal::imageContentHash(*image);
+
+    if (!specFile.empty()) {
+      std::string specText;
+      if (!readFile(specFile, &specText)) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0], specFile.c_str());
+        return 2;
+      }
+      pscp::analysis::check::SpecFile spec =
+          pscp::analysis::check::parseSpec(specText, specFile);
+      pscp::analysis::check::bindSpec(&spec, chart);
+      pscp::analysis::check::CheckOptions checkOptions;
+      if (spec.boundStates) checkOptions.maxStates = *spec.boundStates;
+      if (spec.boundDepth) checkOptions.maxDepth = *spec.boundDepth;
+      const pscp::analysis::check::CheckResult check =
+          pscp::analysis::check::runBoundedCheck(chart, actions, spec, image,
+                                                 checkOptions);
+      if (!quiet) std::fputs(check.renderText().c_str(), stdout);
+      for (const pscp::analysis::Finding& f : check.findings)
+        result.findings.push_back(f);
+    }
 
     if (!quiet) std::fputs(result.renderText().c_str(), stdout);
     if (!jsonFile.empty()) {

@@ -29,16 +29,26 @@
 //       Replay with a trace recorder + span tracker attached to one
 //       instance and write a Chrome trace whose flow arrows follow each
 //       recorded event's span (enqueue -> drain -> dispatch).
+//
+// All replaying commands take --chart FILE [--actions FILE] to build the
+// image from sources instead of the built-in SMD workload — required to
+// verify the counterexample journals pscp_check emits. The image is built
+// under hwlib::analysisArch(), the same arch pscp_check and pscp_lint use,
+// so image content hashes line up across the tools.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "actionlang/parser.hpp"
+#include "hwlib/arch_config.hpp"
 #include "obs/journal/journal.hpp"
 #include "obs/journal/replay.hpp"
 #include "obs/journal/spans.hpp"
 #include "obs/recorder.hpp"
 #include "obs/tee.hpp"
+#include "statechart/parser.hpp"
 #include "support/diag.hpp"
 #include "support/simd.hpp"
 #include "tep/jit/tier.hpp"
@@ -53,6 +63,8 @@ struct Options {
   std::string command;
   std::string journalPath;
   std::string outPath;
+  std::string chartPath;
+  std::string actionsPath;
   size_t instances = 64;
   int threads = 1;
   int epochs = 64;
@@ -73,11 +85,11 @@ int usage(const char* argv0) {
       "          [--cycles N] [--checkpoint-interval N] [--no-soa] [--binary]\n"
       "          [--faulty-epoch E]\n"
       "       %s replay JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
-      "          [--jit off|auto|always]\n"
+      "          [--jit off|auto|always] [--chart FILE [--actions FILE]]\n"
       "       %s verify JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
-      "          [--jit off|auto|always]\n"
+      "          [--jit off|auto|always] [--chart FILE [--actions FILE]]\n"
       "       %s bisect JOURNAL [--threads N] [--no-soa] [--batch-width N]\n"
-      "          [--jit off|auto|always]\n"
+      "          [--jit off|auto|always] [--chart FILE [--actions FILE]]\n"
       "       %s trace JOURNAL --instance ID --out PATH\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
@@ -115,6 +127,10 @@ bool parseOptions(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "bad --jit mode: %s (off|auto|always)\n", v);
         return false;
       }
+    } else if (arg == "--chart" && (v = next())) {
+      opt->chartPath = v;
+    } else if (arg == "--actions" && (v = next())) {
+      opt->actionsPath = v;
     } else if (arg == "--instance" && (v = next())) {
       opt->traceInstance = std::atoll(v);
     } else if (arg == "--faulty-epoch" && (v = next())) {
@@ -207,6 +223,57 @@ int runRecord(const Options& opt) {
   return 0;
 }
 
+bool readFileText(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+/// Build the replay image: the built-in SMD workload by default, or the
+/// given chart/action sources compiled under the shared analysis arch.
+/// Returns null (with a message on stderr) on a read or compile failure.
+std::shared_ptr<const machine::ChartImage> loadImage(const Options& opt) {
+  if (opt.chartPath.empty()) return workloads::makeSmdFleetImage();
+  // Same bundle idiom as makeSmdFleetImage: the image references the
+  // parsed chart and program, so the control block must own all three.
+  struct Bundle {
+    statechart::Chart chart;
+    actionlang::Program actions;
+    std::unique_ptr<const machine::ChartImage> image;
+    Bundle(statechart::Chart c, actionlang::Program a)
+        : chart(std::move(c)), actions(std::move(a)) {}
+  };
+  std::string chartText;
+  if (!readFileText(opt.chartPath, &chartText)) {
+    std::fprintf(stderr, "%s: cannot read '%s'\n", opt.command.c_str(),
+                 opt.chartPath.c_str());
+    return nullptr;
+  }
+  std::string actionText;
+  if (!opt.actionsPath.empty() && !readFileText(opt.actionsPath, &actionText)) {
+    std::fprintf(stderr, "%s: cannot read '%s'\n", opt.command.c_str(),
+                 opt.actionsPath.c_str());
+    return nullptr;
+  }
+  try {
+    auto bundle = std::make_shared<Bundle>(
+        statechart::parseChart(chartText, opt.chartPath),
+        actionlang::parseActionSource(
+            actionText, opt.actionsPath.empty() ? "<actions>" : opt.actionsPath));
+    bundle->image = std::make_unique<const machine::ChartImage>(
+        bundle->chart, bundle->actions, hwlib::analysisArch());
+    return {bundle, bundle->image.get()};
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: %s\n", opt.command.c_str(), e.what());
+    return nullptr;
+  }
+}
+
 bool loadJournal(const Options& opt, Journal* journal) {
   if (opt.journalPath.empty()) {
     std::fprintf(stderr, "%s: a JOURNAL path is required\n",
@@ -233,7 +300,8 @@ ReplayOptions targetOptions(const Options& opt) {
 int runReplayOrVerify(const Options& opt) {
   Journal journal;
   if (!loadJournal(opt, &journal)) return 1;
-  auto image = workloads::makeSmdFleetImage();
+  auto image = loadImage(opt);
+  if (image == nullptr) return 1;
   Replayer replayer(&journal, image);
   const ReplayResult result = replayer.run(targetOptions(opt));
   if (!result.ok) {
@@ -283,7 +351,8 @@ int runReplayOrVerify(const Options& opt) {
 int runBisect(const Options& opt) {
   Journal journal;
   if (!loadJournal(opt, &journal)) return 1;
-  auto image = workloads::makeSmdFleetImage();
+  auto image = loadImage(opt);
+  if (image == nullptr) return 1;
   const BisectResult result =
       bisectDivergence(journal, image, targetOptions(opt));
   std::fputs(formatBisectReport(result, *image).c_str(), stdout);
@@ -297,7 +366,8 @@ int runTrace(const Options& opt) {
     std::fprintf(stderr, "trace: --instance ID and --out PATH are required\n");
     return 2;
   }
-  auto image = workloads::makeSmdFleetImage();
+  auto image = loadImage(opt);
+  if (image == nullptr) return 1;
   obs::TraceRecorder recorder;
   SpanTracker tracker;
   obs::TeeSink tee{&recorder, &tracker};
